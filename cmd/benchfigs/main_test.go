@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The quick sweeps are still multi-second runs; each experiment gets one
+// smoke test over a buffer and the structural assertions live in
+// internal/harness. Here we verify the CLI wiring: selection, rendering
+// and shape-check reporting.
+
+func TestBenchfigsUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "99"}, &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{"-nope"}, &buf); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestBenchfigsProfileQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "profile", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"update_wts", "base_cycle share", "shape checks", "regenerated"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBenchfigsSeqQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "seq", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Pentium") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestBenchfigsFig7AliasesFig6(t *testing.T) {
+	// -fig 7 must run the fig 6 experiment (7 derives from its data).
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "7", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Fig 7 — speedup") || !strings.Contains(out, "Fig 6 — average elapsed") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestBenchfigsFig8Quick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "8", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Fig 8") || !strings.Contains(out, "T(maxP)/T(minP)") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "shape checks: all passed") {
+		t.Fatalf("fig8 shape checks failed:\n%s", out)
+	}
+}
+
+func TestBenchfigsAblationQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "ablation", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "wts-only [7]") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "shape checks: all passed") {
+		t.Fatalf("ablation shape checks failed:\n%s", out)
+	}
+}
+
+func TestBenchfigsTSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "seq", "-quick", "-tsv", dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "seq_anchor.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if lines[0] != "tuples\tseconds" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if len(lines) != 4 { // header + 3 sizes in quick mode
+		t.Fatalf("rows %d", len(lines))
+	}
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestDatagenWorkloads(t *testing.T) {
+	dir := t.TempDir()
+	for _, wl := range []string{"paper", "satimage", "protein"} {
+		out := filepath.Join(dir, wl+".txt")
+		var buf bytes.Buffer
+		err := run([]string{"-workload", wl, "-n", "100", "-seed", "3", "-o", out}, &buf)
+		if err != nil {
+			t.Fatalf("%s: %v", wl, err)
+		}
+		if !strings.Contains(buf.String(), "100 tuples") {
+			t.Fatalf("%s: output %q", wl, buf.String())
+		}
+		ds, err := dataset.LoadFile(out)
+		if err != nil {
+			t.Fatalf("%s: reload: %v", wl, err)
+		}
+		if ds.N() != 100 {
+			t.Fatalf("%s: N=%d", wl, ds.N())
+		}
+	}
+}
+
+func TestDatagenBinaryOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "d.bin")
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "50", "-o", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 50 {
+		t.Fatalf("N=%d", ds.N())
+	}
+}
+
+func TestDatagenMissingInjection(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "d.txt")
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "1000", "-missing", "0.2", "-o", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := dataset.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing := 0
+	for i := 0; i < ds.N(); i++ {
+		for k := 0; k < ds.NumAttrs(); k++ {
+			if dataset.IsMissing(ds.Value(i, k)) {
+				missing++
+			}
+		}
+	}
+	if missing == 0 {
+		t.Fatal("no missing values injected")
+	}
+}
+
+func TestDatagenErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "10"}, &buf); err == nil {
+		t.Error("missing -o accepted")
+	}
+	if err := run([]string{"-workload", "nope", "-o", "x.txt"}, &buf); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run([]string{"-missing", "2", "-o", filepath.Join(t.TempDir(), "x.txt")}, &buf); err == nil {
+		t.Error("bad missing rate accepted")
+	}
+	if err := run([]string{"-badflag"}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

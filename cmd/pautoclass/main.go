@@ -1,0 +1,287 @@
+// Command pautoclass clusters a dataset with the P-AutoClass engine — the
+// full BIG_LOOP model search over a list of starting class counts, run
+// sequentially or across P in-process ranks connected by the message-
+// passing substrate, optionally under the simulated Meiko CS-2 clock.
+//
+// Usage:
+//
+//	pautoclass -data data.txt -procs 8 -start-j 2,4,8 -report
+//	pautoclass -data big.bin -procs 10 -machine meiko -strategy full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/autoclass"
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/pautoclass"
+	"repro/internal/simnet"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pautoclass:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("pautoclass", flag.ContinueOnError)
+	dataPath := fs.String("data", "", "dataset path (required)")
+	procs := fs.Int("procs", 1, "number of ranks")
+	startJ := fs.String("start-j", "2,4,8,16,24,50,64", "comma-separated start_j_list")
+	tries := fs.Int("tries", 2, "random restarts per start J")
+	maxCycles := fs.Int("max-cycles", 200, "base_cycle cap per try")
+	seed := fs.Uint64("seed", 1, "search seed")
+	strategy := fs.String("strategy", "full", "parallel strategy: full or wtsonly")
+	granularity := fs.String("granularity", "perterm", "statistics exchange: perterm or packed")
+	machine := fs.String("machine", "none", "virtual machine model: none, meiko or pentium")
+	correlated := fs.Bool("correlated", false, "model real attributes with a joint covariance term")
+	models := fs.Bool("models", false, "run the model-level search over every applicable model form (sequential only)")
+	resume := fs.String("resume", "", "search-state file for checkpointed/resumable search (sequential only)")
+	cases := fs.String("cases", "", "write AutoClass-style case assignments of the best classification to this file")
+	classify := fs.String("classify", "", "skip the search: load this classification checkpoint and classify the dataset")
+	report := fs.Bool("report", false, "print the full class report")
+	checkpoint := fs.String("checkpoint", "", "write the best classification to this JSON file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataPath == "" {
+		return fmt.Errorf("-data is required")
+	}
+	ds, err := dataset.LoadFile(*dataPath)
+	if err != nil {
+		return err
+	}
+	cfg := autoclass.DefaultSearchConfig()
+	cfg.Seed = *seed
+	cfg.Tries = *tries
+	cfg.EM.MaxCycles = *maxCycles
+	cfg.StartJList = nil
+	for _, tok := range strings.Split(*startJ, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			return fmt.Errorf("bad -start-j entry %q: %v", tok, err)
+		}
+		cfg.StartJList = append(cfg.StartJList, v)
+	}
+	opts := pautoclass.DefaultOptions()
+	opts.EM = cfg.EM
+	switch *strategy {
+	case "full":
+		opts.Strategy = pautoclass.Full
+	case "wtsonly":
+		opts.Strategy = pautoclass.WtsOnly
+	default:
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+	switch *granularity {
+	case "perterm":
+		opts.EM.Granularity = autoclass.PerTerm
+	case "packed":
+		opts.EM.Granularity = autoclass.Packed
+	default:
+		return fmt.Errorf("unknown granularity %q", *granularity)
+	}
+	cfg.EM = opts.EM
+	var mach *simnet.Machine
+	switch *machine {
+	case "none":
+	case "meiko":
+		m := simnet.MeikoCS2()
+		mach = &m
+	case "pentium":
+		m := simnet.PentiumPC()
+		mach = &m
+	default:
+		return fmt.Errorf("unknown machine %q", *machine)
+	}
+	spec := model.DefaultSpec(ds)
+	if *correlated {
+		spec = model.CorrelatedSpec(ds)
+	}
+
+	if *classify != "" {
+		return runClassify(w, ds, *classify, *cases)
+	}
+	if *models {
+		return runModelSearch(w, ds, cfg, *report, *checkpoint)
+	}
+	if *resume != "" {
+		if *procs != 1 {
+			return fmt.Errorf("-resume supports only -procs 1")
+		}
+		return runResumable(w, ds, spec, cfg, *resume, *report, *checkpoint, *cases)
+	}
+
+	fmt.Fprintf(w, "dataset %s: %d tuples, %d attributes\n", ds.Name, ds.N(), ds.NumAttrs())
+	fmt.Fprintf(w, "search: start_j_list=%v tries=%d procs=%d strategy=%s\n",
+		cfg.StartJList, cfg.Tries, *procs, opts.Strategy)
+
+	var best *autoclass.SearchResult
+	var virtual float64
+	start := time.Now()
+	err = mpi.Run(*procs, func(c *mpi.Comm) error {
+		o := opts
+		if mach != nil {
+			clk, err := simnet.NewClock(*mach)
+			if err != nil {
+				return err
+			}
+			o.Clock = clk
+		}
+		res, err := pautoclass.Search(c, ds, spec, cfg, o)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			best = res
+			if o.Clock != nil {
+				virtual = o.Clock.Elapsed()
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start).Seconds()
+
+	fmt.Fprintf(w, "\nbest classification: %d classes (start J %d, seed %d)\n",
+		best.Best.J(), best.BestTry.StartJ, best.BestTry.Seed)
+	fmt.Fprintf(w, "log likelihood=%.4f log posterior=%.4f score=%.4f cycles=%d converged=%v\n",
+		best.Best.LogLik, best.Best.LogPost, best.Best.Score(), best.BestTry.Cycles, best.BestTry.Converged)
+	dups := 0
+	for _, tr := range best.Tries {
+		if tr.Duplicate {
+			dups++
+		}
+	}
+	fmt.Fprintf(w, "tries: %d total, %d duplicates eliminated\n", len(best.Tries), dups)
+	fmt.Fprintf(w, "wall time: %.2fs", wall)
+	if mach != nil {
+		fmt.Fprintf(w, "  virtual time on %s: %s", mach.Name, simnet.FormatHMS(virtual))
+	}
+	fmt.Fprintln(w)
+	if *report {
+		fmt.Fprintln(w)
+		if _, err := autoclass.BuildReport(best.Best, ds).WriteTo(w); err != nil {
+			return err
+		}
+	}
+	if *checkpoint != "" {
+		if err := autoclass.SaveCheckpointFile(*checkpoint, best.Best); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "checkpoint written to %s\n", *checkpoint)
+	}
+	if *cases != "" {
+		if err := writeCasesFile(*cases, best.Best, ds); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "case assignments written to %s\n", *cases)
+	}
+	return nil
+}
+
+// writeCasesFile writes the case assignments of cls over ds to path.
+func writeCasesFile(path string, cls *autoclass.Classification, ds *dataset.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := autoclass.WriteCases(f, cls, ds.All(), 0.1); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// runClassify loads a checkpoint and classifies the dataset without
+// searching.
+func runClassify(w io.Writer, ds *dataset.Dataset, checkpointPath, casesPath string) error {
+	cls, err := autoclass.LoadCheckpointFile(checkpointPath, ds)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "classifying %d tuples with %d classes from %s\n", ds.N(), cls.J(), checkpointPath)
+	sizes := autoclass.ClassSizes(cls, ds.All())
+	fmt.Fprintf(w, "class sizes: %v\n", sizes)
+	fmt.Fprintf(w, "mean max membership: %.4f\n", autoclass.MeanMaxMembership(cls, ds.All()))
+	if casesPath != "" {
+		if err := writeCasesFile(casesPath, cls, ds); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "case assignments written to %s\n", casesPath)
+		return nil
+	}
+	return autoclass.WriteCases(w, cls, ds.All(), 0.1)
+}
+
+// runResumable runs the checkpointed/resumable sequential search.
+func runResumable(w io.Writer, ds *dataset.Dataset, spec model.Spec, cfg autoclass.SearchConfig,
+	statePath string, report bool, checkpoint, casesPath string) error {
+	fmt.Fprintf(w, "dataset %s: %d tuples — resumable search, state in %s\n", ds.Name, ds.N(), statePath)
+	res, err := autoclass.SearchWithCheckpointFile(ds, spec, cfg, nil, statePath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "best classification: %d classes, score %.4f (%d tries recorded)\n",
+		res.Best.J(), res.Best.Score(), len(res.Tries))
+	if report {
+		if _, err := autoclass.BuildReport(res.Best, ds).WriteTo(w); err != nil {
+			return err
+		}
+	}
+	if checkpoint != "" {
+		if err := autoclass.SaveCheckpointFile(checkpoint, res.Best); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "checkpoint written to %s\n", checkpoint)
+	}
+	if casesPath != "" {
+		if err := writeCasesFile(casesPath, res.Best, ds); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "case assignments written to %s\n", casesPath)
+	}
+	return nil
+}
+
+// runModelSearch executes the two-level search (model forms × class counts)
+// and reports every form's outcome plus the overall best.
+func runModelSearch(w io.Writer, ds *dataset.Dataset, cfg autoclass.SearchConfig, report bool, checkpoint string) error {
+	fmt.Fprintf(w, "dataset %s: %d tuples, %d attributes\n", ds.Name, ds.N(), ds.NumAttrs())
+	cands := autoclass.StandardSpecCandidates(ds, ds.Summarize())
+	fmt.Fprintf(w, "model-level search over %d model forms, start_j_list=%v\n\n", len(cands), cfg.StartJList)
+	res, err := autoclass.SearchModels(ds, cands, cfg, nil)
+	if err != nil {
+		return err
+	}
+	for _, ps := range res.PerSpec {
+		fmt.Fprintf(w, "model %-12s: %2d classes  score %.4f  logpost %.4f\n",
+			ps.Name, ps.Result.Best.J(), ps.Result.Best.Score(), ps.Result.Best.LogPost)
+	}
+	fmt.Fprintf(w, "\nbest model form: %s (%d classes)\n", res.BestSpec, res.Best.J())
+	if report {
+		fmt.Fprintln(w)
+		if _, err := autoclass.BuildReport(res.Best, ds).WriteTo(w); err != nil {
+			return err
+		}
+	}
+	if checkpoint != "" {
+		if err := autoclass.SaveCheckpointFile(checkpoint, res.Best); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "checkpoint written to %s\n", checkpoint)
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/autoclass"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+)
+
+func writeDataset(t *testing.T, n int) string {
+	t.Helper()
+	ds, err := datagen.Paper(n, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "d.txt")
+	if err := dataset.SaveFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCLISequentialRun(t *testing.T) {
+	path := writeDataset(t, 500)
+	var buf bytes.Buffer
+	err := run([]string{"-data", path, "-start-j", "2,5", "-tries", "1", "-max-cycles", "30"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"best classification", "log likelihood", "tries:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIParallelWithMachineAndReport(t *testing.T) {
+	path := writeDataset(t, 800)
+	var buf bytes.Buffer
+	err := run([]string{
+		"-data", path, "-procs", "4", "-start-j", "5", "-tries", "1",
+		"-max-cycles", "30", "-machine", "meiko", "-report",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"virtual time on Meiko", "AutoClass classification report", "influence:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIWtsOnlyAndPacked(t *testing.T) {
+	path := writeDataset(t, 300)
+	for _, args := range [][]string{
+		{"-data", path, "-procs", "2", "-start-j", "3", "-tries", "1", "-max-cycles", "15", "-strategy", "wtsonly"},
+		{"-data", path, "-procs", "2", "-start-j", "3", "-tries", "1", "-max-cycles", "15", "-granularity", "packed"},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestCLICorrelatedSpec(t *testing.T) {
+	path := writeDataset(t, 400)
+	var buf bytes.Buffer
+	err := run([]string{"-data", path, "-start-j", "3", "-tries", "1", "-max-cycles", "20", "-correlated"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLICheckpointOutput(t *testing.T) {
+	path := writeDataset(t, 300)
+	ck := filepath.Join(t.TempDir(), "best.json")
+	var buf bytes.Buffer
+	err := run([]string{"-data", path, "-start-j", "3", "-tries", "1", "-max-cycles", "15", "-checkpoint", ck}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "checkpoint written") {
+		t.Fatalf("no checkpoint message:\n%s", buf.String())
+	}
+	ds, err := dataset.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := autoclass.LoadCheckpointFile(ck, ds); err != nil {
+		t.Fatalf("checkpoint unreadable: %v", err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	path := writeDataset(t, 50)
+	var buf bytes.Buffer
+	cases := map[string][]string{
+		"no-data":         {},
+		"missing-file":    {"-data", "/nonexistent/x.txt"},
+		"bad-strategy":    {"-data", path, "-strategy", "nope"},
+		"bad-granularity": {"-data", path, "-granularity", "nope"},
+		"bad-machine":     {"-data", path, "-machine", "cray"},
+		"bad-startj":      {"-data", path, "-start-j", "2,x"},
+		"bad-flag":        {"-zzz"},
+	}
+	for name, args := range cases {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("case %q accepted", name)
+		}
+	}
+}
+
+func TestCLIModelSearch(t *testing.T) {
+	path := writeDataset(t, 400)
+	var buf bytes.Buffer
+	err := run([]string{"-data", path, "-start-j", "3", "-tries", "1", "-max-cycles", "20", "-models"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"model-level search", "independent", "correlated", "best model form"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIResumeAndCases(t *testing.T) {
+	path := writeDataset(t, 400)
+	dir := t.TempDir()
+	state := filepath.Join(dir, "state.json")
+	casesPath := filepath.Join(dir, "cases.txt")
+	args := []string{"-data", path, "-start-j", "3,5", "-tries", "1", "-max-cycles", "20",
+		"-resume", state, "-cases", casesPath}
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "resumable search") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+	// Second run resumes instantly from the complete state.
+	buf.Reset()
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(casesPath); err != nil {
+		t.Fatalf("cases file: %v", err)
+	}
+	// -resume with -procs > 1 is rejected.
+	if err := run(append(args, "-procs", "2"), &buf); err == nil {
+		t.Fatal("-resume with -procs 2 accepted")
+	}
+}
+
+func TestCLIClassifyMode(t *testing.T) {
+	path := writeDataset(t, 300)
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "ck.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-data", path, "-start-j", "3", "-tries", "1",
+		"-max-cycles", "15", "-checkpoint", ck}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := run([]string{"-data", path, "-classify", ck}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"classifying 300 tuples", "class sizes", "# case assignments"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Classify with cases file output.
+	casesPath := filepath.Join(dir, "c.txt")
+	buf.Reset()
+	if err := run([]string{"-data", path, "-classify", ck, "-cases", casesPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(casesPath); err != nil {
+		t.Fatalf("cases file: %v", err)
+	}
+	// Bad checkpoint path errors.
+	if err := run([]string{"-data", path, "-classify", "/nonexistent.json"}, &buf); err == nil {
+		t.Fatal("bad checkpoint accepted")
+	}
+}

@@ -1,0 +1,70 @@
+// Scaling: the paper's headline experiment in miniature. Runs the same
+// classification of the synthetic dataset on 1..10 simulated Meiko CS-2
+// processors and prints elapsed time, speedup and communication share —
+// the curves of the paper's Figs. 6 and 7. Then holds tuples-per-processor
+// fixed to show scaleup (Fig. 8's flat line).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	machine := repro.MeikoCS2()
+	cfg := repro.DefaultSearchConfig()
+	cfg.StartJList = []int{2, 4, 8}
+	cfg.Tries = 1
+	cfg.EM.MaxCycles = 15
+	cfg.EM.RelDelta = 0 // fixed-cycle protocol: identical work at every P
+
+	const n = 50000
+	ds, err := repro.PaperDataset(n, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("speedup: clustering %d tuples on the simulated %s\n\n", n, machine.Name)
+	fmt.Printf("%5s  %12s  %8s  %6s\n", "procs", "elapsed", "speedup", "comm%")
+	var t1 float64
+	for p := 1; p <= 10; p++ {
+		_, stats, err := repro.ClusterParallel(ds, cfg, repro.ParallelConfig{
+			Procs:   p,
+			Machine: &machine,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if p == 1 {
+			t1 = stats.VirtualSeconds
+		}
+		fmt.Printf("%5d  %12s  %8.2f  %5.1f%%\n",
+			p, repro.FormatHMS(stats.VirtualSeconds), t1/stats.VirtualSeconds,
+			100*stats.VirtualCommSeconds/stats.VirtualSeconds)
+	}
+
+	// Scaleup: fixed 10 000 tuples per processor.
+	fmt.Printf("\nscaleup: fixed 10000 tuples/processor (paper Fig. 8 protocol)\n\n")
+	fmt.Printf("%5s  %8s  %12s  %8s\n", "procs", "tuples", "elapsed", "vs P=1")
+	var base float64
+	for _, p := range []int{1, 2, 4, 6, 8, 10} {
+		dsP, err := repro.PaperDataset(10000*p, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, stats, err := repro.ClusterParallel(dsP, cfg, repro.ParallelConfig{
+			Procs:   p,
+			Machine: &machine,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if p == 1 {
+			base = stats.VirtualSeconds
+		}
+		fmt.Printf("%5d  %8d  %12s  %8.3f\n",
+			p, dsP.N(), repro.FormatHMS(stats.VirtualSeconds), stats.VirtualSeconds/base)
+	}
+	fmt.Println("\nnear-constant elapsed time while data and processors grow together = good scaleup")
+}

@@ -1,0 +1,131 @@
+package autoclass
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// AutoClass C's report generator emits, alongside the class parameters, the
+// per-case class memberships (the .case output): for every instance, the
+// classes it belongs to with probability above a threshold. This file is
+// the equivalent.
+
+// CaseAssignment is one instance's membership summary.
+type CaseAssignment struct {
+	// Index is the instance's row in the dataset.
+	Index int
+	// Classes and Probs list the memberships above the threshold, most
+	// probable first. They have equal length (at least 1: the best class
+	// is always included).
+	Classes []int
+	Probs   []float64
+}
+
+// Entropy-free helper: bestFirst orders class indices by decreasing
+// membership probability.
+func membershipOrder(probs []float64) []int {
+	order := make([]int, len(probs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return probs[order[a]] > probs[order[b]]
+	})
+	return order
+}
+
+// AssignCases computes every instance's memberships, keeping classes with
+// probability >= threshold (the best class is always kept). A threshold of
+// 0.9 or higher effectively yields hard assignments on well-separated data;
+// AutoClass's default report threshold is in the same spirit.
+func AssignCases(cls *Classification, view *dataset.View, threshold float64) []CaseAssignment {
+	out := make([]CaseAssignment, view.N())
+	for i := 0; i < view.N(); i++ {
+		probs := cls.Predict(view.Row(i))
+		order := membershipOrder(probs)
+		ca := CaseAssignment{Index: view.Start() + i}
+		for rank, j := range order {
+			if rank > 0 && probs[j] < threshold {
+				break
+			}
+			ca.Classes = append(ca.Classes, j)
+			ca.Probs = append(ca.Probs, probs[j])
+		}
+		out[i] = ca
+	}
+	return out
+}
+
+// WriteCases renders case assignments in AutoClass's tabular style:
+//
+//	case  class  prob  [class  prob ...]
+func WriteCases(w io.Writer, cls *Classification, view *dataset.View, threshold float64) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# case assignments: %d cases, %d classes, threshold %.3f\n",
+		view.N(), cls.J(), threshold)
+	fmt.Fprintf(bw, "# case  (class prob)+\n")
+	for _, ca := range AssignCases(cls, view, threshold) {
+		fmt.Fprintf(bw, "%d", ca.Index)
+		for k := range ca.Classes {
+			fmt.Fprintf(bw, "  %d %.4f", ca.Classes[k], ca.Probs[k])
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ClassSizes returns the hard-assignment population of every class — the
+// quick summary AutoClass prints at the top of its case report.
+func ClassSizes(cls *Classification, view *dataset.View) []int {
+	sizes := make([]int, cls.J())
+	for i := 0; i < view.N(); i++ {
+		sizes[cls.HardAssign(view.Row(i))]++
+	}
+	return sizes
+}
+
+// HeldoutLogLik returns the total log-likelihood of the view's instances
+// under the classification — the held-out fit measure for validating model
+// selection on data the search never saw. Larger (closer to zero) is
+// better.
+func HeldoutLogLik(cls *Classification, view *dataset.View) float64 {
+	logp := make([]float64, cls.J())
+	total := 0.0
+	for i := 0; i < view.N(); i++ {
+		cls.LogMembership(view.Row(i), logp)
+		z := stats.LogSumExp(logp)
+		if !math.IsInf(z, -1) {
+			total += z
+		}
+	}
+	return total
+}
+
+// MeanMaxMembership returns the average of every case's maximum membership
+// probability — the paper's §2 sharpness notion: near 1.0 means "classes
+// are well separated", near 1/J means "abundantly overlapped".
+func MeanMaxMembership(cls *Classification, view *dataset.View) float64 {
+	if view.N() == 0 {
+		return 0
+	}
+	total := 0.0
+	for i := 0; i < view.N(); i++ {
+		probs := cls.Predict(view.Row(i))
+		best := 0.0
+		for _, p := range probs {
+			if p > best {
+				best = p
+			}
+		}
+		total += best
+	}
+	return total / float64(view.N())
+}

@@ -1,0 +1,150 @@
+package autoclass
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+)
+
+// AutoClass C checkpoints long classification runs so they can resume after
+// interruption; this file provides the equivalent: a JSON snapshot of a
+// classification's structure and parameters that can be reloaded against
+// the same dataset.
+
+// checkpointV1 is the serialized form.
+type checkpointV1 struct {
+	Version   int             `json:"version"`
+	N         int             `json:"n"`
+	LogLik    float64         `json:"log_lik"`
+	LogPrior  float64         `json:"log_prior"`
+	LogPost   float64         `json:"log_post"`
+	Cycles    int             `json:"cycles"`
+	Converged bool            `json:"converged"`
+	Blocks    []ckptBlock     `json:"blocks"`
+	Classes   []ckptClass     `json:"classes"`
+	Priors    json.RawMessage `json:"priors"`
+}
+
+type ckptBlock struct {
+	Kind  int   `json:"kind"`
+	Attrs []int `json:"attrs"`
+}
+
+type ckptClass struct {
+	LogPi float64     `json:"log_pi"`
+	W     float64     `json:"w"`
+	Terms [][]float64 `json:"terms"`
+}
+
+// SaveCheckpoint serializes the classification to w.
+func SaveCheckpoint(w io.Writer, cls *Classification) error {
+	if cls == nil {
+		return errors.New("autoclass: nil classification")
+	}
+	ck := checkpointV1{
+		Version:   1,
+		N:         cls.N,
+		LogLik:    cls.LogLik,
+		LogPrior:  cls.LogPrior,
+		LogPost:   cls.LogPost,
+		Cycles:    cls.Cycles,
+		Converged: cls.Converged,
+	}
+	for _, b := range cls.Spec.Blocks {
+		ck.Blocks = append(ck.Blocks, ckptBlock{Kind: int(b.Kind), Attrs: b.Attrs})
+	}
+	for _, cl := range cls.Classes {
+		cc := ckptClass{LogPi: cl.LogPi, W: cl.W}
+		for _, t := range cl.Terms {
+			cc.Terms = append(cc.Terms, t.Params())
+		}
+		ck.Classes = append(ck.Classes, cc)
+	}
+	pri, err := json.Marshal(cls.Priors)
+	if err != nil {
+		return fmt.Errorf("autoclass: marshal priors: %w", err)
+	}
+	ck.Priors = pri
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&ck)
+}
+
+// LoadCheckpoint reconstructs a classification from r, validating it
+// against the dataset's schema.
+func LoadCheckpoint(r io.Reader, ds *dataset.Dataset) (*Classification, error) {
+	var ck checkpointV1
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&ck); err != nil {
+		return nil, fmt.Errorf("autoclass: decode checkpoint: %w", err)
+	}
+	if ck.Version != 1 {
+		return nil, fmt.Errorf("autoclass: unsupported checkpoint version %d", ck.Version)
+	}
+	if len(ck.Classes) == 0 {
+		return nil, errors.New("autoclass: checkpoint has no classes")
+	}
+	var spec model.Spec
+	for _, b := range ck.Blocks {
+		spec.Blocks = append(spec.Blocks, model.BlockSpec{Kind: model.TermKind(b.Kind), Attrs: b.Attrs})
+	}
+	if err := spec.Validate(ds); err != nil {
+		return nil, fmt.Errorf("autoclass: checkpoint spec does not fit dataset: %w", err)
+	}
+	var pr model.Priors
+	if err := json.Unmarshal(ck.Priors, &pr); err != nil {
+		return nil, fmt.Errorf("autoclass: decode priors: %w", err)
+	}
+	cls, err := NewClassification(ds, spec, &pr, len(ck.Classes))
+	if err != nil {
+		return nil, err
+	}
+	cls.N = ck.N
+	cls.LogLik = ck.LogLik
+	cls.LogPrior = ck.LogPrior
+	cls.LogPost = ck.LogPost
+	cls.Cycles = ck.Cycles
+	cls.Converged = ck.Converged
+	for j, cc := range ck.Classes {
+		cl := cls.Classes[j]
+		cl.LogPi = cc.LogPi
+		cl.W = cc.W
+		if len(cc.Terms) != len(cl.Terms) {
+			return nil, fmt.Errorf("autoclass: class %d has %d term param sets, spec has %d", j, len(cc.Terms), len(cl.Terms))
+		}
+		for bi, params := range cc.Terms {
+			if err := cl.Terms[bi].SetParams(params); err != nil {
+				return nil, fmt.Errorf("autoclass: class %d term %d: %w", j, bi, err)
+			}
+		}
+	}
+	return cls, nil
+}
+
+// SaveCheckpointFile writes a checkpoint to path.
+func SaveCheckpointFile(path string, cls *Classification) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := SaveCheckpoint(f, cls); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCheckpointFile reads a checkpoint from path.
+func LoadCheckpointFile(path string, ds *dataset.Dataset) (*Classification, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadCheckpoint(f, ds)
+}

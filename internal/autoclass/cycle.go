@@ -1,0 +1,467 @@
+package autoclass
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Reducer is the hook through which the parallel engine turns local
+// reductions into global ones. ReduceInPlace must replace buf with the
+// elementwise sum over all ranks (and is called at identical points with
+// identical lengths on every rank). The sequential engine passes a nil
+// Reducer and the local values are already global.
+type Reducer interface {
+	ReduceInPlace(buf []float64) error
+}
+
+// Charger receives the engine's abstract op-unit charges; *simnet.Clock
+// implements it. A nil Charger disables accounting.
+type Charger interface {
+	ChargeOps(units float64)
+}
+
+// Granularity selects how update_parameters exchanges statistics in the
+// parallel engine.
+type Granularity int
+
+const (
+	// PerTerm performs one reduction per (class, term) pair — the
+	// structure of the paper's Fig. 5, where the Allreduce sits inside the
+	// class × attribute loops.
+	PerTerm Granularity = iota
+	// Packed accumulates every class's statistics into one buffer and
+	// performs a single reduction per cycle — the obvious message-
+	// aggregation optimization, benchmarked as an ablation.
+	Packed
+)
+
+// String implements fmt.Stringer.
+func (g Granularity) String() string {
+	switch g {
+	case PerTerm:
+		return "per-term"
+	case Packed:
+		return "packed"
+	default:
+		return fmt.Sprintf("Granularity(%d)", int(g))
+	}
+}
+
+// Config controls the parameter-level (EM) search.
+type Config struct {
+	// MaxCycles caps base_cycle iterations per try.
+	MaxCycles int
+	// RelDelta is the relative log-posterior change below which a cycle
+	// counts toward convergence.
+	RelDelta float64
+	// ConvergeWindow is how many consecutive below-RelDelta cycles
+	// constitute convergence.
+	ConvergeWindow int
+	// MinClassWeight prunes classes whose global W falls below it.
+	MinClassWeight float64
+	// PruneClasses enables class death (AutoClass reduces J when a class
+	// loses its support).
+	PruneClasses bool
+	// Granularity selects the statistics-exchange pattern (parallel only).
+	Granularity Granularity
+}
+
+// DefaultConfig returns the engine defaults.
+func DefaultConfig() Config {
+	return Config{
+		MaxCycles:      200,
+		RelDelta:       1e-5,
+		ConvergeWindow: 3,
+		MinClassWeight: 1.0,
+		PruneClasses:   true,
+		Granularity:    PerTerm,
+	}
+}
+
+func (c Config) validate() error {
+	if c.MaxCycles < 1 {
+		return errors.New("autoclass: MaxCycles < 1")
+	}
+	if c.RelDelta < 0 {
+		return errors.New("autoclass: negative RelDelta")
+	}
+	if c.ConvergeWindow < 1 {
+		return errors.New("autoclass: ConvergeWindow < 1")
+	}
+	return nil
+}
+
+// CycleStats reports one base_cycle's phase timings (wall clock) and the
+// values exchanged through the Reducer.
+type CycleStats struct {
+	// WtsSeconds, ParamsSeconds and ApproxSeconds are the wall-clock
+	// durations of the three phases.
+	WtsSeconds, ParamsSeconds, ApproxSeconds float64
+	// ReducedValues counts float64s passed through the Reducer.
+	ReducedValues int
+	// Reductions counts Reducer invocations.
+	Reductions int
+	// LogPost is the posterior after the cycle.
+	LogPost float64
+}
+
+// EMResult summarizes a full parameter-level search (one try).
+type EMResult struct {
+	// Cycles executed, and whether the run Converged before MaxCycles.
+	Cycles    int
+	Converged bool
+	// Totals of the per-cycle phase timings.
+	WtsSeconds, ParamsSeconds, ApproxSeconds float64
+	// InitSeconds is the time spent in initialization.
+	InitSeconds float64
+	// ReducedValues and Reductions total the Reducer traffic.
+	ReducedValues int
+	Reductions    int
+	// History holds the log posterior after every cycle.
+	History []float64
+}
+
+// TotalSeconds returns the summed wall-clock time of all phases.
+func (r *EMResult) TotalSeconds() float64 {
+	return r.WtsSeconds + r.ParamsSeconds + r.ApproxSeconds + r.InitSeconds
+}
+
+// Engine runs base_cycle iterations of one classification over one view of
+// the data. The sequential engine uses a view covering the whole dataset
+// and a nil Reducer; each parallel rank uses its partition's view and an
+// Allreduce-backed Reducer.
+type Engine struct {
+	view    *dataset.View
+	cls     *Classification
+	cfg     Config
+	reducer Reducer
+	charger Charger
+
+	wts         []float64 // local weights, n_local × J, row-major
+	belowTol    int       // consecutive cycles below RelDelta
+	lastPost    float64
+	started     bool
+	initSeconds float64
+}
+
+// NewEngine validates inputs and builds an engine.
+func NewEngine(view *dataset.View, cls *Classification, cfg Config, red Reducer, ch Charger) (*Engine, error) {
+	if view == nil || cls == nil {
+		return nil, errors.New("autoclass: nil view or classification")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		view:     view,
+		cls:      cls,
+		cfg:      cfg,
+		reducer:  red,
+		charger:  ch,
+		lastPost: math.Inf(-1),
+	}, nil
+}
+
+// Classification returns the engine's (mutated in place) classification.
+func (e *Engine) Classification() *Classification { return e.cls }
+
+func (e *Engine) charge(units float64) {
+	if e.charger != nil {
+		e.charger.ChargeOps(units)
+	}
+}
+
+func (e *Engine) reduce(buf []float64) (int, error) {
+	if e.reducer == nil {
+		return 0, nil
+	}
+	if err := e.reducer.ReduceInPlace(buf); err != nil {
+		return 0, err
+	}
+	return len(buf), nil
+}
+
+// InitRandom seeds the classification: every item is crisply assigned to a
+// starting class by a partition-independent hash of (seed, global index),
+// and one update_parameters pass turns those assignments into initial
+// parameters. All ranks calling InitRandom with the same seed produce the
+// identical initial classification.
+func (e *Engine) InitRandom(seed uint64) error {
+	t0 := time.Now()
+	n := e.view.N()
+	j := e.cls.J()
+	if j < 1 {
+		return errors.New("autoclass: no classes to initialize")
+	}
+	e.wts = make([]float64, n*j)
+	start := e.view.Start()
+	for i := 0; i < n; i++ {
+		e.wts[i*j+InitialClass(seed, start+i, j)] = 1
+	}
+	e.charge(float64(n))
+	// Local class weights from the crisp assignment.
+	wj := make([]float64, j)
+	for i := 0; i < n; i++ {
+		for cj := 0; cj < j; cj++ {
+			wj[cj] += e.wts[i*j+cj]
+		}
+	}
+	if _, err := e.reduce(wj); err != nil {
+		return fmt.Errorf("autoclass: init reduce: %w", err)
+	}
+	for cj, cl := range e.cls.Classes {
+		cl.W = wj[cj]
+	}
+	e.cls.UpdateClassWeightsFromW()
+	if _, _, err := e.updateParameters(); err != nil {
+		return err
+	}
+	e.updateApproximations()
+	e.started = true
+	e.initSeconds = time.Since(t0).Seconds()
+	return nil
+}
+
+// updateWts is the E-step (paper Fig. 4): compute w_ij for every local item
+// and class, normalize per item, and produce the class sums w_j plus the
+// data log-likelihood. The returned buffer is {w_0 … w_{J−1}, logLik},
+// which the caller reduces globally — this is P-AutoClass's first Allreduce.
+func (e *Engine) updateWts() ([]float64, error) {
+	n := e.view.N()
+	j := e.cls.J()
+	if len(e.wts) != n*j {
+		e.wts = make([]float64, n*j)
+	}
+	out := make([]float64, j+1)
+	logp := make([]float64, j)
+	for i := 0; i < n; i++ {
+		row := e.view.Row(i)
+		e.cls.LogMembership(row, logp)
+		z := stats.NormalizeLog(logp)
+		w := e.wts[i*j : (i+1)*j]
+		for cj := 0; cj < j; cj++ {
+			w[cj] = logp[cj]
+			out[cj] += logp[cj]
+		}
+		if !math.IsInf(z, -1) {
+			out[j] += z
+		}
+	}
+	a := float64(e.cls.NumAttrColumns())
+	e.charge(float64(n) * float64(j) * (a + 1))
+	return out, nil
+}
+
+// updateParameters is the M-step (paper Fig. 5): for every class and every
+// term block, accumulate weighted sufficient statistics over the local
+// items, reduce them globally, and re-estimate the parameters. With PerTerm
+// granularity the reduction happens inside the class × block loops exactly
+// as in the paper's figure; with Packed granularity all statistics travel
+// in one reduction.
+func (e *Engine) updateParameters() (reducedValues, reductions int, err error) {
+	n := e.view.N()
+	j := e.cls.J()
+	switch e.cfg.Granularity {
+	case PerTerm:
+		for cj, cl := range e.cls.Classes {
+			for bi, term := range cl.Terms {
+				st := make([]float64, term.StatsSize())
+				for i := 0; i < n; i++ {
+					term.AccumulateStats(e.view.Row(i), e.wts[i*j+cj], st)
+				}
+				v, err := e.reduce(st)
+				if err != nil {
+					return reducedValues, reductions, fmt.Errorf("autoclass: reduce class %d block %d: %w", cj, bi, err)
+				}
+				if v > 0 {
+					reducedValues += v
+					reductions++
+				}
+				term.Update(st)
+			}
+		}
+	case Packed:
+		total := 0
+		for _, cl := range e.cls.Classes {
+			for _, term := range cl.Terms {
+				total += term.StatsSize()
+			}
+		}
+		buf := make([]float64, total)
+		pos := 0
+		for cj, cl := range e.cls.Classes {
+			for _, term := range cl.Terms {
+				st := buf[pos : pos+term.StatsSize()]
+				for i := 0; i < n; i++ {
+					term.AccumulateStats(e.view.Row(i), e.wts[i*j+cj], st)
+				}
+				pos += term.StatsSize()
+			}
+		}
+		v, err := e.reduce(buf)
+		if err != nil {
+			return reducedValues, reductions, fmt.Errorf("autoclass: packed reduce: %w", err)
+		}
+		if v > 0 {
+			reducedValues += v
+			reductions++
+		}
+		pos = 0
+		for _, cl := range e.cls.Classes {
+			for _, term := range cl.Terms {
+				term.Update(buf[pos : pos+term.StatsSize()])
+				pos += term.StatsSize()
+			}
+		}
+	default:
+		return 0, 0, fmt.Errorf("autoclass: unknown granularity %d", int(e.cfg.Granularity))
+	}
+	a := float64(e.cls.NumAttrColumns())
+	e.charge(float64(n) * float64(j) * a)
+	return reducedValues, reductions, nil
+}
+
+// updateApproximations refreshes the cached posterior quantities — the
+// cheap third phase whose cost the paper found negligible (§3.1).
+func (e *Engine) updateApproximations() {
+	e.cls.UpdateClassWeightsFromW()
+	e.cls.RefreshPosterior()
+	e.charge(float64(e.cls.J()) * float64(e.cls.NumAttrColumns()+4))
+}
+
+// pruneDeadClasses removes classes whose global weight fell below
+// MinClassWeight, compacting the local weights matrix to match. The
+// decision uses globally reduced W values, so every rank prunes
+// identically.
+func (e *Engine) pruneDeadClasses() bool {
+	if !e.cfg.PruneClasses || e.cls.J() <= 1 {
+		return false
+	}
+	j := e.cls.J()
+	keep := make([]int, 0, j)
+	for cj, cl := range e.cls.Classes {
+		if cl.W >= e.cfg.MinClassWeight {
+			keep = append(keep, cj)
+		}
+	}
+	if len(keep) == j {
+		return false
+	}
+	if len(keep) == 0 {
+		// Keep the heaviest class rather than dying completely.
+		best := 0
+		for cj, cl := range e.cls.Classes {
+			if cl.W > e.cls.Classes[best].W {
+				best = cj
+			}
+		}
+		keep = []int{best}
+	}
+	newClasses := make([]*Class, len(keep))
+	for ni, cj := range keep {
+		newClasses[ni] = e.cls.Classes[cj]
+	}
+	n := e.view.N()
+	newWts := make([]float64, n*len(keep))
+	for i := 0; i < n; i++ {
+		for ni, cj := range keep {
+			newWts[i*len(keep)+ni] = e.wts[i*j+cj]
+		}
+	}
+	e.cls.Classes = newClasses
+	e.wts = newWts
+	e.cls.UpdateClassWeightsFromW()
+	return true
+}
+
+// BaseCycle runs one iteration of the three-phase cycle and reports its
+// statistics. InitRandom must have been called first.
+func (e *Engine) BaseCycle() (CycleStats, error) {
+	var cs CycleStats
+	if !e.started {
+		return cs, errors.New("autoclass: BaseCycle before InitRandom")
+	}
+	t0 := time.Now()
+	wtsOut, err := e.updateWts()
+	if err != nil {
+		return cs, err
+	}
+	v, err := e.reduce(wtsOut)
+	if err != nil {
+		return cs, fmt.Errorf("autoclass: reduce wts: %w", err)
+	}
+	if v > 0 {
+		cs.ReducedValues += v
+		cs.Reductions++
+	}
+	j := e.cls.J()
+	for cj, cl := range e.cls.Classes {
+		cl.W = wtsOut[cj]
+	}
+	e.cls.LogLik = wtsOut[j]
+	cs.WtsSeconds = time.Since(t0).Seconds()
+
+	t1 := time.Now()
+	rv, rn, err := e.updateParameters()
+	if err != nil {
+		return cs, err
+	}
+	cs.ReducedValues += rv
+	cs.Reductions += rn
+	cs.ParamsSeconds = time.Since(t1).Seconds()
+
+	t2 := time.Now()
+	e.updateApproximations()
+	cs.ApproxSeconds = time.Since(t2).Seconds()
+
+	e.pruneDeadClasses()
+	e.cls.Cycles++
+	cs.LogPost = e.cls.LogPost
+	return cs, nil
+}
+
+// converged updates the convergence tracker with the latest posterior.
+func (e *Engine) convergedAfter(post float64) bool {
+	if stats.RelDiff(post, e.lastPost) < e.cfg.RelDelta {
+		e.belowTol++
+	} else {
+		e.belowTol = 0
+	}
+	e.lastPost = post
+	return e.belowTol >= e.cfg.ConvergeWindow
+}
+
+// Run executes base_cycle until convergence or the cycle cap — AutoClass's
+// "new classification try" (paper Fig. 2). InitRandom must have been
+// called.
+func (e *Engine) Run() (EMResult, error) {
+	var res EMResult
+	if !e.started {
+		return res, errors.New("autoclass: Run before InitRandom")
+	}
+	res.InitSeconds = e.initSeconds
+	for cycle := 0; cycle < e.cfg.MaxCycles; cycle++ {
+		cs, err := e.BaseCycle()
+		if err != nil {
+			return res, err
+		}
+		res.Cycles++
+		res.WtsSeconds += cs.WtsSeconds
+		res.ParamsSeconds += cs.ParamsSeconds
+		res.ApproxSeconds += cs.ApproxSeconds
+		res.ReducedValues += cs.ReducedValues
+		res.Reductions += cs.Reductions
+		res.History = append(res.History, cs.LogPost)
+		if e.convergedAfter(cs.LogPost) {
+			res.Converged = true
+			break
+		}
+	}
+	e.cls.Converged = res.Converged
+	return res, nil
+}

@@ -1,0 +1,228 @@
+package autoclass
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// AttrInfluence scores how much one attribute differentiates a class from
+// the dataset's global distribution — AutoClass's "influence values". It is
+// the Kullback–Leibler divergence of the class's term from the global
+// single-class model of the same attribute.
+type AttrInfluence struct {
+	// Attr is the dataset column; Name its attribute name.
+	Attr int
+	Name string
+	// Influence is the KL divergence in nats (larger = more distinctive).
+	Influence float64
+}
+
+// ClassReport summarizes one class for human consumption.
+type ClassReport struct {
+	// Index is the class position in the classification.
+	Index int
+	// Weight is the class's total membership weight W_j; Share is
+	// W_j / N.
+	Weight, Share float64
+	// Terms describes every term's parameters.
+	Terms []string
+	// Influences lists per-attribute influence values, most influential
+	// first.
+	Influences []AttrInfluence
+}
+
+// Report is the full classification report, modeled on AutoClass C's
+// report generator output.
+type Report struct {
+	// J is the number of classes; N the dataset size.
+	J, N int
+	// LogLik, LogPost and Score are the classification's quality measures.
+	LogLik, LogPost, Score float64
+	// Cycles and Converged summarize the parameter search that produced it.
+	Cycles    int
+	Converged bool
+	// Classes are per-class summaries ordered by decreasing weight.
+	Classes []ClassReport
+	// Divergence[a][b] is the symmetric Kullback–Leibler divergence
+	// between classes a and b (original class indices, not report order),
+	// summed over the model terms — AutoClass-style class-separation
+	// diagnostics. Larger = better separated; the minimum off-diagonal
+	// entry names the most confusable pair.
+	Divergence [][]float64
+}
+
+// MinDivergence returns the smallest off-diagonal class divergence and the
+// pair achieving it (-1, -1 if fewer than two classes).
+func (r *Report) MinDivergence() (a, b int, d float64) {
+	a, b = -1, -1
+	d = math.Inf(1)
+	for i := range r.Divergence {
+		for j := i + 1; j < len(r.Divergence[i]); j++ {
+			if r.Divergence[i][j] < d {
+				a, b, d = i, j, r.Divergence[i][j]
+			}
+		}
+	}
+	if a == -1 {
+		return -1, -1, 0
+	}
+	return a, b, d
+}
+
+// BuildReport computes the report for a classification over its dataset.
+func BuildReport(cls *Classification, ds *dataset.Dataset) *Report {
+	rep := &Report{
+		J:         cls.J(),
+		N:         cls.N,
+		LogLik:    cls.LogLik,
+		LogPost:   cls.LogPost,
+		Score:     cls.Score(),
+		Cycles:    cls.Cycles,
+		Converged: cls.Converged,
+	}
+	for idx, cl := range cls.Classes {
+		cr := ClassReport{
+			Index:  idx,
+			Weight: cl.W,
+			Share:  cl.W / float64(cls.N),
+		}
+		for _, t := range cl.Terms {
+			cr.Terms = append(cr.Terms, t.Describe(ds))
+			cr.Influences = append(cr.Influences, termInfluences(t, ds, cls.Priors)...)
+		}
+		sort.Slice(cr.Influences, func(a, b int) bool {
+			return cr.Influences[a].Influence > cr.Influences[b].Influence
+		})
+		rep.Classes = append(rep.Classes, cr)
+	}
+	sort.SliceStable(rep.Classes, func(a, b int) bool {
+		return rep.Classes[a].Weight > rep.Classes[b].Weight
+	})
+	rep.Divergence = classDivergences(cls)
+	return rep
+}
+
+// classDivergences computes the symmetric pairwise KL matrix over classes,
+// summing per-term divergences. Terms that cannot compare (mixed kinds —
+// impossible within one classification) contribute zero.
+func classDivergences(cls *Classification) [][]float64 {
+	j := cls.J()
+	out := make([][]float64, j)
+	for a := range out {
+		out[a] = make([]float64, j)
+	}
+	for a := 0; a < j; a++ {
+		for b := a + 1; b < j; b++ {
+			total := 0.0
+			for bi := range cls.Classes[a].Terms {
+				ab, err1 := cls.Classes[a].Terms[bi].KLTo(cls.Classes[b].Terms[bi])
+				ba, err2 := cls.Classes[b].Terms[bi].KLTo(cls.Classes[a].Terms[bi])
+				if err1 == nil && err2 == nil {
+					total += (ab + ba) / 2
+				}
+			}
+			out[a][b] = total
+			out[b][a] = total
+		}
+	}
+	return out
+}
+
+// termInfluences computes the per-attribute influence of one term.
+func termInfluences(t model.Term, ds *dataset.Dataset, pr *model.Priors) []AttrInfluence {
+	var out []AttrInfluence
+	params := t.Params()
+	switch t.Kind() {
+	case model.SingleNormal:
+		k := t.Attrs()[0]
+		out = append(out, AttrInfluence{
+			Attr: k, Name: ds.Attr(k).Name,
+			Influence: klNormal(params[0], params[1], pr.Mean[k], pr.Sigma[k]),
+		})
+	case model.LogNormal:
+		k := t.Attrs()[0]
+		out = append(out, AttrInfluence{
+			Attr: k, Name: ds.Attr(k).Name,
+			Influence: klNormal(params[0], params[1], pr.LogMean[k], pr.LogSigma[k]),
+		})
+	case model.SingleMultinomial:
+		k := t.Attrs()[0]
+		global := pr.GlobalFreq[k]
+		infl := 0.0
+		if global != nil {
+			infl = stats.KLDivergence(params, global)
+			if math.IsInf(infl, 1) {
+				infl = math.MaxFloat64
+			}
+		}
+		out = append(out, AttrInfluence{Attr: k, Name: ds.Attr(k).Name, Influence: infl})
+	case model.MultiNormal:
+		// Per-attribute diagonal approximation: marginal class normal vs
+		// global normal.
+		attrs := t.Attrs()
+		d := len(attrs)
+		means := params[:d]
+		cov := params[d:]
+		for i, k := range attrs {
+			sigma := math.Sqrt(cov[i*d+i])
+			out = append(out, AttrInfluence{
+				Attr: k, Name: ds.Attr(k).Name,
+				Influence: klNormal(means[i], sigma, pr.Mean[k], pr.Sigma[k]),
+			})
+		}
+	}
+	return out
+}
+
+// klNormal is KL(N(μc,σc) ‖ N(μg,σg)) in closed form.
+func klNormal(muC, sigmaC, muG, sigmaG float64) float64 {
+	if sigmaC <= 0 || sigmaG <= 0 {
+		return 0
+	}
+	r := sigmaC / sigmaG
+	dm := muC - muG
+	return math.Log(1/r) + (r*r+dm*dm/(sigmaG*sigmaG))/2 - 0.5
+}
+
+// WriteTo renders the report as text.
+func (r *Report) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "AutoClass classification report\n")
+	fmt.Fprintf(&b, "classes=%d  N=%d  cycles=%d  converged=%v\n", r.J, r.N, r.Cycles, r.Converged)
+	fmt.Fprintf(&b, "log likelihood=%.4f  log posterior=%.4f  score=%.4f\n", r.LogLik, r.LogPost, r.Score)
+	for _, c := range r.Classes {
+		fmt.Fprintf(&b, "\nclass %d  weight=%.1f (%.1f%% of data)\n", c.Index, c.Weight, 100*c.Share)
+		for _, t := range c.Terms {
+			fmt.Fprintf(&b, "  %s\n", t)
+		}
+		if len(c.Influences) > 0 {
+			fmt.Fprintf(&b, "  influence: ")
+			parts := make([]string, 0, len(c.Influences))
+			for _, in := range c.Influences {
+				parts = append(parts, fmt.Sprintf("%s=%.3f", in.Name, in.Influence))
+			}
+			fmt.Fprintf(&b, "%s\n", strings.Join(parts, "  "))
+		}
+	}
+	if a, bIdx, d := r.MinDivergence(); a >= 0 {
+		fmt.Fprintf(&b, "\nmost confusable classes: %d and %d (symmetric KL %.3f)\n", a, bIdx, d)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the report as text.
+func (r *Report) String() string {
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		return fmt.Sprintf("report error: %v", err)
+	}
+	return b.String()
+}

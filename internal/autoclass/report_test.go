@@ -1,0 +1,195 @@
+package autoclass
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/model"
+)
+
+// convergedClassification runs a quick sequential classification for the
+// report and checkpoint tests.
+func convergedClassification(t *testing.T, n int) (*Classification, *dataset.Dataset) {
+	t.Helper()
+	ds := paperDS(t, n)
+	cls := mustClassification(t, ds, 5)
+	eng := mustEngine(t, ds, cls, DefaultConfig())
+	if err := eng.InitRandom(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return cls, ds
+}
+
+func TestBuildReportStructure(t *testing.T) {
+	cls, ds := convergedClassification(t, 1500)
+	rep := BuildReport(cls, ds)
+	if rep.J != cls.J() || rep.N != cls.N {
+		t.Fatalf("report J/N %d/%d", rep.J, rep.N)
+	}
+	if len(rep.Classes) != cls.J() {
+		t.Fatalf("report has %d classes", len(rep.Classes))
+	}
+	// Classes sorted by decreasing weight.
+	for i := 1; i < len(rep.Classes); i++ {
+		if rep.Classes[i].Weight > rep.Classes[i-1].Weight {
+			t.Fatal("classes not sorted by weight")
+		}
+	}
+	// Shares sum to ~1.
+	total := 0.0
+	for _, c := range rep.Classes {
+		total += c.Share
+		if len(c.Terms) != 2 {
+			t.Fatalf("class has %d term descriptions", len(c.Terms))
+		}
+		if len(c.Influences) != 2 {
+			t.Fatalf("class has %d influences", len(c.Influences))
+		}
+		// Influences sorted descending.
+		for i := 1; i < len(c.Influences); i++ {
+			if c.Influences[i].Influence > c.Influences[i-1].Influence {
+				t.Fatal("influences not sorted")
+			}
+		}
+	}
+	if total < 0.99 || total > 1.01 {
+		t.Fatalf("class shares sum to %v", total)
+	}
+}
+
+func TestReportInfluencePositiveForSeparatedClasses(t *testing.T) {
+	cls, ds := convergedClassification(t, 2000)
+	rep := BuildReport(cls, ds)
+	// Well-separated clusters: class means far from global mean, so every
+	// class should have clearly positive influence on some attribute.
+	for _, c := range rep.Classes {
+		if c.Influences[0].Influence <= 0.01 {
+			t.Fatalf("class %d max influence %v suspiciously low", c.Index, c.Influences[0].Influence)
+		}
+	}
+}
+
+func TestReportStringRendering(t *testing.T) {
+	cls, ds := convergedClassification(t, 800)
+	s := BuildReport(cls, ds).String()
+	for _, want := range []string{"AutoClass classification report", "classes=", "log likelihood=", "class 0", "influence:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+	// Attribute names appear.
+	if !strings.Contains(s, "x ~ N(") || !strings.Contains(s, "y ~ N(") {
+		t.Fatalf("report missing term descriptions:\n%s", s)
+	}
+}
+
+func TestReportMultinomialInfluence(t *testing.T) {
+	spec := datagen.ProteinMixture()
+	ds, _, err := spec.Generate(1500, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls := mustClassification(t, ds, 4)
+	eng := mustEngine(t, ds, cls, DefaultConfig())
+	if err := eng.InitRandom(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := BuildReport(cls, ds)
+	foundDiscrete := false
+	for _, c := range rep.Classes {
+		for _, in := range c.Influences {
+			if in.Name == "sstate" {
+				foundDiscrete = true
+				if in.Influence < 0 {
+					t.Fatalf("negative KL influence %v", in.Influence)
+				}
+			}
+		}
+	}
+	if !foundDiscrete {
+		t.Fatal("discrete attribute missing from influences")
+	}
+}
+
+func TestReportCorrelatedSpecInfluence(t *testing.T) {
+	ds := paperDS(t, 800)
+	pr := model.NewPriors(ds, ds.Summarize())
+	cls, err := NewClassification(ds, model.CorrelatedSpec(ds), pr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := mustEngine(t, ds, cls, DefaultConfig())
+	if err := eng.InitRandom(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := BuildReport(cls, ds)
+	for _, c := range rep.Classes {
+		if len(c.Influences) != 2 {
+			t.Fatalf("MVN class should report 2 per-attribute influences, got %d", len(c.Influences))
+		}
+	}
+}
+
+func TestKLNormalProperties(t *testing.T) {
+	if kl := klNormal(0, 1, 0, 1); kl != 0 {
+		t.Fatalf("KL of identical normals %v", kl)
+	}
+	if kl := klNormal(5, 1, 0, 1); kl <= 0 {
+		t.Fatalf("KL of shifted normal %v", kl)
+	}
+	if kl := klNormal(0, 3, 0, 1); kl <= 0 {
+		t.Fatalf("KL of widened normal %v", kl)
+	}
+	if kl := klNormal(0, -1, 0, 1); kl != 0 {
+		t.Fatalf("degenerate sigma should give 0, got %v", kl)
+	}
+}
+
+func TestReportDivergenceMatrix(t *testing.T) {
+	cls, ds := convergedClassification(t, 1500)
+	rep := BuildReport(cls, ds)
+	j := cls.J()
+	if len(rep.Divergence) != j {
+		t.Fatalf("divergence matrix %d rows for %d classes", len(rep.Divergence), j)
+	}
+	for a := 0; a < j; a++ {
+		if rep.Divergence[a][a] != 0 {
+			t.Fatalf("diagonal divergence %v", rep.Divergence[a][a])
+		}
+		for b := 0; b < j; b++ {
+			if rep.Divergence[a][b] != rep.Divergence[b][a] {
+				t.Fatal("divergence matrix not symmetric")
+			}
+			if a != b && rep.Divergence[a][b] <= 0 {
+				t.Fatalf("separated classes %d,%d have divergence %v", a, b, rep.Divergence[a][b])
+			}
+		}
+	}
+	a, b, d := rep.MinDivergence()
+	if a < 0 || b <= a || d <= 0 {
+		t.Fatalf("min divergence (%d,%d,%v)", a, b, d)
+	}
+	if !strings.Contains(rep.String(), "most confusable classes") {
+		t.Fatal("report missing divergence summary")
+	}
+}
+
+func TestMinDivergenceSingleClass(t *testing.T) {
+	ds := paperDS(t, 100)
+	cls := mustClassification(t, ds, 1)
+	rep := BuildReport(cls, ds)
+	if a, b, _ := rep.MinDivergence(); a != -1 || b != -1 {
+		t.Fatalf("single class min divergence (%d,%d)", a, b)
+	}
+}

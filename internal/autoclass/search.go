@@ -1,0 +1,188 @@
+package autoclass
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// PaperStartJList is the start_j_list the paper's experiments use (§4).
+var PaperStartJList = []int{2, 4, 8, 16, 24, 50, 64}
+
+// SearchConfig controls the model-level search — AutoClass's BIG_LOOP
+// (paper Fig. 2): select a number of classes, run a new classification try,
+// eliminate duplicates, keep the best.
+type SearchConfig struct {
+	// StartJList are the starting class counts to try.
+	StartJList []int
+	// Tries is the number of random restarts per starting J.
+	Tries int
+	// Seed drives every random decision; runs with equal seeds are
+	// identical.
+	Seed uint64
+	// EM configures the parameter-level search of each try.
+	EM Config
+	// DupScoreTol is the relative score difference below which two
+	// converged tries with the same final J are considered duplicate
+	// solutions.
+	DupScoreTol float64
+}
+
+// DefaultSearchConfig returns the paper-equivalent search settings.
+func DefaultSearchConfig() SearchConfig {
+	return SearchConfig{
+		StartJList:  append([]int(nil), PaperStartJList...),
+		Tries:       2,
+		Seed:        1,
+		EM:          DefaultConfig(),
+		DupScoreTol: 1e-4,
+	}
+}
+
+func (c SearchConfig) validate() error {
+	if len(c.StartJList) == 0 {
+		return errors.New("autoclass: empty StartJList")
+	}
+	for _, j := range c.StartJList {
+		if j < 1 {
+			return fmt.Errorf("autoclass: start J %d < 1", j)
+		}
+	}
+	if c.Tries < 1 {
+		return errors.New("autoclass: Tries < 1")
+	}
+	if c.DupScoreTol < 0 {
+		return errors.New("autoclass: negative DupScoreTol")
+	}
+	return c.EM.validate()
+}
+
+// TryResult records one classification try.
+type TryResult struct {
+	// StartJ is the requested class count; FinalJ the count after pruning.
+	StartJ, FinalJ int
+	// Try indexes the restart within StartJ.
+	Try int
+	// Seed is the try's derived initialization seed.
+	Seed uint64
+	// Cycles and Converged summarize the EM run.
+	Cycles    int
+	Converged bool
+	// LogLik, LogPost and Score are the final quality measures.
+	LogLik, LogPost, Score float64
+	// Duplicate marks tries discarded by duplicate elimination.
+	Duplicate bool
+}
+
+// SearchResult is the outcome of a BIG_LOOP search.
+type SearchResult struct {
+	// Best is the highest-scoring non-duplicate classification.
+	Best *Classification
+	// BestTry is its try record.
+	BestTry TryResult
+	// Tries records every try in execution order.
+	Tries []TryResult
+	// Totals accumulates the EM phase statistics over all tries — the
+	// input to the §3.1 profile table.
+	Totals EMResult
+}
+
+// TrialRunner executes one classification try: build a classification with
+// startJ classes, initialize it from seed, and run EM to convergence. The
+// sequential and parallel engines plug in here; the BIG_LOOP logic above it
+// is identical (and in the parallel case runs replicated on every rank,
+// driven entirely by globally reduced quantities, so all ranks make the
+// same decisions).
+type TrialRunner func(startJ int, seed uint64) (*Classification, EMResult, error)
+
+// SearchWith drives the BIG_LOOP over an arbitrary TrialRunner.
+func SearchWith(run TrialRunner, cfg SearchConfig) (*SearchResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	seeds := rng.New(cfg.Seed)
+	res := &SearchResult{}
+	bestScore := math.Inf(-1)
+	for _, startJ := range cfg.StartJList {
+		for try := 0; try < cfg.Tries; try++ {
+			trySeed := seeds.Uint64()
+			cls, em, err := run(startJ, trySeed)
+			if err != nil {
+				return nil, fmt.Errorf("autoclass: try J=%d #%d: %w", startJ, try, err)
+			}
+			tr := TryResult{
+				StartJ:    startJ,
+				FinalJ:    cls.J(),
+				Try:       try,
+				Seed:      trySeed,
+				Cycles:    em.Cycles,
+				Converged: em.Converged,
+				LogLik:    cls.LogLik,
+				LogPost:   cls.LogPost,
+				Score:     cls.Score(),
+			}
+			res.Totals.Cycles += em.Cycles
+			res.Totals.WtsSeconds += em.WtsSeconds
+			res.Totals.ParamsSeconds += em.ParamsSeconds
+			res.Totals.ApproxSeconds += em.ApproxSeconds
+			res.Totals.InitSeconds += em.InitSeconds
+			res.Totals.ReducedValues += em.ReducedValues
+			res.Totals.Reductions += em.Reductions
+			// Duplicate elimination (paper Fig. 2): a converged try that
+			// lands on an already-seen (final J, score) point is the same
+			// local optimum rediscovered.
+			for _, prev := range res.Tries {
+				if prev.Duplicate || prev.FinalJ != tr.FinalJ {
+					continue
+				}
+				if stats.RelDiff(prev.Score, tr.Score) < cfg.DupScoreTol {
+					tr.Duplicate = true
+					break
+				}
+			}
+			res.Tries = append(res.Tries, tr)
+			if !tr.Duplicate && tr.Score > bestScore {
+				bestScore = tr.Score
+				res.Best = cls
+				res.BestTry = tr
+			}
+		}
+	}
+	if res.Best == nil {
+		return nil, errors.New("autoclass: search produced no classification")
+	}
+	return res, nil
+}
+
+// Search runs the sequential BIG_LOOP over a whole dataset, deriving priors
+// from its summary. charger may be nil.
+func Search(ds *dataset.Dataset, spec model.Spec, cfg SearchConfig, charger Charger) (*SearchResult, error) {
+	if ds.N() == 0 {
+		return nil, errors.New("autoclass: empty dataset")
+	}
+	pr := model.NewPriors(ds, ds.Summarize())
+	runner := func(startJ int, seed uint64) (*Classification, EMResult, error) {
+		cls, err := NewClassification(ds, spec, pr, startJ)
+		if err != nil {
+			return nil, EMResult{}, err
+		}
+		eng, err := NewEngine(ds.All(), cls, cfg.EM, nil, charger)
+		if err != nil {
+			return nil, EMResult{}, err
+		}
+		if err := eng.InitRandom(seed); err != nil {
+			return nil, EMResult{}, err
+		}
+		em, err := eng.Run()
+		if err != nil {
+			return nil, EMResult{}, err
+		}
+		return cls, em, nil
+	}
+	return SearchWith(runner, cfg)
+}

@@ -1,0 +1,155 @@
+package autoclass
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/model"
+)
+
+func quickSearchConfig() SearchConfig {
+	cfg := DefaultSearchConfig()
+	cfg.StartJList = []int{2, 4, 8}
+	cfg.Tries = 2
+	cfg.EM.MaxCycles = 40
+	return cfg
+}
+
+func TestSearchFindsPlantedJ(t *testing.T) {
+	ds := paperDS(t, 3000)
+	cfg := quickSearchConfig()
+	cfg.StartJList = []int{2, 5, 8}
+	res, err := Search(ds, model.DefaultSpec(ds), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no best classification")
+	}
+	// The paper mixture has 5 clusters; the search should settle on 4–6.
+	if j := res.Best.J(); j < 4 || j > 6 {
+		t.Fatalf("best J=%d, expected about 5", j)
+	}
+	if res.BestTry.Score != res.Best.Score() {
+		t.Fatalf("best try score %v != classification score %v", res.BestTry.Score, res.Best.Score())
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	ds := paperDS(t, 800)
+	cfg := quickSearchConfig()
+	a, err := Search(ds, model.DefaultSpec(ds), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(ds, model.DefaultSpec(ds), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best.LogPost != b.Best.LogPost || a.BestTry.Seed != b.BestTry.Seed {
+		t.Fatal("same-seed searches diverged")
+	}
+	if len(a.Tries) != len(b.Tries) {
+		t.Fatal("try counts differ")
+	}
+}
+
+func TestSearchRecordsAllTries(t *testing.T) {
+	ds := paperDS(t, 500)
+	cfg := quickSearchConfig()
+	res, err := Search(ds, model.DefaultSpec(ds), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(cfg.StartJList) * cfg.Tries
+	if len(res.Tries) != want {
+		t.Fatalf("recorded %d tries, want %d", len(res.Tries), want)
+	}
+	for _, tr := range res.Tries {
+		if tr.FinalJ < 1 || tr.FinalJ > tr.StartJ {
+			t.Fatalf("try %+v has impossible FinalJ", tr)
+		}
+		if tr.Cycles < 1 {
+			t.Fatalf("try %+v ran no cycles", tr)
+		}
+	}
+	if res.Totals.Cycles < want {
+		t.Fatalf("totals cycles %d", res.Totals.Cycles)
+	}
+	if res.Totals.WtsSeconds <= 0 || res.Totals.ParamsSeconds <= 0 {
+		t.Fatal("phase timings not accumulated")
+	}
+}
+
+func TestSearchDuplicateElimination(t *testing.T) {
+	// On strongly separated data, restarts with the same start J usually
+	// converge to the same optimum: at least one duplicate should appear
+	// with several tries.
+	ds := paperDS(t, 2000)
+	cfg := quickSearchConfig()
+	cfg.StartJList = []int{5}
+	cfg.Tries = 4
+	res, err := Search(ds, model.DefaultSpec(ds), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dups := 0
+	for _, tr := range res.Tries {
+		if tr.Duplicate {
+			dups++
+		}
+	}
+	if dups == 0 {
+		t.Log("no duplicates found (acceptable but unusual on separated data)")
+	}
+	// The best try must never be a duplicate.
+	if res.BestTry.Duplicate {
+		t.Fatal("best try flagged duplicate")
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	ds := paperDS(t, 100)
+	spec := model.DefaultSpec(ds)
+	for name, mutate := range map[string]func(*SearchConfig){
+		"empty-list": func(c *SearchConfig) { c.StartJList = nil },
+		"zero-j":     func(c *SearchConfig) { c.StartJList = []int{0} },
+		"no-tries":   func(c *SearchConfig) { c.Tries = 0 },
+		"neg-tol":    func(c *SearchConfig) { c.DupScoreTol = -1 },
+		"bad-em":     func(c *SearchConfig) { c.EM.MaxCycles = 0 },
+	} {
+		cfg := quickSearchConfig()
+		mutate(&cfg)
+		if _, err := Search(ds, spec, cfg, nil); err == nil {
+			t.Errorf("config %q accepted", name)
+		}
+	}
+	empty, _ := datagen.Paper(0, 1)
+	if _, err := Search(empty, spec, quickSearchConfig(), nil); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestSearchWithRunnerErrorPropagates(t *testing.T) {
+	boom := fmt.Errorf("runner failed")
+	runner := func(startJ int, seed uint64) (*Classification, EMResult, error) {
+		return nil, EMResult{}, boom
+	}
+	cfg := quickSearchConfig()
+	if _, err := SearchWith(runner, cfg); err == nil {
+		t.Fatal("runner error swallowed")
+	}
+}
+
+func TestPaperStartJListMatchesPaper(t *testing.T) {
+	want := []int{2, 4, 8, 16, 24, 50, 64}
+	if len(PaperStartJList) != len(want) {
+		t.Fatalf("start_j_list %v", PaperStartJList)
+	}
+	for i, v := range want {
+		if PaperStartJList[i] != v {
+			t.Fatalf("start_j_list %v, want %v", PaperStartJList, want)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package autoclass
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// AutoClass C checkpoints its search so that multi-day classification runs
+// survive interruption (the paper's motivating runs took 130–400 hours).
+// This file provides the BIG_LOOP-level equivalent: the search driver
+// persists each completed try and the best classification so far; an
+// interrupted search re-launched with the same configuration skips the
+// completed tries — the try seeds are derived deterministically, so the
+// resumed search is indistinguishable from an uninterrupted one.
+
+// searchStateV1 is the serialized search progress.
+type searchStateV1 struct {
+	Version int `json:"version"`
+	// Config fingerprint — a resume against a different search is refused.
+	StartJList []int  `json:"start_j_list"`
+	Tries      int    `json:"tries"`
+	Seed       uint64 `json:"seed"`
+	// Completed tries in execution order.
+	Completed []TryResult `json:"completed"`
+	// Best is the best-so-far classification checkpoint (the JSON produced
+	// by SaveCheckpoint), empty until a non-duplicate try completes.
+	Best json.RawMessage `json:"best,omitempty"`
+	// BestTry is the best classification's try record.
+	BestTry TryResult `json:"best_try"`
+	// Totals accumulates phase statistics.
+	Totals EMResult `json:"totals"`
+}
+
+func (st *searchStateV1) matches(cfg SearchConfig) bool {
+	if st.Tries != cfg.Tries || st.Seed != cfg.Seed || len(st.StartJList) != len(cfg.StartJList) {
+		return false
+	}
+	for i, j := range st.StartJList {
+		if cfg.StartJList[i] != j {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchWithCheckpointFile runs the sequential BIG_LOOP, persisting its
+// progress to statePath after every completed try. If statePath already
+// holds the progress of an identical search configuration, the completed
+// tries are skipped and the search continues where it stopped. The state
+// file is left in place on success so a finished search re-launched again
+// returns immediately.
+func SearchWithCheckpointFile(ds *dataset.Dataset, spec model.Spec, cfg SearchConfig,
+	charger Charger, statePath string) (*SearchResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if ds.N() == 0 {
+		return nil, errors.New("autoclass: empty dataset")
+	}
+	if statePath == "" {
+		return nil, errors.New("autoclass: empty state path")
+	}
+	state := &searchStateV1{
+		Version:    1,
+		StartJList: append([]int(nil), cfg.StartJList...),
+		Tries:      cfg.Tries,
+		Seed:       cfg.Seed,
+	}
+	if raw, err := os.ReadFile(statePath); err == nil {
+		var prev searchStateV1
+		if err := json.Unmarshal(raw, &prev); err != nil {
+			return nil, fmt.Errorf("autoclass: corrupt search state %s: %w", statePath, err)
+		}
+		if prev.Version != 1 {
+			return nil, fmt.Errorf("autoclass: unsupported search state version %d", prev.Version)
+		}
+		if !prev.matches(cfg) {
+			return nil, fmt.Errorf("autoclass: state file %s belongs to a different search configuration", statePath)
+		}
+		state = &prev
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+
+	pr := model.NewPriors(ds, ds.Summarize())
+	res := &SearchResult{
+		Tries:  append([]TryResult(nil), state.Completed...),
+		Totals: state.Totals,
+	}
+	// Restore the best-so-far classification.
+	if len(state.Best) > 0 {
+		best, err := LoadCheckpoint(bytes.NewReader(state.Best), ds)
+		if err != nil {
+			return nil, fmt.Errorf("autoclass: restoring best classification: %w", err)
+		}
+		res.Best = best
+		res.BestTry = state.BestTry
+	}
+
+	// Deterministic seed chain, identical to SearchWith's.
+	seeds := rng.New(cfg.Seed)
+	tryIndex := 0
+	for _, startJ := range cfg.StartJList {
+		for try := 0; try < cfg.Tries; try++ {
+			trySeed := seeds.Uint64()
+			if tryIndex < len(state.Completed) {
+				tryIndex++ // already done in a previous run
+				continue
+			}
+			tryIndex++
+			cls, err := NewClassification(ds, spec, pr, startJ)
+			if err != nil {
+				return nil, err
+			}
+			eng, err := NewEngine(ds.All(), cls, cfg.EM, nil, charger)
+			if err != nil {
+				return nil, err
+			}
+			if err := eng.InitRandom(trySeed); err != nil {
+				return nil, err
+			}
+			em, err := eng.Run()
+			if err != nil {
+				return nil, err
+			}
+			tr := TryResult{
+				StartJ: startJ, FinalJ: cls.J(), Try: try, Seed: trySeed,
+				Cycles: em.Cycles, Converged: em.Converged,
+				LogLik: cls.LogLik, LogPost: cls.LogPost, Score: cls.Score(),
+			}
+			res.Totals.Cycles += em.Cycles
+			res.Totals.WtsSeconds += em.WtsSeconds
+			res.Totals.ParamsSeconds += em.ParamsSeconds
+			res.Totals.ApproxSeconds += em.ApproxSeconds
+			res.Totals.InitSeconds += em.InitSeconds
+			for _, prev := range res.Tries {
+				if !prev.Duplicate && prev.FinalJ == tr.FinalJ &&
+					stats.RelDiff(prev.Score, tr.Score) < cfg.DupScoreTol {
+					tr.Duplicate = true
+					break
+				}
+			}
+			res.Tries = append(res.Tries, tr)
+			if !tr.Duplicate && (res.Best == nil || tr.Score > res.BestTry.Score) {
+				res.Best = cls
+				res.BestTry = tr
+			}
+			// Persist progress after every try.
+			state.Completed = res.Tries
+			state.Totals = res.Totals
+			state.BestTry = res.BestTry
+			if res.Best != nil {
+				var buf bytes.Buffer
+				if err := SaveCheckpoint(&buf, res.Best); err != nil {
+					return nil, err
+				}
+				state.Best = buf.Bytes()
+			}
+			if err := writeSearchState(statePath, state); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Robustness: if the restored state recorded a better try than anything
+	// we hold a classification for (e.g. the embedded best was lost to a
+	// partial write), regenerate it — the try seed makes that exact.
+	bestRecorded := TryResult{}
+	haveRecorded := false
+	for _, tr := range res.Tries {
+		if tr.Duplicate {
+			continue
+		}
+		if !haveRecorded || tr.Score > bestRecorded.Score {
+			bestRecorded = tr
+			haveRecorded = true
+		}
+	}
+	if haveRecorded && (res.Best == nil || bestRecorded.Score > res.BestTry.Score) {
+		cls, err := NewClassification(ds, spec, pr, bestRecorded.StartJ)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := NewEngine(ds.All(), cls, cfg.EM, nil, charger)
+		if err != nil {
+			return nil, err
+		}
+		if err := eng.InitRandom(bestRecorded.Seed); err != nil {
+			return nil, err
+		}
+		if _, err := eng.Run(); err != nil {
+			return nil, err
+		}
+		res.Best = cls
+		res.BestTry = bestRecorded
+		state.BestTry = bestRecorded
+		var buf bytes.Buffer
+		if err := SaveCheckpoint(&buf, cls); err != nil {
+			return nil, err
+		}
+		state.Best = buf.Bytes()
+		if err := writeSearchState(statePath, state); err != nil {
+			return nil, err
+		}
+	}
+	if res.Best == nil {
+		return nil, errors.New("autoclass: search produced no classification")
+	}
+	return res, nil
+}
+
+// writeSearchState persists the state atomically (write temp, rename).
+func writeSearchState(path string, st *searchStateV1) error {
+	raw, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

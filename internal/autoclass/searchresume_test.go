@@ -1,0 +1,188 @@
+package autoclass
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func resumeCfg() SearchConfig {
+	cfg := DefaultSearchConfig()
+	cfg.StartJList = []int{2, 4, 5}
+	cfg.Tries = 2
+	cfg.EM.MaxCycles = 25
+	return cfg
+}
+
+func TestResumableSearchMatchesPlainSearch(t *testing.T) {
+	ds := paperDS(t, 700)
+	cfg := resumeCfg()
+	spec := model.DefaultSpec(ds)
+	plain, err := Search(ds, spec, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statePath := filepath.Join(t.TempDir(), "state.json")
+	resumable, err := SearchWithCheckpointFile(ds, spec, cfg, nil, statePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumable.Best.LogPost != plain.Best.LogPost || resumable.BestTry.Seed != plain.BestTry.Seed {
+		t.Fatalf("checkpointed search diverged: %v vs %v", resumable.Best.LogPost, plain.Best.LogPost)
+	}
+	if len(resumable.Tries) != len(plain.Tries) {
+		t.Fatalf("tries %d vs %d", len(resumable.Tries), len(plain.Tries))
+	}
+	for i := range plain.Tries {
+		if resumable.Tries[i].Seed != plain.Tries[i].Seed || resumable.Tries[i].Score != plain.Tries[i].Score {
+			t.Fatalf("try %d diverged", i)
+		}
+	}
+}
+
+func TestResumeSkipsCompletedTries(t *testing.T) {
+	ds := paperDS(t, 700)
+	cfg := resumeCfg()
+	spec := model.DefaultSpec(ds)
+	statePath := filepath.Join(t.TempDir(), "state.json")
+
+	// Run the full search once, writing state as it goes.
+	full, err := SearchWithCheckpointFile(ds, spec, cfg, nil, statePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-launching with a complete state must not run any engine work:
+	// verify via the charger, which only fires inside engine phases.
+	var charged float64
+	again, err := SearchWithCheckpointFile(ds, spec, cfg,
+		chargerFunc(func(u float64) { charged += u }), statePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if charged != 0 {
+		t.Fatalf("resume of a finished search re-ran %v ops", charged)
+	}
+	if again.Best.LogPost != full.Best.LogPost || len(again.Tries) != len(full.Tries) {
+		t.Fatal("re-launched search returned a different result")
+	}
+}
+
+func TestResumeAfterInterruption(t *testing.T) {
+	ds := paperDS(t, 700)
+	cfg := resumeCfg()
+	spec := model.DefaultSpec(ds)
+	dir := t.TempDir()
+	statePath := filepath.Join(dir, "state.json")
+
+	// Reference: uninterrupted run.
+	ref, err := Search(ds, spec, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Interrupt": run the checkpointed search, then truncate its state to
+	// the first 3 completed tries, simulating a kill mid-search.
+	if _, err := SearchWithCheckpointFile(ds, spec, cfg, nil, statePath); err != nil {
+		t.Fatal(err)
+	}
+	truncateState(t, statePath, 3)
+
+	// Resume: must redo only tries 4..6 and land on the reference result.
+	resumed, err := SearchWithCheckpointFile(ds, spec, cfg, nil, statePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Best.LogPost != ref.Best.LogPost {
+		t.Fatalf("resumed %v, reference %v", resumed.Best.LogPost, ref.Best.LogPost)
+	}
+	if len(resumed.Tries) != len(ref.Tries) {
+		t.Fatalf("tries %d vs %d", len(resumed.Tries), len(ref.Tries))
+	}
+	for i := range ref.Tries {
+		if resumed.Tries[i].Seed != ref.Tries[i].Seed {
+			t.Fatalf("try %d seed diverged after resume", i)
+		}
+	}
+}
+
+// truncateState rewrites the state file keeping only the first n tries and
+// recomputing best-so-far from them (as a mid-run snapshot would hold).
+func truncateState(t *testing.T, path string, n int) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip through the real struct to stay schema-correct.
+	var st searchStateV1
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Completed) < n {
+		t.Fatalf("state has only %d tries", len(st.Completed))
+	}
+	st.Completed = st.Completed[:n]
+	// Recompute the best among the kept tries; the embedded Best
+	// classification may now be "from the future", so only keep it if its
+	// try record survives the truncation.
+	best := TryResult{Score: -1e308}
+	for _, tr := range st.Completed {
+		if !tr.Duplicate && tr.Score > best.Score {
+			best = tr
+		}
+	}
+	if st.BestTry != best {
+		// The recorded best came from a truncated try: rebuilding it is
+		// exactly what a mid-run snapshot would never contain, so emulate
+		// the snapshot by keeping the best among kept tries. The stored
+		// Best JSON belongs to a kept try only if seeds match.
+		st.BestTry = best
+		// We cannot reconstruct the classification JSON for `best` here;
+		// drop it so the resume rediscovers it. (A real mid-run state file
+		// always has Best consistent with Completed; this truncation is
+		// harsher than reality, and the search must still recover.)
+		st.Best = nil
+		st.BestTry = TryResult{}
+	}
+	if err := writeSearchState(path, &st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResumeRejectsMismatchedConfig(t *testing.T) {
+	ds := paperDS(t, 300)
+	cfg := resumeCfg()
+	spec := model.DefaultSpec(ds)
+	statePath := filepath.Join(t.TempDir(), "state.json")
+	if _, err := SearchWithCheckpointFile(ds, spec, cfg, nil, statePath); err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.Seed++
+	if _, err := SearchWithCheckpointFile(ds, spec, other, nil, statePath); err == nil {
+		t.Fatal("mismatched config resumed")
+	}
+	other = cfg
+	other.StartJList = []int{3}
+	if _, err := SearchWithCheckpointFile(ds, spec, other, nil, statePath); err == nil {
+		t.Fatal("mismatched start list resumed")
+	}
+}
+
+func TestResumeRejectsCorruptState(t *testing.T) {
+	ds := paperDS(t, 100)
+	cfg := resumeCfg()
+	statePath := filepath.Join(t.TempDir(), "state.json")
+	if err := os.WriteFile(statePath, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SearchWithCheckpointFile(ds, model.DefaultSpec(ds), cfg, nil, statePath); err == nil {
+		t.Fatal("corrupt state accepted")
+	}
+	if _, err := SearchWithCheckpointFile(ds, model.DefaultSpec(ds), cfg, nil, ""); err == nil {
+		t.Fatal("empty state path accepted")
+	}
+}

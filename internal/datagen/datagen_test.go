@@ -1,0 +1,234 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func TestPaperDatasetShape(t *testing.T) {
+	ds, err := Paper(2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 2000 {
+		t.Fatalf("N=%d", ds.N())
+	}
+	if ds.NumAttrs() != 2 {
+		t.Fatalf("attrs=%d, want 2 real attributes as in the paper", ds.NumAttrs())
+	}
+	for k := 0; k < 2; k++ {
+		if ds.Attr(k).Type != dataset.Real {
+			t.Fatalf("attribute %d not real", k)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _, err := PaperMixture().Generate(500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := PaperMixture().Generate(500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different datasets")
+	}
+	c, _, err := PaperMixture().Generate(500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(c) {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestGenerateLabelProportions(t *testing.T) {
+	mix := PaperMixture()
+	_, labels, err := mix.Generate(50000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]float64, len(mix.Components))
+	for _, l := range labels {
+		counts[l]++
+	}
+	totalW := 0.0
+	for _, c := range mix.Components {
+		totalW += c.Weight
+	}
+	for j, c := range mix.Components {
+		got := counts[j] / 50000
+		want := c.Weight / totalW
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("component %d frequency %v, want %v", j, got, want)
+		}
+	}
+}
+
+func TestGenerateComponentMoments(t *testing.T) {
+	mix := PaperMixture()
+	ds, labels, err := mix.Generate(60000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moms := make([][]stats.Moments, len(mix.Components))
+	for j := range moms {
+		moms[j] = make([]stats.Moments, 2)
+	}
+	for i := 0; i < ds.N(); i++ {
+		for k := 0; k < 2; k++ {
+			moms[labels[i]][k].AddUnweighted(ds.Value(i, k))
+		}
+	}
+	for j, c := range mix.Components {
+		for k := 0; k < 2; k++ {
+			if math.Abs(moms[j][k].Mean()-c.Mean[k]) > 0.1 {
+				t.Fatalf("component %d attr %d mean %v, want %v", j, k, moms[j][k].Mean(), c.Mean[k])
+			}
+			if math.Abs(moms[j][k].StdDev()-c.Sigma[k]) > 0.1 {
+				t.Fatalf("component %d attr %d sigma %v, want %v", j, k, moms[j][k].StdDev(), c.Sigma[k])
+			}
+		}
+	}
+}
+
+func TestValidateRejectsBadMixtures(t *testing.T) {
+	base := PaperMixture()
+	cases := map[string]func(*GaussianMixture){
+		"no-attrs":      func(g *GaussianMixture) { g.AttrNames = nil },
+		"no-components": func(g *GaussianMixture) { g.Components = nil },
+		"dims":          func(g *GaussianMixture) { g.Components[0].Mean = []float64{1} },
+		"zero-weight":   func(g *GaussianMixture) { g.Components[0].Weight = 0 },
+		"zero-sigma":    func(g *GaussianMixture) { g.Components[0].Sigma[0] = 0 },
+	}
+	for name, mutate := range cases {
+		g := PaperMixture()
+		mutate(g)
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %q: expected validation error", name)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("base mixture invalid: %v", err)
+	}
+	if _, _, err := base.Generate(-1, 1); err == nil {
+		t.Error("negative n accepted")
+	}
+}
+
+func TestSatImageMixture(t *testing.T) {
+	ds, labels, err := SatImageMixture().Generate(1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumAttrs() != 4 {
+		t.Fatalf("satimage should have 4 bands, got %d", ds.NumAttrs())
+	}
+	if len(labels) != 1000 {
+		t.Fatalf("labels %d", len(labels))
+	}
+}
+
+func TestProteinMixtureMixedTypes(t *testing.T) {
+	spec := ProteinMixture()
+	ds, labels, err := spec.Generate(5000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumAttrs() != 4 {
+		t.Fatalf("attrs=%d", ds.NumAttrs())
+	}
+	if ds.Attr(3).Type != dataset.Discrete {
+		t.Fatal("last attribute should be discrete")
+	}
+	// Discrete values must be valid level indices.
+	card := ds.Attr(3).Cardinality()
+	for i := 0; i < ds.N(); i++ {
+		v := ds.Value(i, 3)
+		if int(v) < 0 || int(v) >= card {
+			t.Fatalf("row %d has invalid level %v", i, v)
+		}
+	}
+	// Class 0 should be helix-dominated.
+	helix := 0
+	n0 := 0
+	for i, l := range labels {
+		if l == 0 {
+			n0++
+			if int(ds.Value(i, 3)) == 0 {
+				helix++
+			}
+		}
+	}
+	if frac := float64(helix) / float64(n0); math.Abs(frac-0.75) > 0.05 {
+		t.Fatalf("class 0 helix fraction %v, want ~0.75", frac)
+	}
+}
+
+func TestMixedValidation(t *testing.T) {
+	mk := func() *MixedMixtureSpec { return ProteinMixture() }
+	cases := map[string]func(*MixedMixtureSpec){
+		"no-classes":  func(m *MixedMixtureSpec) { m.Classes = nil },
+		"zero-weight": func(m *MixedMixtureSpec) { m.Classes[0].Weight = 0 },
+		"bad-sigma":   func(m *MixedMixtureSpec) { m.Classes[0].Sigma[0] = -1 },
+		"real-dims":   func(m *MixedMixtureSpec) { m.Classes[0].Mean = nil },
+		"probs-dims":  func(m *MixedMixtureSpec) { m.Classes[0].LevelProbs = nil },
+		"level-count": func(m *MixedMixtureSpec) { m.Classes[0].LevelProbs[0] = []float64{1} },
+		"not-discrete": func(m *MixedMixtureSpec) {
+			m.Discrete[0] = dataset.Attribute{Name: "x2", Type: dataset.Real}
+		},
+	}
+	for name, mutate := range cases {
+		m := mk()
+		mutate(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %q: expected validation error", name)
+		}
+	}
+}
+
+func TestInjectMissing(t *testing.T) {
+	ds, err := Paper(5000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blanked, err := InjectMissing(ds, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := ds.N() * ds.NumAttrs()
+	frac := float64(blanked) / float64(total)
+	if math.Abs(frac-0.1) > 0.02 {
+		t.Fatalf("blanked fraction %v, want ~0.1", frac)
+	}
+	// Count actual missing cells.
+	missing := 0
+	for i := 0; i < ds.N(); i++ {
+		for k := 0; k < ds.NumAttrs(); k++ {
+			if dataset.IsMissing(ds.Value(i, k)) {
+				missing++
+			}
+		}
+	}
+	if missing != blanked {
+		t.Fatalf("reported %d blanked, found %d missing", blanked, missing)
+	}
+}
+
+func TestInjectMissingRateValidation(t *testing.T) {
+	ds, _ := Paper(10, 1)
+	if _, err := InjectMissing(ds, -0.1, 1); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := InjectMissing(ds, 1.0, 1); err == nil {
+		t.Error("rate 1.0 accepted")
+	}
+	if n, err := InjectMissing(ds, 0, 1); err != nil || n != 0 {
+		t.Errorf("rate 0 should blank nothing: n=%d err=%v", n, err)
+	}
+}

@@ -1,0 +1,127 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadCSV imports a comma-separated file with a header row, inferring the
+// schema: a column whose every non-missing value parses as a number becomes
+// a Real attribute; any other column becomes Discrete with its distinct
+// values as levels (in order of first appearance). Empty fields and the
+// tokens "?", "NA", "NaN" (case-insensitive) are missing values.
+//
+// This is the practical ingestion path for real datasets; AutoClass C's
+// own .db2 input format is comparable comma/space-separated text.
+func ReadCSV(r io.Reader, name string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: csv: %w", err)
+	}
+	if len(records) < 1 {
+		return nil, fmt.Errorf("dataset: csv has no header row")
+	}
+	header := records[0]
+	rows := records[1:]
+	ncol := len(header)
+	if ncol == 0 {
+		return nil, fmt.Errorf("dataset: csv header is empty")
+	}
+	// Pass 1: infer column types.
+	isReal := make([]bool, ncol)
+	for k := range isReal {
+		isReal[k] = true
+	}
+	anyKnown := make([]bool, ncol)
+	for ri, rec := range rows {
+		if len(rec) != ncol {
+			return nil, fmt.Errorf("dataset: csv row %d has %d fields, header has %d", ri+2, len(rec), ncol)
+		}
+		for k, tok := range rec {
+			if isCSVMissing(tok) {
+				continue
+			}
+			anyKnown[k] = true
+			if _, err := strconv.ParseFloat(strings.TrimSpace(tok), 64); err != nil {
+				isReal[k] = false
+			}
+		}
+	}
+	// Build the schema. Discrete levels in order of first appearance.
+	attrs := make([]Attribute, ncol)
+	levelIdx := make([]map[string]int, ncol)
+	for k := range attrs {
+		colName := strings.TrimSpace(header[k])
+		if colName == "" {
+			colName = fmt.Sprintf("col%d", k)
+		}
+		if isReal[k] && anyKnown[k] {
+			attrs[k] = Attribute{Name: colName, Type: Real}
+			continue
+		}
+		attrs[k] = Attribute{Name: colName, Type: Discrete}
+		levelIdx[k] = make(map[string]int)
+		for _, rec := range rows {
+			tok := strings.TrimSpace(rec[k])
+			if isCSVMissing(tok) {
+				continue
+			}
+			if _, ok := levelIdx[k][tok]; !ok {
+				levelIdx[k][tok] = len(attrs[k].Levels)
+				attrs[k].Levels = append(attrs[k].Levels, tok)
+			}
+		}
+		if len(attrs[k].Levels) < 2 {
+			// A constant or all-missing column cannot be modeled as a
+			// multinomial; pad a synthetic second level so the schema
+			// stays valid (its probability will be driven to the prior).
+			for len(attrs[k].Levels) < 2 {
+				filler := fmt.Sprintf("_level%d", len(attrs[k].Levels))
+				levelIdx[k][filler] = len(attrs[k].Levels)
+				attrs[k].Levels = append(attrs[k].Levels, filler)
+			}
+		}
+	}
+	ds, err := New(name, attrs)
+	if err != nil {
+		return nil, err
+	}
+	ds.Grow(len(rows))
+	row := make([]float64, ncol)
+	for ri, rec := range rows {
+		for k, tok := range rec {
+			tok = strings.TrimSpace(tok)
+			if isCSVMissing(tok) {
+				row[k] = Missing
+				continue
+			}
+			if attrs[k].Type == Real {
+				v, err := strconv.ParseFloat(tok, 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: csv row %d column %q: %v", ri+2, attrs[k].Name, err)
+				}
+				row[k] = v
+			} else {
+				row[k] = float64(levelIdx[k][tok])
+			}
+		}
+		if err := ds.AppendRow(row); err != nil {
+			return nil, fmt.Errorf("dataset: csv row %d: %w", ri+2, err)
+		}
+	}
+	return ds, nil
+}
+
+// isCSVMissing reports whether a CSV field encodes a missing value.
+func isCSVMissing(tok string) bool {
+	switch strings.ToLower(strings.TrimSpace(tok)) {
+	case "", "?", "na", "nan":
+		return true
+	}
+	return false
+}

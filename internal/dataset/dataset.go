@@ -1,0 +1,353 @@
+// Package dataset defines the tabular data representation shared by the
+// sequential and parallel AutoClass engines: typed attributes (real-valued
+// and discrete), row storage with missing-value support, global summary
+// statistics used to set the Bayesian priors, and partitioning of rows
+// across the ranks of a multicomputer.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// AttrType distinguishes the supported attribute kinds, mirroring the
+// AutoClass model-term split between real_location ("single normal") and
+// discrete_nominal ("single multinomial") attributes.
+type AttrType int
+
+const (
+	// Real is a continuous real-valued attribute.
+	Real AttrType = iota
+	// Discrete is a nominal attribute with a fixed set of levels.
+	Discrete
+)
+
+// String implements fmt.Stringer.
+func (t AttrType) String() string {
+	switch t {
+	case Real:
+		return "real"
+	case Discrete:
+		return "discrete"
+	default:
+		return fmt.Sprintf("AttrType(%d)", int(t))
+	}
+}
+
+// Attribute describes one column of a dataset.
+type Attribute struct {
+	// Name identifies the attribute in reports and file headers.
+	Name string
+	// Type selects the model term used for this attribute.
+	Type AttrType
+	// Levels names the categories of a Discrete attribute; its length is
+	// the attribute's cardinality. Empty for Real attributes.
+	Levels []string
+}
+
+// Cardinality returns the number of levels of a discrete attribute, or 0
+// for a real attribute.
+func (a *Attribute) Cardinality() int { return len(a.Levels) }
+
+// Validate checks the attribute definition for internal consistency.
+func (a *Attribute) Validate() error {
+	if a.Name == "" {
+		return errors.New("dataset: attribute with empty name")
+	}
+	switch a.Type {
+	case Real:
+		if len(a.Levels) != 0 {
+			return fmt.Errorf("dataset: real attribute %q must not define levels", a.Name)
+		}
+	case Discrete:
+		if len(a.Levels) < 2 {
+			return fmt.Errorf("dataset: discrete attribute %q needs at least 2 levels, has %d", a.Name, len(a.Levels))
+		}
+		seen := make(map[string]bool, len(a.Levels))
+		for _, l := range a.Levels {
+			if l == "" {
+				return fmt.Errorf("dataset: discrete attribute %q has an empty level name", a.Name)
+			}
+			if seen[l] {
+				return fmt.Errorf("dataset: discrete attribute %q has duplicate level %q", a.Name, l)
+			}
+			seen[l] = true
+		}
+	default:
+		return fmt.Errorf("dataset: attribute %q has unknown type %d", a.Name, int(a.Type))
+	}
+	return nil
+}
+
+// Missing is the in-memory encoding of an unknown value for any attribute
+// type. Discrete values are stored as level indices converted to float64.
+var Missing = math.NaN()
+
+// IsMissing reports whether v encodes a missing value.
+func IsMissing(v float64) bool { return math.IsNaN(v) }
+
+// Dataset is an immutable-by-convention table of instances. Rows are stored
+// contiguously (row-major) so that block partitions are cache-friendly
+// slices of the underlying array.
+type Dataset struct {
+	// Name labels the dataset in reports.
+	Name  string
+	attrs []Attribute
+	data  []float64 // row-major, len == n*len(attrs)
+	n     int
+}
+
+// New creates an empty dataset with the given schema. The attribute slice
+// is copied. It returns an error if the schema is invalid.
+func New(name string, attrs []Attribute) (*Dataset, error) {
+	if len(attrs) == 0 {
+		return nil, errors.New("dataset: no attributes")
+	}
+	names := make(map[string]bool, len(attrs))
+	for i := range attrs {
+		if err := attrs[i].Validate(); err != nil {
+			return nil, err
+		}
+		if names[attrs[i].Name] {
+			return nil, fmt.Errorf("dataset: duplicate attribute name %q", attrs[i].Name)
+		}
+		names[attrs[i].Name] = true
+	}
+	return &Dataset{Name: name, attrs: append([]Attribute(nil), attrs...)}, nil
+}
+
+// MustNew is New that panics on error, for tests and generators with
+// schemas known to be valid.
+func MustNew(name string, attrs []Attribute) *Dataset {
+	ds, err := New(name, attrs)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// N returns the number of instances.
+func (d *Dataset) N() int { return d.n }
+
+// NumAttrs returns the number of attributes.
+func (d *Dataset) NumAttrs() int { return len(d.attrs) }
+
+// Attr returns the k-th attribute definition.
+func (d *Dataset) Attr(k int) *Attribute { return &d.attrs[k] }
+
+// Attrs returns the schema. Callers must not modify it.
+func (d *Dataset) Attrs() []Attribute { return d.attrs }
+
+// Grow pre-allocates capacity for n additional rows.
+func (d *Dataset) Grow(n int) {
+	need := (d.n + n) * len(d.attrs)
+	if cap(d.data) < need {
+		bigger := make([]float64, len(d.data), need)
+		copy(bigger, d.data)
+		d.data = bigger
+	}
+}
+
+// AppendRow appends one instance. len(row) must equal NumAttrs; discrete
+// values must be valid level indices (or Missing).
+func (d *Dataset) AppendRow(row []float64) error {
+	if len(row) != len(d.attrs) {
+		return fmt.Errorf("dataset: row has %d values, schema has %d attributes", len(row), len(d.attrs))
+	}
+	for k, v := range row {
+		if IsMissing(v) {
+			continue
+		}
+		a := &d.attrs[k]
+		if a.Type == Discrete {
+			idx := int(v)
+			if float64(idx) != v || idx < 0 || idx >= len(a.Levels) {
+				return fmt.Errorf("dataset: row value %v is not a valid level index for discrete attribute %q", v, a.Name)
+			}
+		} else if math.IsInf(v, 0) {
+			return fmt.Errorf("dataset: infinite value for real attribute %q", a.Name)
+		}
+	}
+	d.data = append(d.data, row...)
+	d.n++
+	return nil
+}
+
+// Value returns the value of attribute k for instance i.
+func (d *Dataset) Value(i, k int) float64 {
+	return d.data[i*len(d.attrs)+k]
+}
+
+// Row returns instance i as a slice aliasing the underlying storage.
+// Callers must treat it as read-only.
+func (d *Dataset) Row(i int) []float64 {
+	w := len(d.attrs)
+	return d.data[i*w : (i+1)*w : (i+1)*w]
+}
+
+// View returns a zero-copy window over rows [start, start+count).
+func (d *Dataset) View(start, count int) (*View, error) {
+	if start < 0 || count < 0 || start+count > d.n {
+		return nil, fmt.Errorf("dataset: view [%d,%d) out of range 0..%d", start, start+count, d.n)
+	}
+	return &View{ds: d, start: start, count: count}, nil
+}
+
+// All returns a view over every row.
+func (d *Dataset) All() *View {
+	v, _ := d.View(0, d.n)
+	return v
+}
+
+// View is a contiguous, zero-copy window over a dataset's rows. The
+// parallel engine gives each rank a View of its local partition.
+type View struct {
+	ds    *Dataset
+	start int
+	count int
+}
+
+// N returns the number of rows in the view.
+func (v *View) N() int { return v.count }
+
+// Start returns the global index of the view's first row.
+func (v *View) Start() int { return v.start }
+
+// Dataset returns the backing dataset (schema access).
+func (v *View) Dataset() *Dataset { return v.ds }
+
+// Value returns attribute k of the view-local instance i.
+func (v *View) Value(i, k int) float64 { return v.ds.Value(v.start+i, k) }
+
+// Row returns the view-local instance i (read-only alias).
+func (v *View) Row(i int) []float64 { return v.ds.Row(v.start + i) }
+
+// Summary holds per-attribute global statistics of a dataset. AutoClass
+// uses these to construct data-dependent priors (the prior mean of a class
+// is pulled toward the global mean; sigma is floored relative to the global
+// spread) and to define the unknown-value likelihood.
+type Summary struct {
+	// N is the number of instances summarized.
+	N int
+	// Real[k] holds weighted moments of real attribute k over its known
+	// values (zero-valued for discrete attributes).
+	Real []stats.Moments
+	// LogReal[k] holds moments of log(x) over the known positive values of
+	// real attribute k — the statistics behind the log-normal model term.
+	LogReal []stats.Moments
+	// NonPositive[k] counts known values of real attribute k that are
+	// <= 0 and therefore outside a log-normal model's support.
+	NonPositive []int
+	// Min and Max bound the known values of real attribute k.
+	Min, Max []float64
+	// Counts[k][v] counts level v of discrete attribute k (nil for reals).
+	Counts [][]int
+	// MissingCount[k] counts missing values of attribute k.
+	MissingCount []int
+}
+
+// Summarize scans the dataset once and returns its Summary.
+func (d *Dataset) Summarize() *Summary {
+	s := &Summary{
+		N:            d.n,
+		Real:         make([]stats.Moments, len(d.attrs)),
+		LogReal:      make([]stats.Moments, len(d.attrs)),
+		NonPositive:  make([]int, len(d.attrs)),
+		Min:          make([]float64, len(d.attrs)),
+		Max:          make([]float64, len(d.attrs)),
+		Counts:       make([][]int, len(d.attrs)),
+		MissingCount: make([]int, len(d.attrs)),
+	}
+	for k := range d.attrs {
+		s.Min[k] = math.Inf(1)
+		s.Max[k] = math.Inf(-1)
+		if d.attrs[k].Type == Discrete {
+			s.Counts[k] = make([]int, d.attrs[k].Cardinality())
+		}
+	}
+	for i := 0; i < d.n; i++ {
+		row := d.Row(i)
+		for k, v := range row {
+			if IsMissing(v) {
+				s.MissingCount[k]++
+				continue
+			}
+			switch d.attrs[k].Type {
+			case Real:
+				s.Real[k].AddUnweighted(v)
+				if v > 0 {
+					s.LogReal[k].AddUnweighted(math.Log(v))
+				} else {
+					s.NonPositive[k]++
+				}
+				if v < s.Min[k] {
+					s.Min[k] = v
+				}
+				if v > s.Max[k] {
+					s.Max[k] = v
+				}
+			case Discrete:
+				s.Counts[k][int(v)]++
+			}
+		}
+	}
+	return s
+}
+
+// Clone returns a deep copy of the dataset.
+func (d *Dataset) Clone() *Dataset {
+	c := &Dataset{
+		Name:  d.Name,
+		attrs: append([]Attribute(nil), d.attrs...),
+		data:  append([]float64(nil), d.data...),
+		n:     d.n,
+	}
+	for i := range c.attrs {
+		c.attrs[i].Levels = append([]string(nil), d.attrs[i].Levels...)
+	}
+	return c
+}
+
+// Head returns a new dataset containing only the first n rows (or all rows
+// if n exceeds N). The schema is shared by copy.
+func (d *Dataset) Head(n int) *Dataset {
+	if n > d.n {
+		n = d.n
+	}
+	c := &Dataset{
+		Name:  d.Name,
+		attrs: append([]Attribute(nil), d.attrs...),
+		data:  append([]float64(nil), d.data[:n*len(d.attrs)]...),
+		n:     n,
+	}
+	return c
+}
+
+// Equal reports whether two datasets have identical schemas and values
+// (NaNs compare equal so that missing values match).
+func (d *Dataset) Equal(o *Dataset) bool {
+	if d.n != o.n || len(d.attrs) != len(o.attrs) {
+		return false
+	}
+	for k := range d.attrs {
+		a, b := &d.attrs[k], &o.attrs[k]
+		if a.Name != b.Name || a.Type != b.Type || len(a.Levels) != len(b.Levels) {
+			return false
+		}
+		for i := range a.Levels {
+			if a.Levels[i] != b.Levels[i] {
+				return false
+			}
+		}
+	}
+	for i, v := range d.data {
+		w := o.data[i]
+		if v != w && !(math.IsNaN(v) && math.IsNaN(w)) {
+			return false
+		}
+	}
+	return true
+}

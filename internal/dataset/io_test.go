@@ -1,0 +1,171 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleDataset(t *testing.T) *Dataset {
+	t.Helper()
+	ds := MustNew("sample", []Attribute{
+		{Name: "x", Type: Real},
+		{Name: "y", Type: Real},
+		{Name: "color", Type: Discrete, Levels: []string{"red", "green", "blue"}},
+	})
+	rows := [][]float64{
+		{1.5, -2.25, 0},
+		{Missing, 7, 2},
+		{3.125, Missing, Missing},
+		{0, 0, 1},
+	}
+	for _, r := range rows {
+		if err := ds.AppendRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ds
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	ds := sampleDataset(t)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Equal(got) {
+		t.Fatal("text round trip lost data")
+	}
+	if got.Name != "sample" {
+		t.Fatalf("name %q", got.Name)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	ds := sampleDataset(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Equal(got) {
+		t.Fatal("binary round trip lost data")
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"bad-magic":     "nonsense\n",
+		"no-separator":  "# pautoclass dataset v1\nreal x\n",
+		"bad-kind":      "# pautoclass dataset v1\ninteger x\n---\n",
+		"real-extra":    "# pautoclass dataset v1\nreal x y\n---\n",
+		"discrete-few":  "# pautoclass dataset v1\ndiscrete c a\n---\n",
+		"short-row":     "# pautoclass dataset v1\nreal x\nreal y\n---\n1.0\n",
+		"bad-level":     "# pautoclass dataset v1\ndiscrete c a b\n---\nz\n",
+		"bad-float":     "# pautoclass dataset v1\nreal x\n---\nfoo\n",
+		"no-attributes": "# pautoclass dataset v1\n---\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("case %q: expected error", name)
+		}
+	}
+}
+
+func TestReadTextSkipsCommentsAndBlanks(t *testing.T) {
+	in := `# pautoclass dataset v1
+# name: c
+# a comment
+real x
+
+---
+# data comment
+1.0
+
+2.0
+`
+	ds, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.N() != 2 || ds.Value(1, 0) != 2 {
+		t.Fatalf("got %d rows", ds.N())
+	}
+}
+
+func TestReadBinaryErrors(t *testing.T) {
+	// Truncations of a valid stream at every prefix length must error,
+	// never panic or succeed (except the full length).
+	ds := sampleDataset(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut += 7 {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d of %d accepted", cut, len(full))
+		}
+	}
+	// Corrupt magic.
+	bad := append([]byte(nil), full...)
+	bad[0] = 'X'
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Corrupt version.
+	bad = append([]byte(nil), full...)
+	bad[4] = 99
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	ds := sampleDataset(t)
+	dir := t.TempDir()
+	for _, name := range []string{"d.txt", "d.bin"} {
+		path := filepath.Join(dir, name)
+		if err := SaveFile(path, ds); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !ds.Equal(got) {
+			t.Fatalf("%s: round trip lost data", name)
+		}
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("loading a missing file should error")
+	}
+}
+
+func TestLargeRoundTrip(t *testing.T) {
+	ds := MustNew("big", []Attribute{{Name: "x", Type: Real}, {Name: "y", Type: Real}})
+	ds.Grow(5000)
+	for i := 0; i < 5000; i++ {
+		ds.AppendRow([]float64{float64(i) * 0.5, float64(-i)})
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Equal(got) {
+		t.Fatal("large binary round trip lost data")
+	}
+}

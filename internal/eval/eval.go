@@ -1,0 +1,172 @@
+// Package eval provides external clustering-quality measures for
+// validating discovered classifications against known (planted or expert)
+// labels: the contingency table, purity, the adjusted Rand index and
+// normalized mutual information. AutoClass itself never sees labels; these
+// metrics exist so the examples and the test suite can state "the planted
+// structure was recovered" quantitatively.
+package eval
+
+import (
+	"errors"
+	"math"
+)
+
+// Contingency is the label × cluster co-occurrence table.
+type Contingency struct {
+	// Counts[l][c] is the number of items with true label l assigned to
+	// cluster c.
+	Counts [][]int
+	// LabelTotals and ClusterTotals are the marginals; N the grand total.
+	LabelTotals   []int
+	ClusterTotals []int
+	N             int
+}
+
+// NewContingency tabulates labels against cluster assignments. The two
+// slices must have equal length; labels and clusters must be non-negative.
+func NewContingency(labels, clusters []int) (*Contingency, error) {
+	if len(labels) != len(clusters) {
+		return nil, errors.New("eval: labels and clusters length mismatch")
+	}
+	nl, nc := 0, 0
+	for i := range labels {
+		if labels[i] < 0 || clusters[i] < 0 {
+			return nil, errors.New("eval: negative label or cluster id")
+		}
+		if labels[i] >= nl {
+			nl = labels[i] + 1
+		}
+		if clusters[i] >= nc {
+			nc = clusters[i] + 1
+		}
+	}
+	ct := &Contingency{
+		Counts:        make([][]int, nl),
+		LabelTotals:   make([]int, nl),
+		ClusterTotals: make([]int, nc),
+		N:             len(labels),
+	}
+	for l := range ct.Counts {
+		ct.Counts[l] = make([]int, nc)
+	}
+	for i := range labels {
+		ct.Counts[labels[i]][clusters[i]]++
+		ct.LabelTotals[labels[i]]++
+		ct.ClusterTotals[clusters[i]]++
+	}
+	return ct, nil
+}
+
+// Purity returns the fraction of items whose cluster's dominant label is
+// their own label — the fraction correct under the best per-cluster
+// relabeling.
+func (ct *Contingency) Purity() float64 {
+	if ct.N == 0 {
+		return 0
+	}
+	correct := 0
+	for c := range ct.ClusterTotals {
+		best := 0
+		for l := range ct.Counts {
+			if ct.Counts[l][c] > best {
+				best = ct.Counts[l][c]
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(ct.N)
+}
+
+// choose2 returns C(n, 2) as a float64.
+func choose2(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return float64(n) * float64(n-1) / 2
+}
+
+// AdjustedRandIndex returns the Hubert–Arabie adjusted Rand index:
+// 1 for identical partitions (up to relabeling), ~0 for independent ones,
+// possibly negative for adversarial ones.
+func (ct *Contingency) AdjustedRandIndex() float64 {
+	sumCells := 0.0
+	for l := range ct.Counts {
+		for c := range ct.Counts[l] {
+			sumCells += choose2(ct.Counts[l][c])
+		}
+	}
+	sumLabels := 0.0
+	for _, t := range ct.LabelTotals {
+		sumLabels += choose2(t)
+	}
+	sumClusters := 0.0
+	for _, t := range ct.ClusterTotals {
+		sumClusters += choose2(t)
+	}
+	total := choose2(ct.N)
+	if total == 0 {
+		return 0
+	}
+	expected := sumLabels * sumClusters / total
+	maxIdx := (sumLabels + sumClusters) / 2
+	if maxIdx == expected {
+		// Degenerate partitions (e.g. everything in one cluster on both
+		// sides): identical by convention.
+		return 1
+	}
+	return (sumCells - expected) / (maxIdx - expected)
+}
+
+// MutualInformation returns I(labels; clusters) in nats.
+func (ct *Contingency) MutualInformation() float64 {
+	if ct.N == 0 {
+		return 0
+	}
+	n := float64(ct.N)
+	mi := 0.0
+	for l := range ct.Counts {
+		for c := range ct.Counts[l] {
+			nij := float64(ct.Counts[l][c])
+			if nij == 0 {
+				continue
+			}
+			mi += nij / n * math.Log(nij*n/(float64(ct.LabelTotals[l])*float64(ct.ClusterTotals[c])))
+		}
+	}
+	if mi < 0 {
+		mi = 0 // rounding guard
+	}
+	return mi
+}
+
+// entropyOf returns the Shannon entropy (nats) of a marginal.
+func entropyOf(totals []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, t := range totals {
+		if t == 0 {
+			continue
+		}
+		p := float64(t) / float64(n)
+		h -= p * math.Log(p)
+	}
+	return h
+}
+
+// NormalizedMutualInformation returns NMI with arithmetic-mean
+// normalization: 2·I / (H(labels) + H(clusters)), in [0, 1]. Degenerate
+// single-group partitions on both sides score 1 by convention.
+func (ct *Contingency) NormalizedMutualInformation() float64 {
+	hl := entropyOf(ct.LabelTotals, ct.N)
+	hc := entropyOf(ct.ClusterTotals, ct.N)
+	if hl+hc == 0 {
+		return 1
+	}
+	nmi := 2 * ct.MutualInformation() / (hl + hc)
+	if nmi > 1 {
+		nmi = 1 // rounding guard
+	}
+	return nmi
+}

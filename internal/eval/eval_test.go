@@ -1,0 +1,183 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func mustCT(t *testing.T, labels, clusters []int) *Contingency {
+	t.Helper()
+	ct, err := NewContingency(labels, clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ct
+}
+
+func TestContingencyValidation(t *testing.T) {
+	if _, err := NewContingency([]int{0, 1}, []int{0}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewContingency([]int{-1}, []int{0}); err == nil {
+		t.Error("negative label accepted")
+	}
+	if _, err := NewContingency([]int{0}, []int{-2}); err == nil {
+		t.Error("negative cluster accepted")
+	}
+	ct := mustCT(t, nil, nil)
+	if ct.N != 0 || ct.Purity() != 0 || ct.AdjustedRandIndex() != 0 {
+		t.Error("empty contingency should be all zeros")
+	}
+}
+
+func TestContingencyCounts(t *testing.T) {
+	labels := []int{0, 0, 1, 1, 2}
+	clusters := []int{1, 1, 0, 0, 0}
+	ct := mustCT(t, labels, clusters)
+	if ct.N != 5 {
+		t.Fatalf("N=%d", ct.N)
+	}
+	if ct.Counts[0][1] != 2 || ct.Counts[1][0] != 2 || ct.Counts[2][0] != 1 {
+		t.Fatalf("counts %v", ct.Counts)
+	}
+	if ct.LabelTotals[0] != 2 || ct.ClusterTotals[0] != 3 {
+		t.Fatalf("marginals %v %v", ct.LabelTotals, ct.ClusterTotals)
+	}
+}
+
+func TestPerfectClustering(t *testing.T) {
+	labels := []int{0, 0, 1, 1, 2, 2}
+	// Same partition under a relabeling.
+	clusters := []int{2, 2, 0, 0, 1, 1}
+	ct := mustCT(t, labels, clusters)
+	if p := ct.Purity(); p != 1 {
+		t.Fatalf("purity %v", p)
+	}
+	if ari := ct.AdjustedRandIndex(); math.Abs(ari-1) > 1e-12 {
+		t.Fatalf("ARI %v", ari)
+	}
+	if nmi := ct.NormalizedMutualInformation(); math.Abs(nmi-1) > 1e-12 {
+		t.Fatalf("NMI %v", nmi)
+	}
+}
+
+func TestIndependentClusteringScoresNearZero(t *testing.T) {
+	r := rng.New(7)
+	const n = 20000
+	labels := make([]int, n)
+	clusters := make([]int, n)
+	for i := 0; i < n; i++ {
+		labels[i] = r.Intn(4)
+		clusters[i] = r.Intn(4) // independent of the label
+	}
+	ct := mustCT(t, labels, clusters)
+	if ari := ct.AdjustedRandIndex(); math.Abs(ari) > 0.01 {
+		t.Fatalf("ARI of independent partitions %v", ari)
+	}
+	if nmi := ct.NormalizedMutualInformation(); nmi > 0.01 {
+		t.Fatalf("NMI of independent partitions %v", nmi)
+	}
+	// Purity of 4 balanced random clusters vs 4 balanced labels ~ 0.25-0.3.
+	if p := ct.Purity(); p < 0.2 || p > 0.4 {
+		t.Fatalf("purity %v", p)
+	}
+}
+
+func TestDegenerateSingleCluster(t *testing.T) {
+	labels := []int{0, 0, 0, 0}
+	clusters := []int{0, 0, 0, 0}
+	ct := mustCT(t, labels, clusters)
+	if ct.AdjustedRandIndex() != 1 {
+		t.Fatalf("degenerate identical partitions should score 1, got %v", ct.AdjustedRandIndex())
+	}
+	if ct.NormalizedMutualInformation() != 1 {
+		t.Fatalf("degenerate NMI %v", ct.NormalizedMutualInformation())
+	}
+}
+
+func TestSplitClusterReducesARI(t *testing.T) {
+	labels := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	perfect := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	split := []int{0, 0, 2, 2, 1, 1, 1, 1} // label 0 split into two clusters
+	ariPerfect := mustCT(t, labels, perfect).AdjustedRandIndex()
+	ariSplit := mustCT(t, labels, split).AdjustedRandIndex()
+	if ariSplit >= ariPerfect {
+		t.Fatalf("split %v should score below perfect %v", ariSplit, ariPerfect)
+	}
+	// Splitting keeps purity at 1 (each cluster still pure).
+	if p := mustCT(t, labels, split).Purity(); p != 1 {
+		t.Fatalf("split purity %v", p)
+	}
+}
+
+func TestMutualInformationKnownValue(t *testing.T) {
+	// Two balanced binary partitions, identical: I = H = log 2.
+	labels := []int{0, 0, 1, 1}
+	ct := mustCT(t, labels, labels)
+	if mi := ct.MutualInformation(); math.Abs(mi-math.Log(2)) > 1e-12 {
+		t.Fatalf("MI %v, want log2 = %v", mi, math.Log(2))
+	}
+}
+
+// Property: metrics are invariant under cluster relabeling.
+func TestQuickRelabelInvariance(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := r.Intn(200) + 10
+		k := r.Intn(5) + 1
+		labels := make([]int, n)
+		clusters := make([]int, n)
+		for i := 0; i < n; i++ {
+			labels[i] = r.Intn(k)
+			clusters[i] = r.Intn(k)
+		}
+		perm := r.Perm(k)
+		relabeled := make([]int, n)
+		for i := range clusters {
+			relabeled[i] = perm[clusters[i]]
+		}
+		a, err := NewContingency(labels, clusters)
+		if err != nil {
+			return false
+		}
+		b, err := NewContingency(labels, relabeled)
+		if err != nil {
+			return false
+		}
+		const tol = 1e-9
+		return math.Abs(a.Purity()-b.Purity()) < tol &&
+			math.Abs(a.AdjustedRandIndex()-b.AdjustedRandIndex()) < tol &&
+			math.Abs(a.NormalizedMutualInformation()-b.NormalizedMutualInformation()) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ARI and NMI are bounded, purity in [max-label-share, 1].
+func TestQuickMetricBounds(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := r.Intn(300) + 5
+		labels := make([]int, n)
+		clusters := make([]int, n)
+		for i := 0; i < n; i++ {
+			labels[i] = r.Intn(4)
+			clusters[i] = r.Intn(6)
+		}
+		ct, err := NewContingency(labels, clusters)
+		if err != nil {
+			return false
+		}
+		p := ct.Purity()
+		nmi := ct.NormalizedMutualInformation()
+		ari := ct.AdjustedRandIndex()
+		return p >= 0 && p <= 1 && nmi >= 0 && nmi <= 1 && ari <= 1 && ari >= -1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

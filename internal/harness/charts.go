@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/plot"
+)
+
+// The paper presents Figs. 6–8 as line charts; these methods render the
+// measured results in the same visual form (ASCII), complementing the
+// tables.
+
+// SpeedupChart renders the Fig. 7 speedup curves with the linear reference.
+func (r *Fig6Result) SpeedupChart() (string, error) {
+	c := &plot.Chart{
+		Title:  "Fig 7 — speedup of P-AutoClass",
+		XLabel: "processors",
+		YLabel: "T(1)/T(P)",
+		X:      intsToFloats(r.Procs),
+	}
+	for si, n := range r.Sizes {
+		ys := make([]float64, len(r.Procs))
+		for pi := range r.Procs {
+			ys[pi] = r.Speedup(si, pi)
+		}
+		c.Series = append(c.Series, plot.Series{Label: fmt.Sprintf("%d tuples", n), Y: ys})
+	}
+	linear := make([]float64, len(r.Procs))
+	for pi, p := range r.Procs {
+		linear[pi] = float64(p) / float64(r.Procs[0])
+	}
+	c.Series = append(c.Series, plot.Series{Label: "linear", Y: linear})
+	return c.Render()
+}
+
+// ElapsedChart renders the Fig. 6 elapsed-time curves (seconds).
+func (r *Fig6Result) ElapsedChart() (string, error) {
+	c := &plot.Chart{
+		Title:  "Fig 6 — average elapsed times of P-AutoClass [s]",
+		XLabel: "processors",
+		YLabel: "seconds",
+		X:      intsToFloats(r.Procs),
+	}
+	for si, n := range r.Sizes {
+		c.Series = append(c.Series, plot.Series{
+			Label: fmt.Sprintf("%d tuples", n),
+			Y:     append([]float64(nil), r.Seconds[si]...),
+		})
+	}
+	return c.Render()
+}
+
+// Chart renders the Fig. 8 scaleup curves.
+func (r *Fig8Result) Chart() (string, error) {
+	c := &plot.Chart{
+		Title:  "Fig 8 — time per base_cycle iteration [s], fixed tuples/processor",
+		XLabel: "processors",
+		YLabel: "s/cycle",
+		X:      intsToFloats(r.Procs),
+	}
+	for ci, j := range r.Clusters {
+		c.Series = append(c.Series, plot.Series{
+			Label: fmt.Sprintf("%d clusters", j),
+			Y:     append([]float64(nil), r.SecondsPerCycle[ci]...),
+		})
+	}
+	return c.Render()
+}
+
+// Chart renders the portability speedup curves per platform.
+func (r *PortabilityResult) Chart() (string, error) {
+	c := &plot.Chart{
+		Title:  "Portability — speedup by platform",
+		XLabel: "processors",
+		YLabel: "T(1)/T(P)",
+		X:      intsToFloats(r.Procs),
+	}
+	for mi, name := range r.Machines {
+		ys := make([]float64, len(r.Procs))
+		for pi := range r.Procs {
+			ys[pi] = r.Speedup(mi, pi)
+		}
+		c.Series = append(c.Series, plot.Series{Label: name, Y: ys})
+	}
+	return c.Render()
+}
+
+func intsToFloats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = float64(v)
+	}
+	return out
+}

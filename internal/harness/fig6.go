@@ -1,0 +1,168 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/simnet"
+)
+
+// Fig6Config configures the elapsed-time experiment of the paper's Fig. 6
+// (and, derived from it, the speedup curves of Fig. 7).
+type Fig6Config struct {
+	Opts Options
+	// Sizes are the dataset sizes (tuples); the paper sweeps partitions of
+	// its synthetic dataset from 5000 tuples upward.
+	Sizes []int
+	// Procs are the processor counts; the paper's Meiko CS-2 had up to 10.
+	Procs []int
+}
+
+// DefaultFig6Config returns the configuration from DESIGN.md's experiment
+// index: sizes 5k–100k, P = 1..10.
+func DefaultFig6Config() Fig6Config {
+	return Fig6Config{
+		Opts:  DefaultOptions(),
+		Sizes: []int{5000, 10000, 20000, 40000, 60000, 80000, 100000},
+		Procs: []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+	}
+}
+
+// Fig6Result holds the mean virtual elapsed seconds per (size, P) cell.
+type Fig6Result struct {
+	Sizes []int
+	Procs []int
+	// Seconds[si][pi] is the mean elapsed time of size Sizes[si] on
+	// Procs[pi] processors.
+	Seconds [][]float64
+}
+
+// RunFig6 executes the sweep.
+func RunFig6(cfg Fig6Config) (*Fig6Result, error) {
+	if err := cfg.Opts.validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Sizes) == 0 || len(cfg.Procs) == 0 {
+		return nil, fmt.Errorf("harness: fig6 needs sizes and procs")
+	}
+	res := &Fig6Result{Sizes: cfg.Sizes, Procs: cfg.Procs}
+	for _, n := range cfg.Sizes {
+		ds, err := paperDataset(n, cfg.Opts.DataSeed)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, len(cfg.Procs))
+		for pi, p := range cfg.Procs {
+			mean, err := meanElapsedParallel(ds, p, cfg.Opts)
+			if err != nil {
+				return nil, fmt.Errorf("harness: fig6 n=%d p=%d: %w", n, p, err)
+			}
+			row[pi] = mean
+		}
+		res.Seconds = append(res.Seconds, row)
+	}
+	return res, nil
+}
+
+// Speedup returns T(P_min)/T(P) for one size row, the paper's speedup
+// definition with P_min = the first (smallest) configured processor count.
+func (r *Fig6Result) Speedup(si, pi int) float64 {
+	base := r.Seconds[si][0]
+	if r.Seconds[si][pi] == 0 {
+		return 0
+	}
+	return base / r.Seconds[si][pi]
+}
+
+// OptimalProcs returns the processor count with the lowest elapsed time for
+// one size — where the paper observes "the optimal number of processors for
+// the given problem".
+func (r *Fig6Result) OptimalProcs(si int) int {
+	best := 0
+	for pi := range r.Procs {
+		if r.Seconds[si][pi] < r.Seconds[si][best] {
+			best = pi
+		}
+	}
+	return r.Procs[best]
+}
+
+// Table renders the Fig. 6 table: average elapsed times (h.mm.ss) per
+// dataset size and processor count.
+func (r *Fig6Result) Table() string {
+	headers := []string{"tuples \\ procs"}
+	for _, p := range r.Procs {
+		headers = append(headers, fmt.Sprintf("%d", p))
+	}
+	var rows [][]string
+	for si, n := range r.Sizes {
+		row := []string{fmt.Sprintf("%d", n)}
+		for pi := range r.Procs {
+			row = append(row, simnet.FormatHMS(r.Seconds[si][pi]))
+		}
+		rows = append(rows, row)
+	}
+	return "Fig 6 — average elapsed times of P-AutoClass [h.mm.ss]\n" +
+		formatTable(headers, rows)
+}
+
+// SpeedupTable renders the Fig. 7 table: speedup T(1)/T(P) per size, with
+// the linear reference row.
+func (r *Fig6Result) SpeedupTable() string {
+	headers := []string{"tuples \\ procs"}
+	for _, p := range r.Procs {
+		headers = append(headers, fmt.Sprintf("%d", p))
+	}
+	var rows [][]string
+	for si, n := range r.Sizes {
+		row := []string{fmt.Sprintf("%d", n)}
+		for pi := range r.Procs {
+			row = append(row, fmt.Sprintf("%.2f", r.Speedup(si, pi)))
+		}
+		rows = append(rows, row)
+	}
+	linear := []string{"linear"}
+	for _, p := range r.Procs {
+		linear = append(linear, fmt.Sprintf("%.2f", float64(p)/float64(r.Procs[0])))
+	}
+	rows = append(rows, linear)
+	return "Fig 7 — speedup of P-AutoClass [T(1)/T(P)]\n" +
+		formatTable(headers, rows)
+}
+
+// CheckShape verifies the qualitative claims the paper draws from Figs. 6–7
+// and returns a list of violations (empty = all shapes hold):
+//
+//  1. elapsed time decreases substantially from P=1 to the optimum for
+//     every size;
+//  2. the time gain grows with dataset size;
+//  3. the largest size scales to the maximum processor count;
+//  4. small sizes stop scaling before large ones (smaller optimal P).
+func (r *Fig6Result) CheckShape() []string {
+	var bad []string
+	last := len(r.Procs) - 1
+	for si, n := range r.Sizes {
+		if opt := r.OptimalProcs(si); opt > r.Procs[0] {
+			continue
+		}
+		bad = append(bad, fmt.Sprintf("size %d: no parallel benefit at all", n))
+	}
+	if len(r.Sizes) >= 2 {
+		first, lastSize := 0, len(r.Sizes)-1
+		gainSmall := r.Seconds[first][0] - r.Seconds[first][last]
+		gainLarge := r.Seconds[lastSize][0] - r.Seconds[lastSize][last]
+		if gainLarge <= gainSmall {
+			bad = append(bad, fmt.Sprintf("time gain does not grow with size: %v vs %v", gainSmall, gainLarge))
+		}
+		// Largest dataset should be fastest at max P (scales to 10).
+		if r.OptimalProcs(lastSize) != r.Procs[last] {
+			bad = append(bad, fmt.Sprintf("largest size optimal at P=%d, not max P=%d",
+				r.OptimalProcs(lastSize), r.Procs[last]))
+		}
+		// Speedup at max P must increase with dataset size.
+		if r.Speedup(first, last) >= r.Speedup(lastSize, last) {
+			bad = append(bad, fmt.Sprintf("speedup at max P not increasing with size: %.2f vs %.2f",
+				r.Speedup(first, last), r.Speedup(lastSize, last)))
+		}
+	}
+	return bad
+}

@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/simnet"
+)
+
+// PortabilityConfig configures the portability study behind the paper's
+// §3.1 claim that "P-AutoClass is portable practically on every parallel
+// machine from supercomputers to PC clusters": the same classification on
+// the Meiko CS-2, a switched-Ethernet PC cluster, and a shared-hub PC
+// cluster, showing where the speedup curves bend as the interconnect
+// degrades.
+type PortabilityConfig struct {
+	Opts Options
+	// N is the dataset size.
+	N int
+	// Procs are the processor counts.
+	Procs []int
+	// Machines are the platforms (default: CS-2, switched PCs, hub PCs).
+	Machines []simnet.Machine
+}
+
+// DefaultPortabilityConfig sweeps 40K tuples over 1..10 processors on the
+// three platform models.
+func DefaultPortabilityConfig() PortabilityConfig {
+	return PortabilityConfig{
+		Opts:  DefaultOptions(),
+		N:     40000,
+		Procs: []int{1, 2, 4, 6, 8, 10},
+		Machines: []simnet.Machine{
+			simnet.MeikoCS2(),
+			simnet.PCCluster(),
+			simnet.EthernetHubCluster(),
+		},
+	}
+}
+
+// PortabilityResult holds elapsed seconds and speedups per machine and P.
+type PortabilityResult struct {
+	Procs    []int
+	Machines []string
+	// Seconds[mi][pi] is the mean elapsed time.
+	Seconds [][]float64
+}
+
+// RunPortability executes the sweep.
+func RunPortability(cfg PortabilityConfig) (*PortabilityResult, error) {
+	if err := cfg.Opts.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.N < 1 || len(cfg.Procs) == 0 || len(cfg.Machines) == 0 {
+		return nil, fmt.Errorf("harness: invalid portability config")
+	}
+	ds, err := paperDataset(cfg.N, cfg.Opts.DataSeed)
+	if err != nil {
+		return nil, err
+	}
+	res := &PortabilityResult{Procs: cfg.Procs}
+	for _, m := range cfg.Machines {
+		res.Machines = append(res.Machines, m.Name)
+		opts := cfg.Opts
+		opts.Machine = m
+		row := make([]float64, len(cfg.Procs))
+		for pi, p := range cfg.Procs {
+			mean, err := meanElapsedParallel(ds, p, opts)
+			if err != nil {
+				return nil, fmt.Errorf("harness: portability %q p=%d: %w", m.Name, p, err)
+			}
+			row[pi] = mean
+		}
+		res.Seconds = append(res.Seconds, row)
+	}
+	return res, nil
+}
+
+// Speedup returns T(P_min)/T(P) for machine mi.
+func (r *PortabilityResult) Speedup(mi, pi int) float64 {
+	if r.Seconds[mi][pi] == 0 {
+		return 0
+	}
+	return r.Seconds[mi][0] / r.Seconds[mi][pi]
+}
+
+// Table renders elapsed times and speedups per machine.
+func (r *PortabilityResult) Table() string {
+	headers := []string{"machine \\ procs"}
+	for _, p := range r.Procs {
+		headers = append(headers, fmt.Sprintf("%d", p))
+	}
+	var rows [][]string
+	for mi, name := range r.Machines {
+		row := []string{name}
+		for pi := range r.Procs {
+			row = append(row, fmt.Sprintf("%.1f", r.Seconds[mi][pi]))
+		}
+		rows = append(rows, row)
+		sp := []string{"  speedup"}
+		for pi := range r.Procs {
+			sp = append(sp, fmt.Sprintf("%.2f", r.Speedup(mi, pi)))
+		}
+		rows = append(rows, sp)
+	}
+	return "Portability — elapsed time [s] and speedup by platform\n" +
+		formatTable(headers, rows)
+}
+
+// CheckShape verifies that interconnect quality orders the speedups: at the
+// largest P, the CS-2 ≥ switched PCs ≥ hub PCs, and every platform still
+// beats its own sequential time at some P.
+func (r *PortabilityResult) CheckShape() []string {
+	var bad []string
+	last := len(r.Procs) - 1
+	for mi := 0; mi+1 < len(r.Machines); mi++ {
+		if r.Speedup(mi, last) < r.Speedup(mi+1, last) {
+			bad = append(bad, fmt.Sprintf("%q speedup %.2f at max P below %q's %.2f — interconnect order violated",
+				r.Machines[mi], r.Speedup(mi, last), r.Machines[mi+1], r.Speedup(mi+1, last)))
+		}
+	}
+	for mi, name := range r.Machines {
+		best := 0.0
+		for pi := range r.Procs {
+			if s := r.Speedup(mi, pi); s > best {
+				best = s
+			}
+		}
+		if best <= 1.05 {
+			bad = append(bad, fmt.Sprintf("%q never gains from parallelism (best speedup %.2f)", name, best))
+		}
+	}
+	return bad
+}

@@ -1,0 +1,374 @@
+// Package model implements the AutoClass class-model terms: the
+// per-(class, attribute-block) probability distributions whose parameters
+// the base_cycle re-estimates. Two terms mirror AutoClass C's standard
+// models — single_normal_cn for real attributes and single_multinomial for
+// discrete attributes — and multi_normal_cn (a full-covariance Gaussian
+// over a block of real attributes) is provided as the correlated-attribute
+// extension.
+//
+// A Term owns three responsibilities, matching the three phases of the
+// engine's cycle:
+//
+//   - LogProb: the term's contribution to log L_ij in update_wts;
+//   - AccumulateStats/StatsSize: weighted sufficient statistics gathered in
+//     update_parameters (this is exactly the vector P-AutoClass Allreduces
+//     across ranks);
+//   - Update: the MAP re-estimation from globally reduced statistics.
+//
+// Missing values follow the missing-at-random convention: they contribute
+// zero to log L_ij and are excluded from the statistics. (AutoClass C
+// models "unknown" as an explicit extra outcome; the MAR convention keeps
+// the likelihood comparable across attributes and is the common modern
+// choice. The substitution is documented in DESIGN.md.)
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Term is one class's model for a block of attributes.
+type Term interface {
+	// Kind returns the term's kind.
+	Kind() TermKind
+	// Attrs returns the dataset columns this term covers.
+	Attrs() []int
+	// LogProb returns the term's log-likelihood contribution for an
+	// instance row (full row; the term reads its own columns). Missing
+	// values contribute zero.
+	LogProb(row []float64) float64
+	// StatsSize returns the length of the term's sufficient-statistics
+	// vector.
+	StatsSize() int
+	// AccumulateStats folds the instance row with weight w into stats,
+	// which has length StatsSize().
+	AccumulateStats(row []float64, w float64, stats []float64)
+	// Update re-estimates the parameters from globally reduced statistics.
+	Update(stats []float64)
+	// LogPrior returns the log prior density of the current parameters.
+	LogPrior() float64
+	// NumParams returns the number of free parameters, used by the
+	// penalized marginal-likelihood approximation.
+	NumParams() int
+	// Params serializes the current parameters.
+	Params() []float64
+	// SetParams restores parameters serialized by Params.
+	SetParams(p []float64) error
+	// Clone returns an independent copy sharing the immutable priors.
+	Clone() Term
+	// Describe returns a one-line human-readable parameter summary.
+	Describe(ds *dataset.Dataset) string
+	// KLTo returns the Kullback–Leibler divergence KL(this ‖ other) in
+	// nats. Both terms must have the same kind and attribute block; it
+	// returns an error otherwise. Used by the report's class-separation
+	// diagnostics.
+	KLTo(other Term) (float64, error)
+}
+
+// TermKind identifies a term implementation.
+type TermKind int
+
+const (
+	// SingleNormal models one real attribute as a Gaussian
+	// (AutoClass single_normal_cn).
+	SingleNormal TermKind = iota
+	// SingleMultinomial models one discrete attribute as a categorical
+	// distribution (AutoClass single_multinomial).
+	SingleMultinomial
+	// MultiNormal models a block of real attributes as a full-covariance
+	// Gaussian (AutoClass multi_normal_cn).
+	MultiNormal
+	// LogNormal models one strictly positive real attribute as a
+	// log-normal distribution (AutoClass single_normal_ln) — the preferred
+	// model for scale-like measurements.
+	LogNormal
+)
+
+// String implements fmt.Stringer.
+func (k TermKind) String() string {
+	switch k {
+	case SingleNormal:
+		return "single_normal_cn"
+	case SingleMultinomial:
+		return "single_multinomial"
+	case MultiNormal:
+		return "multi_normal_cn"
+	case LogNormal:
+		return "single_normal_ln"
+	default:
+		return fmt.Sprintf("TermKind(%d)", int(k))
+	}
+}
+
+// BlockSpec assigns a term kind to a block of attribute columns.
+type BlockSpec struct {
+	Kind  TermKind
+	Attrs []int
+}
+
+// Spec is a complete class-model specification: a partition of the
+// dataset's attributes into term blocks. It corresponds to AutoClass's
+// model file (the discrete search dimension T of the paper's §2).
+type Spec struct {
+	Blocks []BlockSpec
+}
+
+// DefaultSpec models every real attribute with SingleNormal and every
+// discrete attribute with SingleMultinomial — AutoClass's standard
+// independent-attribute model.
+func DefaultSpec(ds *dataset.Dataset) Spec {
+	var s Spec
+	for k := 0; k < ds.NumAttrs(); k++ {
+		switch ds.Attr(k).Type {
+		case dataset.Real:
+			s.Blocks = append(s.Blocks, BlockSpec{Kind: SingleNormal, Attrs: []int{k}})
+		case dataset.Discrete:
+			s.Blocks = append(s.Blocks, BlockSpec{Kind: SingleMultinomial, Attrs: []int{k}})
+		}
+	}
+	return s
+}
+
+// CorrelatedSpec models all real attributes jointly with one MultiNormal
+// block (discrete attributes stay SingleMultinomial). It is the
+// correlated-attribute model variant.
+func CorrelatedSpec(ds *dataset.Dataset) Spec {
+	var s Spec
+	var reals []int
+	for k := 0; k < ds.NumAttrs(); k++ {
+		switch ds.Attr(k).Type {
+		case dataset.Real:
+			reals = append(reals, k)
+		case dataset.Discrete:
+			s.Blocks = append(s.Blocks, BlockSpec{Kind: SingleMultinomial, Attrs: []int{k}})
+		}
+	}
+	if len(reals) == 1 {
+		s.Blocks = append(s.Blocks, BlockSpec{Kind: SingleNormal, Attrs: reals})
+	} else if len(reals) > 1 {
+		s.Blocks = append(s.Blocks, BlockSpec{Kind: MultiNormal, Attrs: reals})
+	}
+	return s
+}
+
+// Validate checks that the spec partitions the dataset's attributes into
+// type-compatible blocks: every column covered exactly once, reals under
+// normal terms, discretes under multinomial terms.
+func (s Spec) Validate(ds *dataset.Dataset) error {
+	if len(s.Blocks) == 0 {
+		return errors.New("model: spec has no blocks")
+	}
+	covered := make([]bool, ds.NumAttrs())
+	for bi, b := range s.Blocks {
+		if len(b.Attrs) == 0 {
+			return fmt.Errorf("model: block %d covers no attributes", bi)
+		}
+		switch b.Kind {
+		case SingleNormal, SingleMultinomial, LogNormal:
+			if len(b.Attrs) != 1 {
+				return fmt.Errorf("model: block %d: %v takes exactly one attribute", bi, b.Kind)
+			}
+		case MultiNormal:
+			if len(b.Attrs) < 2 {
+				return fmt.Errorf("model: block %d: multi_normal_cn needs at least two attributes", bi)
+			}
+		default:
+			return fmt.Errorf("model: block %d: unknown kind %d", bi, int(b.Kind))
+		}
+		for _, k := range b.Attrs {
+			if k < 0 || k >= ds.NumAttrs() {
+				return fmt.Errorf("model: block %d references attribute %d of %d", bi, k, ds.NumAttrs())
+			}
+			if covered[k] {
+				return fmt.Errorf("model: attribute %d covered twice", k)
+			}
+			covered[k] = true
+			at := ds.Attr(k).Type
+			switch b.Kind {
+			case SingleNormal, MultiNormal, LogNormal:
+				if at != dataset.Real {
+					return fmt.Errorf("model: block %d: %v over non-real attribute %q", bi, b.Kind, ds.Attr(k).Name)
+				}
+			case SingleMultinomial:
+				if at != dataset.Discrete {
+					return fmt.Errorf("model: block %d: multinomial over non-discrete attribute %q", bi, ds.Attr(k).Name)
+				}
+			}
+		}
+	}
+	for k, ok := range covered {
+		if !ok {
+			return fmt.Errorf("model: attribute %d (%q) not covered by any block", k, ds.Attr(k).Name)
+		}
+	}
+	return nil
+}
+
+// Priors holds the data-derived prior hyperparameters for every attribute,
+// built once per dataset from its global Summary. AutoClass's priors are
+// data-dependent in the same way: class means are pulled toward the global
+// mean and class sigmas are floored relative to the global spread.
+type Priors struct {
+	// N is the dataset size (used by the penalized marginal score).
+	N int
+	// Mean and Sigma are the global moments of each real attribute.
+	Mean, Sigma []float64
+	// SigmaFloor is the minimum class sigma for each real attribute,
+	// preventing variance collapse onto single points.
+	SigmaFloor []float64
+	// Kappa is the prior pseudo-count pulling class statistics toward the
+	// global values.
+	Kappa float64
+	// DirichletAlpha is the symmetric Dirichlet concentration for
+	// multinomial terms and class weights.
+	DirichletAlpha float64
+	// GlobalFreq[k] holds the smoothed global level frequencies of
+	// discrete attribute k (nil for real attributes); used by the report's
+	// influence values.
+	GlobalFreq [][]float64
+	// LogMean, LogSigma and LogSigmaFloor are the log-domain analogues of
+	// Mean/Sigma/SigmaFloor, computed over the positive values of each
+	// real attribute. They drive the log-normal model term.
+	LogMean, LogSigma, LogSigmaFloor []float64
+	// NonPositive[k] counts known values of real attribute k outside a
+	// log-normal model's support; LogNormal specs reject attributes where
+	// it is non-zero.
+	NonPositive []int
+}
+
+// DefaultKappa and DefaultAlpha are the engine-wide prior strengths.
+const (
+	DefaultKappa = 1.0
+	DefaultAlpha = 1.0
+	// sigmaFloorFraction floors class sigma at this fraction of the
+	// attribute's global sigma (AutoClass uses a comparable floor derived
+	// from the measurement precision).
+	sigmaFloorFraction = 1e-2
+)
+
+// NewPriors derives priors from a dataset summary.
+func NewPriors(ds *dataset.Dataset, sum *dataset.Summary) *Priors {
+	p := &Priors{
+		N:              sum.N,
+		Mean:           make([]float64, ds.NumAttrs()),
+		Sigma:          make([]float64, ds.NumAttrs()),
+		SigmaFloor:     make([]float64, ds.NumAttrs()),
+		Kappa:          DefaultKappa,
+		DirichletAlpha: DefaultAlpha,
+		GlobalFreq:     make([][]float64, ds.NumAttrs()),
+		LogMean:        make([]float64, ds.NumAttrs()),
+		LogSigma:       make([]float64, ds.NumAttrs()),
+		LogSigmaFloor:  make([]float64, ds.NumAttrs()),
+		NonPositive:    make([]int, ds.NumAttrs()),
+	}
+	for k := 0; k < ds.NumAttrs(); k++ {
+		if ds.Attr(k).Type == dataset.Discrete {
+			counts := sum.Counts[k]
+			total := float64(len(counts)) * DefaultAlpha
+			for _, c := range counts {
+				total += float64(c)
+			}
+			freq := make([]float64, len(counts))
+			for v, c := range counts {
+				freq[v] = (DefaultAlpha + float64(c)) / total
+			}
+			p.GlobalFreq[k] = freq
+			continue
+		}
+		if ds.Attr(k).Type != dataset.Real {
+			continue
+		}
+		p.Mean[k] = sum.Real[k].Mean()
+		sigma := sum.Real[k].StdDev()
+		if sigma <= 0 {
+			// Constant or empty column: fall back to a unit scale so the
+			// model stays proper.
+			sigma = 1
+		}
+		p.Sigma[k] = sigma
+		p.SigmaFloor[k] = sigma * sigmaFloorFraction
+		if len(sum.LogReal) > k {
+			p.LogMean[k] = sum.LogReal[k].Mean()
+			lsigma := sum.LogReal[k].StdDev()
+			if lsigma <= 0 {
+				lsigma = 1
+			}
+			p.LogSigma[k] = lsigma
+			p.LogSigmaFloor[k] = lsigma * sigmaFloorFraction
+		}
+		if len(sum.NonPositive) > k {
+			p.NonPositive[k] = sum.NonPositive[k]
+		}
+	}
+	return p
+}
+
+// NewTerm constructs the initial term for one block. Parameters start at
+// the prior (global) values; the first update_parameters pass immediately
+// re-estimates them from the initial random weights.
+func NewTerm(b BlockSpec, ds *dataset.Dataset, pr *Priors) (Term, error) {
+	switch b.Kind {
+	case SingleNormal:
+		return newNormalTerm(b.Attrs[0], pr), nil
+	case SingleMultinomial:
+		return newMultinomialTerm(b.Attrs[0], ds.Attr(b.Attrs[0]).Cardinality(), pr), nil
+	case MultiNormal:
+		return newMultiNormalTerm(b.Attrs, pr), nil
+	case LogNormal:
+		if pr.NonPositive != nil && pr.NonPositive[b.Attrs[0]] > 0 {
+			return nil, fmt.Errorf("model: attribute %q has %d non-positive values, outside single_normal_ln support",
+				ds.Attr(b.Attrs[0]).Name, pr.NonPositive[b.Attrs[0]])
+		}
+		return newLogNormalTerm(b.Attrs[0], pr), nil
+	default:
+		return nil, fmt.Errorf("model: unknown term kind %d", int(b.Kind))
+	}
+}
+
+// LogNormalSpec models every real attribute with the log-normal term and
+// every discrete attribute with SingleMultinomial. Use it for datasets of
+// strictly positive scale measurements; NewTerm rejects attributes with
+// non-positive values.
+func LogNormalSpec(ds *dataset.Dataset) Spec {
+	var s Spec
+	for k := 0; k < ds.NumAttrs(); k++ {
+		switch ds.Attr(k).Type {
+		case dataset.Real:
+			s.Blocks = append(s.Blocks, BlockSpec{Kind: LogNormal, Attrs: []int{k}})
+		case dataset.Discrete:
+			s.Blocks = append(s.Blocks, BlockSpec{Kind: SingleMultinomial, Attrs: []int{k}})
+		}
+	}
+	return s
+}
+
+// logInvGammaPDF returns the log density of an inverse-gamma(shape=1,
+// scale=b) distribution at v — the weak variance prior used by the normal
+// terms. pdf(v) = b·v^{-2}·exp(-b/v).
+func logInvGammaPDF(v, b float64) float64 {
+	if v <= 0 || b <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(b) - 2*math.Log(v) - b/v
+}
+
+// logSymmetricDirichletPDF returns the log density of a symmetric
+// Dirichlet(alpha) at probability vector p.
+func logSymmetricDirichletPDF(p []float64, alpha float64) float64 {
+	k := float64(len(p))
+	// log 1/B(alpha,...,alpha) = lgamma(k*alpha) - k*lgamma(alpha)
+	logp := stats.LgammaPlus(k*alpha) - k*stats.LgammaPlus(alpha)
+	if alpha != 1 {
+		for _, v := range p {
+			if v <= 0 {
+				return math.Inf(-1)
+			}
+			logp += (alpha - 1) * math.Log(v)
+		}
+	}
+	return logp
+}

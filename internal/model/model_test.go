@@ -1,0 +1,558 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// mixedDS builds a small dataset with two reals and one discrete.
+func mixedDS(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	ds := dataset.MustNew("m", []dataset.Attribute{
+		{Name: "x", Type: dataset.Real},
+		{Name: "y", Type: dataset.Real},
+		{Name: "c", Type: dataset.Discrete, Levels: []string{"a", "b", "c"}},
+	})
+	r := rng.New(1)
+	for i := 0; i < 200; i++ {
+		ds.AppendRow([]float64{r.NormMS(2, 1), r.NormMS(-1, 3), float64(r.Intn(3))})
+	}
+	return ds
+}
+
+func priorsFor(t *testing.T, ds *dataset.Dataset) *Priors {
+	t.Helper()
+	return NewPriors(ds, ds.Summarize())
+}
+
+func TestDefaultSpecCoversAllAttrs(t *testing.T) {
+	ds := mixedDS(t)
+	spec := DefaultSpec(ds)
+	if err := spec.Validate(ds); err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Blocks) != 3 {
+		t.Fatalf("blocks = %d", len(spec.Blocks))
+	}
+	if spec.Blocks[2].Kind != SingleMultinomial {
+		t.Fatalf("discrete attr got %v", spec.Blocks[2].Kind)
+	}
+}
+
+func TestCorrelatedSpec(t *testing.T) {
+	ds := mixedDS(t)
+	spec := CorrelatedSpec(ds)
+	if err := spec.Validate(ds); err != nil {
+		t.Fatal(err)
+	}
+	foundMVN := false
+	for _, b := range spec.Blocks {
+		if b.Kind == MultiNormal {
+			foundMVN = true
+			if len(b.Attrs) != 2 {
+				t.Fatalf("MVN block covers %v", b.Attrs)
+			}
+		}
+	}
+	if !foundMVN {
+		t.Fatal("no multi-normal block for two reals")
+	}
+	// Single real attribute degrades to SingleNormal.
+	one := dataset.MustNew("one", []dataset.Attribute{{Name: "x", Type: dataset.Real}})
+	spec1 := CorrelatedSpec(one)
+	if len(spec1.Blocks) != 1 || spec1.Blocks[0].Kind != SingleNormal {
+		t.Fatalf("single real: %+v", spec1)
+	}
+}
+
+func TestSpecValidateRejects(t *testing.T) {
+	ds := mixedDS(t)
+	cases := map[string]Spec{
+		"empty":         {},
+		"empty-block":   {Blocks: []BlockSpec{{Kind: SingleNormal}}},
+		"two-attrs":     {Blocks: []BlockSpec{{Kind: SingleNormal, Attrs: []int{0, 1}}, {Kind: SingleMultinomial, Attrs: []int{2}}}},
+		"mvn-one":       {Blocks: []BlockSpec{{Kind: MultiNormal, Attrs: []int{0}}, {Kind: SingleNormal, Attrs: []int{1}}, {Kind: SingleMultinomial, Attrs: []int{2}}}},
+		"out-of-range":  {Blocks: []BlockSpec{{Kind: SingleNormal, Attrs: []int{9}}}},
+		"double-cover":  {Blocks: []BlockSpec{{Kind: SingleNormal, Attrs: []int{0}}, {Kind: SingleNormal, Attrs: []int{0}}, {Kind: SingleNormal, Attrs: []int{1}}, {Kind: SingleMultinomial, Attrs: []int{2}}}},
+		"normal-on-dsc": {Blocks: []BlockSpec{{Kind: SingleNormal, Attrs: []int{0}}, {Kind: SingleNormal, Attrs: []int{1}}, {Kind: SingleNormal, Attrs: []int{2}}}},
+		"multi-on-real": {Blocks: []BlockSpec{{Kind: SingleMultinomial, Attrs: []int{0}}, {Kind: SingleNormal, Attrs: []int{1}}, {Kind: SingleMultinomial, Attrs: []int{2}}}},
+		"uncovered":     {Blocks: []BlockSpec{{Kind: SingleNormal, Attrs: []int{0}}}},
+		"bad-kind":      {Blocks: []BlockSpec{{Kind: TermKind(9), Attrs: []int{0}}}},
+	}
+	for name, spec := range cases {
+		if err := spec.Validate(ds); err == nil {
+			t.Errorf("spec %q accepted", name)
+		}
+	}
+}
+
+func TestPriorsFromSummary(t *testing.T) {
+	ds := mixedDS(t)
+	pr := priorsFor(t, ds)
+	if pr.N != ds.N() {
+		t.Fatalf("N=%d", pr.N)
+	}
+	if math.Abs(pr.Mean[0]-2) > 0.3 {
+		t.Fatalf("global mean %v", pr.Mean[0])
+	}
+	if pr.Sigma[1] < 2 || pr.Sigma[1] > 4 {
+		t.Fatalf("global sigma %v", pr.Sigma[1])
+	}
+	if pr.SigmaFloor[0] <= 0 || pr.SigmaFloor[0] >= pr.Sigma[0] {
+		t.Fatalf("sigma floor %v", pr.SigmaFloor[0])
+	}
+}
+
+func TestPriorsConstantColumn(t *testing.T) {
+	ds := dataset.MustNew("const", []dataset.Attribute{{Name: "x", Type: dataset.Real}})
+	for i := 0; i < 10; i++ {
+		ds.AppendRow([]float64{5})
+	}
+	pr := priorsFor(t, ds)
+	if pr.Sigma[0] != 1 {
+		t.Fatalf("constant column sigma fallback = %v, want 1", pr.Sigma[0])
+	}
+}
+
+func TestNormalTermUpdateRecoversMoments(t *testing.T) {
+	ds := mixedDS(t)
+	pr := priorsFor(t, ds)
+	term, err := NewTerm(BlockSpec{Kind: SingleNormal, Attrs: []int{0}}, ds, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed data from N(10, 2) with weight 1; with enough data the prior
+	// pull is negligible.
+	r := rng.New(3)
+	st := make([]float64, term.StatsSize())
+	row := make([]float64, 3)
+	var ref stats.Moments
+	for i := 0; i < 20000; i++ {
+		row[0] = r.NormMS(10, 2)
+		term.AccumulateStats(row, 1, st)
+		ref.AddUnweighted(row[0])
+	}
+	term.Update(st)
+	nt := term.(*normalTerm)
+	if math.Abs(nt.Mean()-ref.Mean()) > 0.01 {
+		t.Fatalf("mean %v, want %v", nt.Mean(), ref.Mean())
+	}
+	if math.Abs(nt.Sigma()-ref.StdDev()) > 0.02 {
+		t.Fatalf("sigma %v, want %v", nt.Sigma(), ref.StdDev())
+	}
+}
+
+func TestNormalTermPriorPullsSmallClasses(t *testing.T) {
+	ds := mixedDS(t)
+	pr := priorsFor(t, ds)
+	term, _ := NewTerm(BlockSpec{Kind: SingleNormal, Attrs: []int{0}}, ds, pr)
+	st := make([]float64, term.StatsSize())
+	// One observation at 100 with weight 1; kappa=1 pulls halfway to the
+	// global mean.
+	term.AccumulateStats([]float64{100, 0, 0}, 1, st)
+	term.Update(st)
+	nt := term.(*normalTerm)
+	want := (pr.Kappa*pr.Mean[0] + 100) / (pr.Kappa + 1)
+	if math.Abs(nt.Mean()-want) > 1e-9 {
+		t.Fatalf("MAP mean %v, want %v", nt.Mean(), want)
+	}
+}
+
+func TestNormalTermSigmaFloor(t *testing.T) {
+	ds := mixedDS(t)
+	pr := priorsFor(t, ds)
+	pr.Kappa = 1e-12 // effectively no prior, to force collapse
+	term := newNormalTerm(0, pr)
+	st := make([]float64, 3)
+	// Many identical points: raw sigma would be 0.
+	for i := 0; i < 100; i++ {
+		term.AccumulateStats([]float64{5, 0, 0}, 1, st)
+	}
+	term.Update(st)
+	if term.Sigma() < pr.SigmaFloor[0] {
+		t.Fatalf("sigma %v below floor %v", term.Sigma(), pr.SigmaFloor[0])
+	}
+}
+
+func TestNormalTermMissingHandling(t *testing.T) {
+	ds := mixedDS(t)
+	pr := priorsFor(t, ds)
+	term := newNormalTerm(0, pr)
+	row := []float64{dataset.Missing, 0, 0}
+	if lp := term.LogProb(row); lp != 0 {
+		t.Fatalf("missing logprob %v, want 0", lp)
+	}
+	st := make([]float64, 3)
+	term.AccumulateStats(row, 1, st)
+	for _, v := range st {
+		if v != 0 {
+			t.Fatalf("missing value contributed stats %v", st)
+		}
+	}
+}
+
+func TestNormalTermLogProbMatchesPDF(t *testing.T) {
+	ds := mixedDS(t)
+	pr := priorsFor(t, ds)
+	term := newNormalTerm(0, pr)
+	if err := term.SetParams([]float64{1.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	row := []float64{2.0, 0, 0}
+	want := stats.LogNormalPDF(2.0, 1.5, 0.5)
+	if got := term.LogProb(row); !stats.AlmostEqual(got, want, 1e-12) {
+		t.Fatalf("logprob %v, want %v", got, want)
+	}
+}
+
+func TestNormalTermParamsRoundTrip(t *testing.T) {
+	ds := mixedDS(t)
+	pr := priorsFor(t, ds)
+	term := newNormalTerm(0, pr)
+	if err := term.SetParams([]float64{3, 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	clone := term.Clone()
+	p := clone.Params()
+	if p[0] != 3 || p[1] != 0.25 {
+		t.Fatalf("params %v", p)
+	}
+	if err := term.SetParams([]float64{1}); err == nil {
+		t.Fatal("short params accepted")
+	}
+	if err := term.SetParams([]float64{1, -1}); err == nil {
+		t.Fatal("negative sigma accepted")
+	}
+	// Clone is independent.
+	clone.SetParams([]float64{9, 9})
+	if term.Params()[0] == 9 {
+		t.Fatal("clone shares state")
+	}
+}
+
+func TestMultinomialTermUpdate(t *testing.T) {
+	ds := mixedDS(t)
+	pr := priorsFor(t, ds)
+	term, err := NewTerm(BlockSpec{Kind: SingleMultinomial, Attrs: []int{2}}, ds, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := make([]float64, term.StatsSize())
+	// Weighted counts 10, 30, 60.
+	counts := []float64{10, 30, 60}
+	row := make([]float64, 3)
+	for v, c := range counts {
+		row[2] = float64(v)
+		term.AccumulateStats(row, c, st)
+	}
+	term.Update(st)
+	mt := term.(*multinomialTerm)
+	// MAP with alpha=1: (1+10)/(3+100) etc.
+	wants := []float64{11.0 / 103, 31.0 / 103, 61.0 / 103}
+	for v, want := range wants {
+		if !stats.AlmostEqual(mt.Probs()[v], want, 1e-12) {
+			t.Fatalf("prob[%d] = %v, want %v", v, mt.Probs()[v], want)
+		}
+	}
+	// Probabilities sum to 1.
+	if s := stats.Sum(mt.Probs()); !stats.AlmostEqual(s, 1, 1e-12) {
+		t.Fatalf("probs sum %v", s)
+	}
+}
+
+func TestMultinomialLogProbAndMissing(t *testing.T) {
+	ds := mixedDS(t)
+	pr := priorsFor(t, ds)
+	term := newMultinomialTerm(2, 3, pr)
+	if err := term.SetParams([]float64{0.2, 0.3, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	row := []float64{0, 0, 1}
+	if got := term.LogProb(row); !stats.AlmostEqual(got, math.Log(0.3), 1e-12) {
+		t.Fatalf("logprob %v", got)
+	}
+	row[2] = dataset.Missing
+	if got := term.LogProb(row); got != 0 {
+		t.Fatalf("missing logprob %v", got)
+	}
+	st := make([]float64, 3)
+	term.AccumulateStats(row, 1, st)
+	if st[0]+st[1]+st[2] != 0 {
+		t.Fatal("missing value counted")
+	}
+}
+
+func TestMultinomialSetParamsValidation(t *testing.T) {
+	ds := mixedDS(t)
+	pr := priorsFor(t, ds)
+	term := newMultinomialTerm(2, 3, pr)
+	if err := term.SetParams([]float64{0.5, 0.5}); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+	if err := term.SetParams([]float64{0.5, 0.5, 0.5}); err == nil {
+		t.Fatal("non-normalized accepted")
+	}
+	if err := term.SetParams([]float64{1, 0, 0}); err == nil {
+		t.Fatal("zero probability accepted")
+	}
+}
+
+func TestTermNumParams(t *testing.T) {
+	ds := mixedDS(t)
+	pr := priorsFor(t, ds)
+	if n := newNormalTerm(0, pr).NumParams(); n != 2 {
+		t.Fatalf("normal NumParams %d", n)
+	}
+	if n := newMultinomialTerm(2, 3, pr).NumParams(); n != 2 {
+		t.Fatalf("multinomial NumParams %d", n)
+	}
+	if n := newMultiNormalTerm([]int{0, 1}, pr).NumParams(); n != 5 {
+		t.Fatalf("multi-normal NumParams %d", n)
+	}
+}
+
+func TestLogPriorFinite(t *testing.T) {
+	ds := mixedDS(t)
+	pr := priorsFor(t, ds)
+	spec := DefaultSpec(ds)
+	for _, b := range spec.Blocks {
+		term, err := NewTerm(b, ds, pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lp := term.LogPrior(); math.IsNaN(lp) || math.IsInf(lp, 0) {
+			t.Fatalf("block %v log prior %v", b.Kind, lp)
+		}
+	}
+	mvn := newMultiNormalTerm([]int{0, 1}, pr)
+	if lp := mvn.LogPrior(); math.IsNaN(lp) || math.IsInf(lp, 0) {
+		t.Fatalf("mvn log prior %v", lp)
+	}
+}
+
+// Property: after any Update from random non-degenerate statistics, the
+// normal term's sigma respects the floor and logprob is finite.
+func TestQuickNormalUpdateStable(t *testing.T) {
+	ds := mixedDS(t)
+	pr := priorsFor(t, ds)
+	f := func(seed uint64, n8 uint8) bool {
+		r := rng.New(seed)
+		term := newNormalTerm(0, pr)
+		st := make([]float64, 3)
+		n := int(n8%50) + 1
+		row := make([]float64, 3)
+		for i := 0; i < n; i++ {
+			row[0] = r.NormMS(0, 50)
+			term.AccumulateStats(row, r.Float64()+0.01, st)
+		}
+		term.Update(st)
+		if term.Sigma() < pr.SigmaFloor[0] {
+			return false
+		}
+		row[0] = r.NormMS(0, 50)
+		lp := term.LogProb(row)
+		return !math.IsNaN(lp) && !math.IsInf(lp, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewTermUnknownKind(t *testing.T) {
+	ds := mixedDS(t)
+	pr := priorsFor(t, ds)
+	if _, err := NewTerm(BlockSpec{Kind: TermKind(42), Attrs: []int{0}}, ds, pr); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestDescribeMentionsAttrName(t *testing.T) {
+	ds := mixedDS(t)
+	pr := priorsFor(t, ds)
+	spec := DefaultSpec(ds)
+	for _, b := range spec.Blocks {
+		term, _ := NewTerm(b, ds, pr)
+		desc := term.Describe(ds)
+		if desc == "" {
+			t.Fatalf("empty description for %v", b.Kind)
+		}
+	}
+}
+
+func TestKLToNormalClosedForm(t *testing.T) {
+	ds := mixedDS(t)
+	pr := priorsFor(t, ds)
+	a := newNormalTerm(0, pr)
+	b := newNormalTerm(0, pr)
+	a.SetParams([]float64{0, 1})
+	b.SetParams([]float64{0, 1})
+	if kl, err := a.KLTo(b); err != nil || kl != 0 {
+		t.Fatalf("KL of identical normals %v, %v", kl, err)
+	}
+	b.SetParams([]float64{3, 1})
+	kl, err := a.KLTo(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// KL(N(0,1)||N(3,1)) = 9/2.
+	if !stats.AlmostEqual(kl, 4.5, 1e-12) {
+		t.Fatalf("KL = %v, want 4.5", kl)
+	}
+	// Asymmetry with different sigmas.
+	b.SetParams([]float64{0, 2})
+	ab, _ := a.KLTo(b)
+	ba, _ := b.KLTo(a)
+	if ab == ba {
+		t.Fatal("KL should be asymmetric for different sigmas")
+	}
+	// Incompatible terms rejected.
+	other := newNormalTerm(1, pr)
+	if _, err := a.KLTo(other); err == nil {
+		t.Fatal("KL across attributes accepted")
+	}
+	mn := newMultinomialTerm(2, 3, pr)
+	if _, err := a.KLTo(mn); err == nil {
+		t.Fatal("KL across kinds accepted")
+	}
+}
+
+func TestKLToMultinomial(t *testing.T) {
+	ds := mixedDS(t)
+	pr := priorsFor(t, ds)
+	a := newMultinomialTerm(2, 3, pr)
+	b := newMultinomialTerm(2, 3, pr)
+	a.SetParams([]float64{0.5, 0.3, 0.2})
+	b.SetParams([]float64{0.5, 0.3, 0.2})
+	if kl, _ := a.KLTo(b); kl != 0 {
+		t.Fatalf("identical multinomials KL %v", kl)
+	}
+	b.SetParams([]float64{0.2, 0.3, 0.5})
+	kl, err := a.KLTo(b)
+	if err != nil || kl <= 0 {
+		t.Fatalf("KL %v, %v", kl, err)
+	}
+	want := 0.5*math.Log(0.5/0.2) + 0.3*math.Log(0.3/0.3) + 0.2*math.Log(0.2/0.5)
+	if !stats.AlmostEqual(kl, want, 1e-12) {
+		t.Fatalf("KL %v, want %v", kl, want)
+	}
+}
+
+func TestKLToMultiNormal(t *testing.T) {
+	ds := mixedDS(t)
+	pr := priorsFor(t, ds)
+	a := newMultiNormalTerm([]int{0, 1}, pr)
+	b := newMultiNormalTerm([]int{0, 1}, pr)
+	a.SetParams([]float64{0, 0, 1, 0, 0, 1})
+	b.SetParams([]float64{0, 0, 1, 0, 0, 1})
+	if kl, err := a.KLTo(b); err != nil || !stats.AlmostEqual(kl, 0, 1e-12) {
+		t.Fatalf("identical MVN KL %v, %v", kl, err)
+	}
+	// Diagonal covariances: KL decomposes into per-dimension normal KLs.
+	a.SetParams([]float64{0, 0, 1, 0, 0, 4})
+	b.SetParams([]float64{2, 1, 1, 0, 0, 1})
+	kl, err := a.KLTo(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1 := newNormalTerm(0, pr)
+	n2 := newNormalTerm(1, pr)
+	n1b := newNormalTerm(0, pr)
+	n2b := newNormalTerm(1, pr)
+	n1.SetParams([]float64{0, 1})
+	n1b.SetParams([]float64{2, 1})
+	n2.SetParams([]float64{0, 2})
+	n2b.SetParams([]float64{1, 1})
+	k1, _ := n1.KLTo(n1b)
+	k2, _ := n2.KLTo(n2b)
+	if !stats.AlmostEqual(kl, k1+k2, 1e-10) {
+		t.Fatalf("MVN KL %v, want %v", kl, k1+k2)
+	}
+}
+
+func TestKLToLogNormal(t *testing.T) {
+	ds := mixedDS(t)
+	pr := priorsFor(t, ds)
+	a := newLogNormalTerm(0, pr)
+	b := newLogNormalTerm(0, pr)
+	a.SetParams([]float64{1, 0.5})
+	b.SetParams([]float64{1, 0.5})
+	if kl, err := a.KLTo(b); err != nil || kl != 0 {
+		t.Fatalf("identical log-normals KL %v, %v", kl, err)
+	}
+	b.SetParams([]float64{2, 0.5})
+	if kl, _ := a.KLTo(b); kl <= 0 {
+		t.Fatalf("shifted log-normal KL %v", kl)
+	}
+	n := newNormalTerm(0, pr)
+	if _, err := a.KLTo(n); err == nil {
+		t.Fatal("KL across kinds accepted")
+	}
+}
+
+// Property: Params/SetParams round-trips exactly for every term kind, and
+// LogProb stays finite at arbitrary in-support points afterwards.
+func TestQuickParamsRoundTripAllKinds(t *testing.T) {
+	ds := mixedDS(t)
+	pr := priorsFor(t, ds)
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		terms := []Term{
+			newNormalTerm(0, pr),
+			newMultinomialTerm(2, 3, pr),
+			newMultiNormalTerm([]int{0, 1}, pr),
+			newLogNormalTerm(0, pr),
+		}
+		row := []float64{r.NormMS(0, 5), r.NormMS(0, 5), float64(r.Intn(3))}
+		lnRow := []float64{r.Float64()*100 + 0.01, 0, 0}
+		for ti, term := range terms {
+			// Perturb with a valid random parameter vector.
+			switch ti {
+			case 0:
+				term.SetParams([]float64{r.NormMS(0, 10), r.Float64() + 0.05})
+			case 1:
+				probs := make([]float64, 3)
+				r.Dirichlet([]float64{1, 1, 1}, probs)
+				for _, p := range probs {
+					if p <= 0 {
+						return true // rare degenerate draw; skip
+					}
+				}
+				term.SetParams(probs)
+			case 2:
+				a := r.Float64() + 0.5
+				b := r.Float64() + 0.5
+				cxy := (r.Float64() - 0.5) * math.Sqrt(a*b)
+				term.SetParams([]float64{r.NormMS(0, 3), r.NormMS(0, 3), a, cxy, cxy, b})
+			case 3:
+				term.SetParams([]float64{r.NormMS(0, 2), r.Float64() + 0.05})
+			}
+			saved := term.Params()
+			clone := term.Clone()
+			if err := clone.SetParams(saved); err != nil {
+				return false
+			}
+			back := clone.Params()
+			for i := range saved {
+				if math.Abs(back[i]-saved[i]) > 1e-9*(1+math.Abs(saved[i])) {
+					return false
+				}
+			}
+			probe := row
+			if ti == 3 {
+				probe = lnRow
+			}
+			if lp := term.LogProb(probe); math.IsNaN(lp) || math.IsInf(lp, 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

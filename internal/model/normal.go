@@ -1,0 +1,127 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// normalTerm is AutoClass's single_normal_cn: one real attribute modeled as
+// a Gaussian with a data-dependent conjugate-style MAP update.
+//
+// Sufficient statistics (3 values): [Σ w·x, Σ w·x², Σ w over known values].
+//
+// MAP update with prior pseudo-count κ, prior mean μ₀ (global mean) and
+// prior scale σ₀ (global sigma):
+//
+//	μ = (κ·μ₀ + Σwx) / (κ + W)
+//	σ² = (κ·σ₀² + κ·(μ−μ₀)² + Σw(x−μ)²) / (κ + W),  σ ≥ floor
+type normalTerm struct {
+	attr  int
+	pr    *Priors
+	mean  float64
+	sigma float64
+}
+
+func newNormalTerm(attr int, pr *Priors) *normalTerm {
+	return &normalTerm{
+		attr:  attr,
+		pr:    pr,
+		mean:  pr.Mean[attr],
+		sigma: pr.Sigma[attr],
+	}
+}
+
+func (t *normalTerm) Kind() TermKind { return SingleNormal }
+func (t *normalTerm) Attrs() []int   { return []int{t.attr} }
+
+// Mean returns the current class mean (exported for reports and tests).
+func (t *normalTerm) Mean() float64 { return t.mean }
+
+// Sigma returns the current class standard deviation.
+func (t *normalTerm) Sigma() float64 { return t.sigma }
+
+func (t *normalTerm) LogProb(row []float64) float64 {
+	x := row[t.attr]
+	if dataset.IsMissing(x) {
+		return 0
+	}
+	return stats.LogNormalPDF(x, t.mean, t.sigma)
+}
+
+func (t *normalTerm) StatsSize() int { return 3 }
+
+func (t *normalTerm) AccumulateStats(row []float64, w float64, st []float64) {
+	x := row[t.attr]
+	if dataset.IsMissing(x) {
+		return
+	}
+	st[0] += w * x
+	st[1] += w * x * x
+	st[2] += w
+}
+
+func (t *normalTerm) Update(st []float64) {
+	sumWX, sumWX2, w := st[0], st[1], st[2]
+	kappa := t.pr.Kappa
+	mu0 := t.pr.Mean[t.attr]
+	sigma0 := t.pr.Sigma[t.attr]
+	mean := (kappa*mu0 + sumWX) / (kappa + w)
+	// Σw(x−μ)² = Σwx² − 2μΣwx + μ²W
+	ss := sumWX2 - 2*mean*sumWX + mean*mean*w
+	if ss < 0 {
+		ss = 0 // rounding guard
+	}
+	dm := mean - mu0
+	variance := (kappa*sigma0*sigma0 + kappa*dm*dm + ss) / (kappa + w)
+	sigma := math.Sqrt(variance)
+	if floor := t.pr.SigmaFloor[t.attr]; sigma < floor {
+		sigma = floor
+	}
+	t.mean, t.sigma = mean, sigma
+}
+
+func (t *normalTerm) LogPrior() float64 {
+	mu0 := t.pr.Mean[t.attr]
+	sigma0 := t.pr.Sigma[t.attr]
+	return stats.LogNormalPDF(t.mean, mu0, sigma0) +
+		logInvGammaPDF(t.sigma*t.sigma, sigma0*sigma0)
+}
+
+func (t *normalTerm) NumParams() int { return 2 }
+
+func (t *normalTerm) Params() []float64 { return []float64{t.mean, t.sigma} }
+
+func (t *normalTerm) SetParams(p []float64) error {
+	if len(p) != 2 {
+		return fmt.Errorf("model: normal term needs 2 params, got %d", len(p))
+	}
+	if p[1] <= 0 || math.IsNaN(p[0]) || math.IsNaN(p[1]) {
+		return fmt.Errorf("model: invalid normal params %v", p)
+	}
+	t.mean, t.sigma = p[0], p[1]
+	return nil
+}
+
+func (t *normalTerm) Clone() Term {
+	c := *t
+	return &c
+}
+
+func (t *normalTerm) Describe(ds *dataset.Dataset) string {
+	return fmt.Sprintf("%s ~ N(mean=%.4g, sigma=%.4g)", ds.Attr(t.attr).Name, t.mean, t.sigma)
+}
+
+// KLTo implements Term: the closed-form Gaussian divergence
+// KL(N(μ₁,σ₁) ‖ N(μ₂,σ₂)) = ln(σ₂/σ₁) + (σ₁² + (μ₁−μ₂)²)/(2σ₂²) − ½.
+func (t *normalTerm) KLTo(other Term) (float64, error) {
+	o, ok := other.(*normalTerm)
+	if !ok || o.attr != t.attr {
+		return 0, fmt.Errorf("model: KL between incompatible terms")
+	}
+	r := t.sigma / o.sigma
+	dm := t.mean - o.mean
+	return math.Log(1/r) + (r*r+dm*dm/(o.sigma*o.sigma))/2 - 0.5, nil
+}

@@ -1,0 +1,116 @@
+package mpi
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// FlakyTransport wraps a Transport and fails operations on command — the
+// fault-injection hook used to verify that every layer above the transport
+// (collectives, reducers, the parallel engine, the BIG_LOOP drivers)
+// propagates communication failures instead of hanging or corrupting
+// state. A rank whose transport starts failing behaves like a crashed node
+// from its own perspective; peers blocked on it observe closed channels or
+// reset connections from theirs.
+type FlakyTransport struct {
+	inner Transport
+	// sendBudget and recvBudget count down; when a budget reaches zero the
+	// corresponding operation starts failing. Negative budgets never fail.
+	sendBudget atomic.Int64
+	recvBudget atomic.Int64
+}
+
+// NewFlakyTransport wraps inner so that sends fail after sendBudget
+// successful sends and receives fail after recvBudget successful receives.
+// A negative budget disables failure for that direction.
+func NewFlakyTransport(inner Transport, sendBudget, recvBudget int64) *FlakyTransport {
+	f := &FlakyTransport{inner: inner}
+	f.sendBudget.Store(sendBudget)
+	f.recvBudget.Store(recvBudget)
+	return f
+}
+
+// ErrInjected marks injected failures so tests can distinguish them.
+type ErrInjected struct {
+	Op   string
+	Rank int
+}
+
+// Error implements error.
+func (e *ErrInjected) Error() string {
+	return fmt.Sprintf("mpi: injected %s failure on rank %d", e.Op, e.Rank)
+}
+
+func (f *FlakyTransport) Rank() int { return f.inner.Rank() }
+func (f *FlakyTransport) Size() int { return f.inner.Size() }
+
+// Send implements Transport, failing once the send budget is exhausted.
+func (f *FlakyTransport) Send(dst, tag int, data []float64) error {
+	if f.sendBudget.Load() >= 0 && f.sendBudget.Add(-1) < 0 {
+		return &ErrInjected{Op: "send", Rank: f.inner.Rank()}
+	}
+	return f.inner.Send(dst, tag, data)
+}
+
+// Recv implements Transport, failing once the recv budget is exhausted.
+func (f *FlakyTransport) Recv(src, tag int) ([]float64, error) {
+	if f.recvBudget.Load() >= 0 && f.recvBudget.Add(-1) < 0 {
+		return nil, &ErrInjected{Op: "recv", Rank: f.inner.Rank()}
+	}
+	return f.inner.Recv(src, tag)
+}
+
+// Close implements Transport.
+func (f *FlakyTransport) Close() error { return f.inner.Close() }
+
+// RunFlaky is Run with rank `victim`'s transport failing after the given
+// send budget. Other ranks run on healthy transports; the function returns
+// the per-rank errors (index = rank) after every goroutine finishes, so
+// tests can assert both that the victim failed with an injected error and
+// that no healthy rank hung. Peers of a failed rank may block waiting for
+// messages that will never arrive — exactly as on a real multicomputer —
+// so RunFlaky closes the victim's channels (via Close) once it exits,
+// unblocking any peer stuck in Recv.
+func RunFlaky(p int, victim int, sendBudget int64, fn func(c *Comm) error) ([]error, error) {
+	g, err := NewMemGroup(p)
+	if err != nil {
+		return nil, err
+	}
+	errs := make([]error, p)
+	done := make(chan int, p)
+	for r := 0; r < p; r++ {
+		ep, err := g.Endpoint(r)
+		if err != nil {
+			return nil, err
+		}
+		var tr Transport = ep
+		if r == victim {
+			tr = NewFlakyTransport(ep, sendBudget, -1)
+		}
+		go func(rank int, c *Comm) {
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
+				}
+				done <- rank
+			}()
+			errs[rank] = fn(c)
+		}(r, NewComm(tr))
+	}
+	// As each rank exits — crashed or finished — close its outgoing
+	// channels. Messages already buffered stay readable, but a peer blocked
+	// waiting for a message that will never come observes the closure
+	// instead of deadlocking, exactly as a reset connection would surface
+	// on a real machine. Failures therefore cascade: a crash can strand a
+	// healthy rank mid-collective, which then errors and releases its own
+	// dependents in turn.
+	for finished := 0; finished < p; finished++ {
+		rank := <-done
+		for d := 0; d < p; d++ {
+			if d != rank {
+				close(g.chans[rank][d])
+			}
+		}
+	}
+	return errs, nil
+}

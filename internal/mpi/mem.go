@@ -1,0 +1,148 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// memMessage is one in-flight message of the in-process transport.
+type memMessage struct {
+	tag  int
+	data []float64
+}
+
+// MemGroup is a full mesh of buffered channels connecting p in-process
+// ranks — the moral equivalent of running MPI ranks as goroutines. It is
+// the default transport for tests, benchmarks and the simulated machine.
+type MemGroup struct {
+	p     int
+	chans [][]chan memMessage // chans[src][dst]
+}
+
+// memChanCap bounds in-flight messages per ordered rank pair. The
+// collectives never have more than a handful outstanding; a generous buffer
+// keeps sends non-blocking, which the butterfly exchange relies on.
+const memChanCap = 1024
+
+// NewMemGroup creates the channel mesh for p ranks.
+func NewMemGroup(p int) (*MemGroup, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("mpi: group of %d ranks", p)
+	}
+	g := &MemGroup{p: p, chans: make([][]chan memMessage, p)}
+	for s := 0; s < p; s++ {
+		g.chans[s] = make([]chan memMessage, p)
+		for d := 0; d < p; d++ {
+			g.chans[s][d] = make(chan memMessage, memChanCap)
+		}
+	}
+	return g, nil
+}
+
+// Endpoint returns the transport endpoint for one rank. Each rank must be
+// used by exactly one goroutine.
+func (g *MemGroup) Endpoint(rank int) (Transport, error) {
+	if rank < 0 || rank >= g.p {
+		return nil, fmt.Errorf("mpi: rank %d out of group size %d", rank, g.p)
+	}
+	return &memEndpoint{g: g, rank: rank}, nil
+}
+
+type memEndpoint struct {
+	g      *MemGroup
+	rank   int
+	closed atomic.Bool
+}
+
+func (e *memEndpoint) Rank() int { return e.rank }
+func (e *memEndpoint) Size() int { return e.g.p }
+
+func (e *memEndpoint) Send(dst, tag int, data []float64) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if dst < 0 || dst >= e.g.p {
+		return fmt.Errorf("mpi: send to rank %d of group %d", dst, e.g.p)
+	}
+	if dst == e.rank {
+		return fmt.Errorf("mpi: rank %d sending to itself", dst)
+	}
+	// Copy so the sender may reuse its buffer immediately, matching the
+	// MPI_Send contract the collectives assume.
+	msg := memMessage{tag: tag, data: append([]float64(nil), data...)}
+	select {
+	case e.g.chans[e.rank][dst] <- msg:
+		return nil
+	default:
+		return fmt.Errorf("mpi: channel %d->%d full (deadlock or runaway sends)", e.rank, dst)
+	}
+}
+
+func (e *memEndpoint) Recv(src, tag int) ([]float64, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	if src < 0 || src >= e.g.p {
+		return nil, fmt.Errorf("mpi: recv from rank %d of group %d", src, e.g.p)
+	}
+	if src == e.rank {
+		return nil, fmt.Errorf("mpi: rank %d receiving from itself", src)
+	}
+	msg, ok := <-e.g.chans[src][e.rank]
+	if !ok {
+		return nil, ErrClosed
+	}
+	if msg.tag != tag {
+		return nil, fmt.Errorf("mpi: rank %d expected tag %d from %d, got %d (collective desync)", e.rank, tag, src, msg.tag)
+	}
+	return msg.data, nil
+}
+
+func (e *memEndpoint) Close() error {
+	e.closed.Store(true)
+	return nil
+}
+
+// Run executes fn concurrently on p in-process ranks connected by a
+// MemGroup mesh and waits for all of them. Each rank receives its own Comm.
+// The returned error joins the per-rank failures (nil when every rank
+// succeeded). This is the local analogue of `mpirun -np p`.
+func Run(p int, fn func(c *Comm) error) error {
+	return RunAlgo(p, ReduceBcast, fn)
+}
+
+// RunAlgo is Run with an explicit Allreduce algorithm selection.
+func RunAlgo(p int, algo AllreduceAlgo, fn func(c *Comm) error) error {
+	g, err := NewMemGroup(p)
+	if err != nil {
+		return err
+	}
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		ep, err := g.Endpoint(r)
+		if err != nil {
+			return err
+		}
+		comm := NewComm(ep)
+		comm.SetAllreduceAlgo(algo)
+		wg.Add(1)
+		go func(rank int, c *Comm) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
+				}
+			}()
+			errs[rank] = fn(c)
+		}(r, comm)
+	}
+	wg.Wait()
+	for r, e := range errs {
+		if e != nil {
+			return fmt.Errorf("mpi: rank %d: %w", r, e)
+		}
+	}
+	return nil
+}

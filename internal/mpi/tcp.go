@@ -1,0 +1,374 @@
+package mpi
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// The TCP transport runs each rank over real sockets — a full mesh of
+// directed connections, one per ordered rank pair, so per-pair FIFO
+// ordering falls out of TCP's in-order delivery. It exists to demonstrate
+// that P-AutoClass runs unchanged on a shared-nothing machine (a PC
+// cluster, per the paper's portability claim) and to exercise the engine
+// under a transport with real serialization and failure modes.
+//
+// Wire format per message, little-endian:
+//
+//	uint32 tag | uint32 count | count × float64
+//
+// Connection setup: every rank listens; rank s dials rank d for each s<d
+// pair... — in fact each ordered pair (s,d) needs its own directed stream,
+// so the dialer sends a 8-byte hello (uint32 src, uint32 dst) identifying
+// which directed edge the connection carries, and each rank dials the edge
+// (me → d) for every d ≠ me.
+
+// tcpEdgeHello identifies a directed edge after dialing.
+type tcpEdgeHello struct {
+	Src, Dst uint32
+}
+
+// TCPGroup is a set of TCP endpoints for an in-process test harness. For a
+// genuinely distributed deployment, use StartTCPRank on each machine with
+// the full address list.
+type TCPGroup struct {
+	eps []*tcpEndpoint
+}
+
+// NewTCPGroup starts p ranks on loopback listeners and fully connects them.
+// It is intended for tests and examples; all ranks live in this process but
+// every byte crosses a real TCP socket.
+func NewTCPGroup(p int) (*TCPGroup, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("mpi: group of %d ranks", p)
+	}
+	listeners := make([]net.Listener, p)
+	addrs := make([]string, p)
+	for r := 0; r < p; r++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, ll := range listeners[:r] {
+				ll.Close()
+			}
+			return nil, fmt.Errorf("mpi: listen for rank %d: %w", r, err)
+		}
+		listeners[r] = l
+		addrs[r] = l.Addr().String()
+	}
+	eps := make([]*tcpEndpoint, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			ep, err := connectTCPRank(rank, addrs, listeners[rank])
+			eps[rank], errs[rank] = ep, err
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			for _, ep := range eps {
+				if ep != nil {
+					ep.Close()
+				}
+			}
+			return nil, fmt.Errorf("mpi: connecting rank %d: %w", r, err)
+		}
+	}
+	return &TCPGroup{eps: eps}, nil
+}
+
+// Endpoint returns the transport endpoint of one rank.
+func (g *TCPGroup) Endpoint(rank int) (Transport, error) {
+	if rank < 0 || rank >= len(g.eps) {
+		return nil, fmt.Errorf("mpi: rank %d out of group size %d", rank, len(g.eps))
+	}
+	return g.eps[rank], nil
+}
+
+// Close shuts down every endpoint.
+func (g *TCPGroup) Close() error {
+	var first error
+	for _, ep := range g.eps {
+		if err := ep.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// StartTCPRank connects one rank of a distributed group. addrs lists every
+// rank's listen address (index = rank); the listener must already be bound
+// to addrs[rank]. It blocks until the full mesh is up.
+func StartTCPRank(rank int, addrs []string, listener net.Listener) (Transport, error) {
+	return connectTCPRank(rank, addrs, listener)
+}
+
+func connectTCPRank(rank int, addrs []string, listener net.Listener) (*tcpEndpoint, error) {
+	p := len(addrs)
+	ep := &tcpEndpoint{
+		rank: rank,
+		p:    p,
+		out:  make([]*tcpConnOut, p),
+		in:   make([]*tcpConnIn, p),
+	}
+	type accepted struct {
+		src  int
+		conn net.Conn
+		err  error
+	}
+	need := p - 1
+	acceptCh := make(chan accepted, need)
+	go func() {
+		for i := 0; i < need; i++ {
+			conn, err := listener.Accept()
+			if err != nil {
+				acceptCh <- accepted{err: err}
+				return
+			}
+			var hello tcpEdgeHello
+			if err := binary.Read(conn, binary.LittleEndian, &hello); err != nil {
+				conn.Close()
+				acceptCh <- accepted{err: fmt.Errorf("reading hello: %w", err)}
+				return
+			}
+			if int(hello.Dst) != rank || int(hello.Src) >= p {
+				conn.Close()
+				acceptCh <- accepted{err: fmt.Errorf("bad hello %+v on rank %d", hello, rank)}
+				return
+			}
+			acceptCh <- accepted{src: int(hello.Src), conn: conn}
+		}
+	}()
+	// Dial my outgoing edges.
+	for d := 0; d < p; d++ {
+		if d == rank {
+			continue
+		}
+		conn, err := net.Dial("tcp", addrs[d])
+		if err != nil {
+			ep.Close()
+			return nil, fmt.Errorf("dial rank %d at %s: %w", d, addrs[d], err)
+		}
+		hello := tcpEdgeHello{Src: uint32(rank), Dst: uint32(d)}
+		if err := binary.Write(conn, binary.LittleEndian, &hello); err != nil {
+			conn.Close()
+			ep.Close()
+			return nil, fmt.Errorf("hello to rank %d: %w", d, err)
+		}
+		ep.out[d] = newTCPConnOut(conn)
+	}
+	// Collect my incoming edges.
+	for i := 0; i < need; i++ {
+		a := <-acceptCh
+		if a.err != nil {
+			ep.Close()
+			return nil, a.err
+		}
+		if ep.in[a.src] != nil {
+			a.conn.Close()
+			ep.Close()
+			return nil, fmt.Errorf("duplicate incoming edge from rank %d", a.src)
+		}
+		ep.in[a.src] = newTCPConnIn(a.conn)
+	}
+	return ep, nil
+}
+
+// tcpConnOut serializes sends on one directed edge. A dedicated writer
+// goroutine drains a queue so that Send never blocks on the socket — the
+// butterfly exchange requires sends to complete locally before the
+// matching receive is posted.
+type tcpConnOut struct {
+	conn  net.Conn
+	queue chan memMessage
+	done  chan struct{}
+	err   atomic.Value // error
+}
+
+func newTCPConnOut(conn net.Conn) *tcpConnOut {
+	o := &tcpConnOut{
+		conn:  conn,
+		queue: make(chan memMessage, memChanCap),
+		done:  make(chan struct{}),
+	}
+	go o.writer()
+	return o
+}
+
+func (o *tcpConnOut) writer() {
+	defer close(o.done)
+	bw := bufio.NewWriter(o.conn)
+	hdr := make([]byte, 8)
+	buf := make([]byte, 8)
+	for msg := range o.queue {
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(msg.tag))
+		binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(msg.data)))
+		if _, err := bw.Write(hdr); err != nil {
+			o.err.Store(err)
+			return
+		}
+		for _, v := range msg.data {
+			binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+			if _, err := bw.Write(buf); err != nil {
+				o.err.Store(err)
+				return
+			}
+		}
+		// Flush when the queue drains so batched collective steps share
+		// one syscall but nothing sits unsent while peers wait.
+		if len(o.queue) == 0 {
+			if err := bw.Flush(); err != nil {
+				o.err.Store(err)
+				return
+			}
+		}
+	}
+	bw.Flush()
+}
+
+func (o *tcpConnOut) send(tag int, data []float64) error {
+	if e := o.err.Load(); e != nil {
+		return e.(error)
+	}
+	msg := memMessage{tag: tag, data: append([]float64(nil), data...)}
+	select {
+	case o.queue <- msg:
+		return nil
+	default:
+		return fmt.Errorf("mpi: tcp send queue full")
+	}
+}
+
+func (o *tcpConnOut) close() {
+	close(o.queue)
+	<-o.done
+	o.conn.Close()
+}
+
+// tcpConnIn reads messages from one directed edge.
+type tcpConnIn struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+func newTCPConnIn(conn net.Conn) *tcpConnIn {
+	return &tcpConnIn{conn: conn, br: bufio.NewReader(conn)}
+}
+
+func (in *tcpConnIn) recv() (int, []float64, error) {
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(in.br, hdr); err != nil {
+		return 0, nil, err
+	}
+	tag := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	count := binary.LittleEndian.Uint32(hdr[4:8])
+	if count > 1<<28 {
+		return 0, nil, fmt.Errorf("mpi: unreasonable tcp payload of %d values", count)
+	}
+	raw := make([]byte, 8*count)
+	if _, err := io.ReadFull(in.br, raw); err != nil {
+		return 0, nil, fmt.Errorf("mpi: truncated tcp frame: %w", err)
+	}
+	data := make([]float64, count)
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return tag, data, nil
+}
+
+type tcpEndpoint struct {
+	rank   int
+	p      int
+	out    []*tcpConnOut
+	in     []*tcpConnIn
+	closed atomic.Bool
+}
+
+func (e *tcpEndpoint) Rank() int { return e.rank }
+func (e *tcpEndpoint) Size() int { return e.p }
+
+func (e *tcpEndpoint) Send(dst, tag int, data []float64) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if dst < 0 || dst >= e.p || dst == e.rank || e.out[dst] == nil {
+		return fmt.Errorf("mpi: tcp send to invalid rank %d", dst)
+	}
+	return e.out[dst].send(tag, data)
+}
+
+func (e *tcpEndpoint) Recv(src, tag int) ([]float64, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	if src < 0 || src >= e.p || src == e.rank || e.in[src] == nil {
+		return nil, fmt.Errorf("mpi: tcp recv from invalid rank %d", src)
+	}
+	gotTag, data, err := e.in[src].recv()
+	if err != nil {
+		return nil, err
+	}
+	if gotTag != tag {
+		return nil, fmt.Errorf("mpi: rank %d expected tag %d from %d, got %d (collective desync)", e.rank, tag, src, gotTag)
+	}
+	return data, nil
+}
+
+func (e *tcpEndpoint) Close() error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	for _, o := range e.out {
+		if o != nil {
+			o.close()
+		}
+	}
+	for _, in := range e.in {
+		if in != nil {
+			in.conn.Close()
+		}
+	}
+	return nil
+}
+
+// RunTCP is Run over real loopback TCP sockets.
+func RunTCP(p int, fn func(c *Comm) error) error {
+	g, err := NewTCPGroup(p)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		ep, err := g.Endpoint(r)
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(rank int, c *Comm) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
+				}
+			}()
+			errs[rank] = fn(c)
+		}(r, NewComm(ep))
+	}
+	wg.Wait()
+	for r, e := range errs {
+		if e != nil {
+			return fmt.Errorf("mpi: rank %d: %w", r, e)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestTCPSendRecv(t *testing.T) {
+	err := RunTCP(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 9, []float64{3.5, -2}); err != nil {
+				return err
+			}
+			got, err := c.Recv(1, 10)
+			if err != nil {
+				return err
+			}
+			if len(got) != 1 || got[0] != 7 {
+				return fmt.Errorf("got %v", got)
+			}
+			return nil
+		}
+		got, err := c.Recv(0, 9)
+		if err != nil {
+			return err
+		}
+		if len(got) != 2 || got[0] != 3.5 || got[1] != -2 {
+			return fmt.Errorf("got %v", got)
+		}
+		return c.Send(0, 10, []float64{7})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPCollectives(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		err := RunTCP(p, func(c *Comm) error {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			data := []float64{float64(c.Rank()), 1, float64(c.Rank() * c.Rank())}
+			if err := c.Allreduce(Sum, data); err != nil {
+				return err
+			}
+			if data[1] != float64(p) {
+				return fmt.Errorf("count %v != %d", data[1], p)
+			}
+			wantSum := float64(p*(p-1)) / 2
+			if !stats.AlmostEqual(data[0], wantSum, 1e-9) {
+				return fmt.Errorf("sum %v != %v", data[0], wantSum)
+			}
+			seed, err := c.BcastUint64(0, uint64(c.Rank())+12345)
+			if err != nil {
+				return err
+			}
+			if seed != 12345 {
+				return fmt.Errorf("seed %d", seed)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	const n = 100000
+	err := RunTCP(3, func(c *Comm) error {
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = float64(c.Rank() + 1)
+		}
+		if err := c.Allreduce(Sum, data); err != nil {
+			return err
+		}
+		for i := range data {
+			if data[i] != 6 {
+				return fmt.Errorf("elem %d = %v", i, data[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPCloseThenUseFails(t *testing.T) {
+	g, err := NewTCPGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep0, _ := g.Endpoint(0)
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep0.Send(1, 1, []float64{1}); err == nil {
+		t.Fatal("send after close succeeded")
+	}
+	if _, err := ep0.Recv(1, 1); err == nil {
+		t.Fatal("recv after close succeeded")
+	}
+}
+
+func TestTCPGroupBadSize(t *testing.T) {
+	if _, err := NewTCPGroup(0); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+}
+
+func TestTCPManyCollectives(t *testing.T) {
+	err := RunTCP(4, func(c *Comm) error {
+		for i := 0; i < 50; i++ {
+			v := []float64{1}
+			if err := c.Allreduce(Sum, v); err != nil {
+				return err
+			}
+			if v[0] != 4 {
+				return fmt.Errorf("iter %d: %v", i, v[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPPeerDisconnectSurfacesError(t *testing.T) {
+	g, err := NewTCPGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	ep0, _ := g.Endpoint(0)
+	ep1, _ := g.Endpoint(1)
+	// Close rank 1's endpoint; rank 0's pending recv must fail, not hang.
+	done := make(chan error, 1)
+	go func() {
+		_, err := ep0.Recv(1, 1)
+		done <- err
+	}()
+	if err := ep1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("recv from disconnected peer succeeded")
+	}
+}

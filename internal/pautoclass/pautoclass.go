@@ -1,0 +1,320 @@
+// Package pautoclass implements P-AutoClass, the paper's contribution: an
+// SPMD parallelization of the AutoClass Bayesian clustering engine for
+// shared-nothing MIMD machines (paper §3).
+//
+// The dataset is block-partitioned across the ranks of an mpi group; every
+// rank runs the identical BIG_LOOP and base_cycle code over its local
+// partition, and the only communication is the total exchange of
+// intermediate results:
+//
+//   - update_wts: one Allreduce of the per-class weight sums w_j plus the
+//     data log-likelihood (paper Fig. 4);
+//   - update_parameters: an Allreduce of each term's weighted sufficient
+//     statistics, by default one per (class, term) pair exactly as the
+//     paper's Fig. 5 places the exchange inside the class × attribute
+//     loops, or one packed exchange per cycle as an ablation.
+//
+// Because every rank sees the identical reduced values, the replicated
+// search drivers make identical decisions (class pruning, duplicate
+// elimination, best-classification selection) and need no further
+// coordination — the property the paper's SPMD design relies on.
+//
+// The package also implements the update_wts-only parallelization of
+// Miller & Guo [7] as a baseline (Strategy WtsOnly), which the paper's §5
+// compares against.
+package pautoclass
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/autoclass"
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// Strategy selects the parallelization approach.
+type Strategy int
+
+const (
+	// Full is P-AutoClass: both update_wts and update_parameters run in
+	// parallel over the partitioned data.
+	Full Strategy = iota
+	// WtsOnly parallelizes only update_wts; the weight matrix is gathered
+	// to rank 0, which recomputes the parameters over the whole dataset
+	// and broadcasts them back — the prior MIMD prototype of [7].
+	WtsOnly
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case Full:
+		return "p-autoclass"
+	case WtsOnly:
+		return "wts-only"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Options configures a parallel run on one rank.
+type Options struct {
+	// EM configures the parameter-level search.
+	EM autoclass.Config
+	// Strategy selects Full (P-AutoClass) or WtsOnly (baseline).
+	Strategy Strategy
+	// Clock, when non-nil, charges computation and communication to a
+	// virtual machine model and keeps the group's clocks synchronized at
+	// every collective. Each rank owns its own Clock over the same
+	// Machine.
+	Clock *simnet.Clock
+	// AllreduceAlgo selects the collective algorithm for the statistics
+	// exchanges (default ReduceBcast, the paper implementation's pattern).
+	// It is applied to the communicator and to the virtual cost model.
+	AllreduceAlgo mpi.AllreduceAlgo
+}
+
+// DefaultOptions returns Full-strategy options with engine defaults.
+func DefaultOptions() Options {
+	return Options{EM: autoclass.DefaultConfig(), Strategy: Full}
+}
+
+// PartitionView returns this rank's block of the dataset.
+func PartitionView(comm *mpi.Comm, ds *dataset.Dataset) (*dataset.View, error) {
+	rg, err := dataset.BlockRange(ds.N(), comm.Size(), comm.Rank())
+	if err != nil {
+		return nil, err
+	}
+	return ds.View(rg.Lo, rg.Len())
+}
+
+// allreduceReducer adapts the group Allreduce (plus the optional virtual
+// clock synchronization) to the engine's Reducer hook.
+type allreduceReducer struct {
+	comm  *mpi.Comm
+	clock *simnet.Clock
+	algo  mpi.AllreduceAlgo
+}
+
+// NewAllreduceReducer returns an autoclass.Reducer that sums buffers across
+// the group with Allreduce, charging the optional virtual clock at every
+// exchange. It is exported for harnesses that drive the Engine cycle by
+// cycle (e.g. the scaleup experiment).
+func NewAllreduceReducer(comm *mpi.Comm, clock *simnet.Clock) autoclass.Reducer {
+	return &allreduceReducer{comm: comm, clock: clock}
+}
+
+// NewAllreduceReducerAlgo is NewAllreduceReducer with an explicit
+// collective algorithm for both the exchange and the cost model.
+func NewAllreduceReducerAlgo(comm *mpi.Comm, clock *simnet.Clock, algo mpi.AllreduceAlgo) autoclass.Reducer {
+	comm.SetAllreduceAlgo(algo)
+	return &allreduceReducer{comm: comm, clock: clock, algo: algo}
+}
+
+// ReduceInPlace implements autoclass.Reducer.
+func (r *allreduceReducer) ReduceInPlace(buf []float64) error {
+	if err := r.comm.Allreduce(mpi.Sum, buf); err != nil {
+		return err
+	}
+	if r.clock != nil {
+		return r.clock.SyncAllreduceAlgo(r.comm, r.algo, len(buf))
+	}
+	return nil
+}
+
+// ParallelPriors computes the global data-dependent priors from distributed
+// partitions: each rank summarizes its view, and per-attribute sums, counts
+// and extrema are combined with Allreduce so every rank derives identical
+// priors without ever seeing remote rows.
+func ParallelPriors(comm *mpi.Comm, view *dataset.View, opts *Options) (*model.Priors, error) {
+	ds := view.Dataset()
+	na := ds.NumAttrs()
+	// Layout: per attribute [wKnown, sum, sumsq, missing, logW, logSum,
+	// logSumSq, nonPositive] + discrete counts.
+	const perAttr = 8
+	sums := make([]float64, perAttr*na)
+	mins := make([]float64, na)
+	maxs := make([]float64, na)
+	var counts []float64
+	countOffset := make([]int, na)
+	for k := 0; k < na; k++ {
+		mins[k] = math.Inf(1)
+		maxs[k] = math.Inf(-1)
+		countOffset[k] = len(counts)
+		if ds.Attr(k).Type == dataset.Discrete {
+			counts = append(counts, make([]float64, ds.Attr(k).Cardinality())...)
+		}
+	}
+	for i := 0; i < view.N(); i++ {
+		row := view.Row(i)
+		for k, v := range row {
+			if dataset.IsMissing(v) {
+				sums[perAttr*k+3]++
+				continue
+			}
+			switch ds.Attr(k).Type {
+			case dataset.Real:
+				sums[perAttr*k] += 1
+				sums[perAttr*k+1] += v
+				sums[perAttr*k+2] += v * v
+				if v > 0 {
+					lv := math.Log(v)
+					sums[perAttr*k+4] += 1
+					sums[perAttr*k+5] += lv
+					sums[perAttr*k+6] += lv * lv
+				} else {
+					sums[perAttr*k+7]++
+				}
+				if v < mins[k] {
+					mins[k] = v
+				}
+				if v > maxs[k] {
+					maxs[k] = v
+				}
+			case dataset.Discrete:
+				counts[countOffset[k]+int(v)]++
+			}
+		}
+	}
+	if opts != nil && opts.Clock != nil {
+		opts.Clock.ChargeOps(float64(view.N()) * float64(na))
+	}
+	if err := comm.Allreduce(mpi.Sum, sums); err != nil {
+		return nil, fmt.Errorf("pautoclass: priors sums: %w", err)
+	}
+	if err := comm.Allreduce(mpi.Min, mins); err != nil {
+		return nil, fmt.Errorf("pautoclass: priors mins: %w", err)
+	}
+	if err := comm.Allreduce(mpi.Max, maxs); err != nil {
+		return nil, fmt.Errorf("pautoclass: priors maxs: %w", err)
+	}
+	if len(counts) > 0 {
+		if err := comm.Allreduce(mpi.Sum, counts); err != nil {
+			return nil, fmt.Errorf("pautoclass: priors counts: %w", err)
+		}
+	}
+	if opts != nil && opts.Clock != nil {
+		payload := len(sums) + len(mins) + len(maxs) + len(counts)
+		if err := opts.Clock.SyncAllreduce(comm, payload); err != nil {
+			return nil, err
+		}
+	}
+	nGlobal, err := comm.AllreduceFloat64(mpi.Sum, float64(view.N()))
+	if err != nil {
+		return nil, fmt.Errorf("pautoclass: priors n: %w", err)
+	}
+	if opts != nil && opts.Clock != nil {
+		if err := opts.Clock.SyncAllreduce(comm, 1); err != nil {
+			return nil, err
+		}
+	}
+	// Rebuild a dataset.Summary from the reduced values and derive priors
+	// through the same code path the sequential engine uses.
+	sum := &dataset.Summary{
+		N:            int(nGlobal),
+		Real:         make([]stats.Moments, na),
+		LogReal:      make([]stats.Moments, na),
+		NonPositive:  make([]int, na),
+		Min:          mins,
+		Max:          maxs,
+		Counts:       make([][]int, na),
+		MissingCount: make([]int, na),
+	}
+	for k := 0; k < na; k++ {
+		sum.MissingCount[k] = int(sums[perAttr*k+3])
+		switch ds.Attr(k).Type {
+		case dataset.Real:
+			sum.Real[k] = stats.MomentsFromSums(sums[perAttr*k], sums[perAttr*k+1], sums[perAttr*k+2])
+			sum.LogReal[k] = stats.MomentsFromSums(sums[perAttr*k+4], sums[perAttr*k+5], sums[perAttr*k+6])
+			sum.NonPositive[k] = int(sums[perAttr*k+7])
+		case dataset.Discrete:
+			card := ds.Attr(k).Cardinality()
+			c := make([]int, card)
+			for v := 0; v < card; v++ {
+				c[v] = int(counts[countOffset[k]+v])
+			}
+			sum.Counts[k] = c
+		}
+	}
+	return model.NewPriors(ds, sum), nil
+}
+
+// RunTrial executes one classification try on this rank: build a
+// classification with startJ classes over the global priors, initialize
+// from seed, and run EM under the selected strategy. Every rank of the
+// group must call it with identical arguments.
+func RunTrial(comm *mpi.Comm, view *dataset.View, pr *model.Priors, spec model.Spec,
+	startJ int, seed uint64, opts Options) (*autoclass.Classification, autoclass.EMResult, error) {
+	var zero autoclass.EMResult
+	if comm == nil || view == nil || pr == nil {
+		return nil, zero, errors.New("pautoclass: nil comm, view or priors")
+	}
+	cls, err := autoclass.NewClassification(view.Dataset(), spec, pr, startJ)
+	if err != nil {
+		return nil, zero, err
+	}
+	// A nil *simnet.Clock must become a nil Charger interface, not a
+	// non-nil interface wrapping a nil pointer.
+	var charger autoclass.Charger
+	if opts.Clock != nil {
+		charger = opts.Clock
+	}
+	comm.SetAllreduceAlgo(opts.AllreduceAlgo)
+	switch opts.Strategy {
+	case Full:
+		eng, err := autoclass.NewEngine(view, cls, opts.EM,
+			&allreduceReducer{comm: comm, clock: opts.Clock, algo: opts.AllreduceAlgo}, charger)
+		if err != nil {
+			return nil, zero, err
+		}
+		if err := eng.InitRandom(seed); err != nil {
+			return nil, zero, err
+		}
+		res, err := eng.Run()
+		if err != nil {
+			return nil, zero, err
+		}
+		return cls, res, nil
+	case WtsOnly:
+		eng, err := newWtsOnlyEngine(comm, view, cls, opts)
+		if err != nil {
+			return nil, zero, err
+		}
+		if err := eng.InitRandom(seed); err != nil {
+			return nil, zero, err
+		}
+		res, err := eng.Run()
+		if err != nil {
+			return nil, zero, err
+		}
+		return cls, res, nil
+	default:
+		return nil, zero, fmt.Errorf("pautoclass: unknown strategy %d", int(opts.Strategy))
+	}
+}
+
+// Search runs the full replicated BIG_LOOP in parallel. Every rank returns
+// the identical SearchResult.
+func Search(comm *mpi.Comm, ds *dataset.Dataset, spec model.Spec,
+	cfg autoclass.SearchConfig, opts Options) (*autoclass.SearchResult, error) {
+	if ds.N() == 0 {
+		return nil, errors.New("pautoclass: empty dataset")
+	}
+	view, err := PartitionView(comm, ds)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := ParallelPriors(comm, view, &opts)
+	if err != nil {
+		return nil, err
+	}
+	runner := func(startJ int, seed uint64) (*autoclass.Classification, autoclass.EMResult, error) {
+		return RunTrial(comm, view, pr, spec, startJ, seed, opts)
+	}
+	return autoclass.SearchWith(runner, cfg)
+}

@@ -1,0 +1,187 @@
+// Package plot renders multi-series line charts as ASCII — the closest a
+// terminal gets to the paper's Figs. 6–8. The benchfigs tool uses it to
+// draw the speedup and scaleup curves next to their tables.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one labeled curve.
+type Series struct {
+	// Label appears in the legend.
+	Label string
+	// Y are the values at the shared X positions.
+	Y []float64
+}
+
+// Chart is a multi-series line chart over shared X positions.
+type Chart struct {
+	// Title is printed above the plot.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// X are the shared x positions (e.g. processor counts).
+	X []float64
+	// Series are the curves.
+	Series []Series
+	// Width and Height are the plot-area dimensions in characters
+	// (defaults 60×18 if zero).
+	Width, Height int
+}
+
+// seriesMarks assigns each series a distinct mark.
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '~', '='}
+
+// Render draws the chart. It returns an error for empty or inconsistent
+// input.
+func (c *Chart) Render() (string, error) {
+	if len(c.X) == 0 {
+		return "", errors.New("plot: no x positions")
+	}
+	if len(c.Series) == 0 {
+		return "", errors.New("plot: no series")
+	}
+	for _, s := range c.Series {
+		if len(s.Y) != len(c.X) {
+			return "", fmt.Errorf("plot: series %q has %d points for %d x positions", s.Label, len(s.Y), len(c.X))
+		}
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 18
+	}
+	xmin, xmax := c.X[0], c.X[0]
+	for _, x := range c.X {
+		xmin = math.Min(xmin, x)
+		xmax = math.Max(xmax, x)
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, y := range s.Y {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				return "", fmt.Errorf("plot: series %q contains a non-finite value", s.Label)
+			}
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	// Grid of the plot area.
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	toCol := func(x float64) int {
+		col := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		if col < 0 {
+			col = 0
+		}
+		if col >= width {
+			col = width - 1
+		}
+		return col
+	}
+	toRow := func(y float64) int {
+		row := int(math.Round((ymax - y) / (ymax - ymin) * float64(height-1)))
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		return row
+	}
+	// Draw line segments between consecutive points, then overdraw marks.
+	for si, s := range c.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i := 1; i < len(c.X); i++ {
+			drawSegment(grid, toCol(c.X[i-1]), toRow(s.Y[i-1]), toCol(c.X[i]), toRow(s.Y[i]))
+		}
+		for i := range c.X {
+			grid[toRow(s.Y[i])][toCol(c.X[i])] = mark
+		}
+	}
+	// Assemble with axes.
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yLab := fmt.Sprintf("%s ", c.YLabel)
+	pad := strings.Repeat(" ", len(yLab))
+	for r := 0; r < height; r++ {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%s%8.2f |%s\n", pad, ymax, string(grid[r]))
+		case height - 1:
+			fmt.Fprintf(&b, "%s%8.2f |%s\n", yLab, ymin, string(grid[r]))
+		case height / 2:
+			label := yLab
+			if len(label) > len(pad) {
+				label = label[:len(pad)]
+			}
+			fmt.Fprintf(&b, "%s%8s |%s\n", label, "", string(grid[r]))
+		default:
+			fmt.Fprintf(&b, "%s%8s |%s\n", pad, "", string(grid[r]))
+		}
+	}
+	fmt.Fprintf(&b, "%s%8s +%s\n", pad, "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s%8s  %-*.6g%*.6g  (%s)\n", pad, "", width/2, xmin, width/2-1, xmax, c.XLabel)
+	// Legend.
+	fmt.Fprintf(&b, "%s%8s  legend:", pad, "")
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "  %c %s", seriesMarks[si%len(seriesMarks)], s.Label)
+	}
+	b.WriteByte('\n')
+	return b.String(), nil
+}
+
+// drawSegment rasterizes a line between two grid cells (Bresenham).
+func drawSegment(grid [][]byte, c0, r0, c1, r1 int) {
+	dc := abs(c1 - c0)
+	dr := -abs(r1 - r0)
+	sc := 1
+	if c0 > c1 {
+		sc = -1
+	}
+	sr := 1
+	if r0 > r1 {
+		sr = -1
+	}
+	err := dc + dr
+	for {
+		if grid[r0][c0] == ' ' {
+			grid[r0][c0] = '.'
+		}
+		if c0 == c1 && r0 == r1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dr {
+			err += dr
+			c0 += sc
+		}
+		if e2 <= dc {
+			err += dc
+			r0 += sr
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

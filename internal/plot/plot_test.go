@@ -1,0 +1,149 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func simpleChart() *Chart {
+	return &Chart{
+		Title:  "speedup",
+		XLabel: "processors",
+		YLabel: "T1/Tp",
+		X:      []float64{1, 2, 4, 8},
+		Series: []Series{
+			{Label: "100k", Y: []float64{1, 1.9, 3.8, 7.4}},
+			{Label: "5k", Y: []float64{1, 1.7, 2.6, 3.0}},
+		},
+	}
+}
+
+func TestRenderBasics(t *testing.T) {
+	out, err := simpleChart().Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"speedup", "processors", "legend:", "* 100k", "o 5k", "7.40", "1.00"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Marks for both series appear.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("marks missing:\n%s", out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	c := simpleChart()
+	c.X = nil
+	if _, err := c.Render(); err == nil {
+		t.Error("empty X accepted")
+	}
+	c = simpleChart()
+	c.Series = nil
+	if _, err := c.Render(); err == nil {
+		t.Error("no series accepted")
+	}
+	c = simpleChart()
+	c.Series[0].Y = []float64{1}
+	if _, err := c.Render(); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	c = simpleChart()
+	c.Series[0].Y[0] = math.NaN()
+	if _, err := c.Render(); err == nil {
+		t.Error("NaN accepted")
+	}
+	c = simpleChart()
+	c.Series[0].Y[0] = math.Inf(1)
+	if _, err := c.Render(); err == nil {
+		t.Error("Inf accepted")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	c := &Chart{
+		X:      []float64{1, 2, 3},
+		Series: []Series{{Label: "flat", Y: []float64{5, 5, 5}}},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat series not drawn:\n%s", out)
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	c := &Chart{
+		X:      []float64{3},
+		Series: []Series{{Label: "pt", Y: []float64{2}}},
+	}
+	if _, err := c.Render(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncreasingCurveOrientation(t *testing.T) {
+	// An increasing curve's mark in the last column must be on a higher
+	// row (smaller row index) than the first column's.
+	c := &Chart{
+		X:      []float64{0, 10},
+		Series: []Series{{Label: "up", Y: []float64{0, 10}}},
+		Width:  20, Height: 10,
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	firstMarkRow, lastMarkRow := -1, -1
+	for r, line := range lines {
+		idx := strings.IndexByte(line, '*')
+		if idx < 0 {
+			continue
+		}
+		if lastMarkRow == -1 || idx > strings.IndexByte(lines[lastMarkRow], '*') {
+			lastMarkRow = r
+		}
+		if firstMarkRow == -1 {
+			firstMarkRow = r
+		}
+	}
+	if firstMarkRow == -1 {
+		t.Fatalf("no marks:\n%s", out)
+	}
+	// The highest Y (value 10) renders near the top; since the curve is
+	// increasing, the topmost mark is the right endpoint.
+	top := lines[firstMarkRow]
+	if strings.IndexByte(top, '*') < len(top)/2 {
+		t.Fatalf("top mark not on the right for an increasing curve:\n%s", out)
+	}
+}
+
+func TestManySeriesCycleMarks(t *testing.T) {
+	c := &Chart{X: []float64{1, 2}}
+	for i := 0; i < 12; i++ {
+		c.Series = append(c.Series, Series{Label: "s", Y: []float64{float64(i), float64(i + 1)}})
+	}
+	if _, err := c.Render(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultDimensions(t *testing.T) {
+	c := simpleChart()
+	c.Width, c.Height = 0, 0
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 18 rows + axis + xlabel + legend
+	if len(lines) != 1+18+3 {
+		t.Fatalf("line count %d:\n%s", len(lines), out)
+	}
+}

@@ -1,0 +1,228 @@
+// Package rng provides a deterministic, splittable pseudo-random number
+// generator and the sampling distributions used by the AutoClass engine and
+// the synthetic workload generators.
+//
+// Determinism matters twice in this repository: the sequential and parallel
+// engines must make bit-identical random decisions (class initialisation,
+// restarts), and experiments must be reproducible run to run. The generator
+// is therefore a pure-Go xoshiro256** with an explicit seed, plus a Split
+// operation that derives statistically independent child streams — one per
+// rank, per try, per class — without any shared state.
+package rng
+
+import (
+	"math"
+)
+
+// Source is a deterministic xoshiro256** generator.
+//
+// The zero value is not usable; construct one with New or Split. Source is
+// not safe for concurrent use; give each goroutine its own stream via Split.
+type Source struct {
+	s [4]uint64
+}
+
+// splitmix64 is used to expand seeds into full generator state, as
+// recommended by the xoshiro authors.
+func splitmix64(x uint64) (uint64, uint64) {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return x, z ^ (z >> 31)
+}
+
+// New returns a Source seeded from seed. Distinct seeds give independent
+// streams; the same seed always gives the same stream.
+func New(seed uint64) *Source {
+	var src Source
+	x := seed
+	for i := range src.s {
+		x, src.s[i] = splitmix64(x)
+	}
+	// xoshiro state must not be all zero; splitmix64 output can only be all
+	// zero with negligible probability, but be safe.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &src
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split returns a new Source whose stream is statistically independent of
+// the receiver's. The receiver advances by one draw. Splitting the same
+// parent at the same point with the same tag is deterministic.
+func (r *Source) Split(tag uint64) *Source {
+	return New(r.Uint64() ^ (tag * 0x9e3779b97f4a7c15))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling would be overkill here;
+	// modulo bias is < 2^-32 for the n used in this repository, but reject
+	// anyway to keep the stream exactly uniform.
+	bound := uint64(n)
+	threshold := -bound % bound
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Norm returns a standard normal variate (mean 0, stddev 1) using the
+// Marsaglia polar method.
+func (r *Source) Norm() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// NormMS returns a normal variate with the given mean and standard
+// deviation. It panics if sigma < 0.
+func (r *Source) NormMS(mean, sigma float64) float64 {
+	if sigma < 0 {
+		panic("rng: negative sigma")
+	}
+	return mean + sigma*r.Norm()
+}
+
+// Exp returns an exponential variate with rate 1.
+func (r *Source) Exp() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Gamma returns a Gamma(shape, 1) variate using the Marsaglia–Tsang method
+// (with the shape<1 boost). It panics if shape <= 0.
+func (r *Source) Gamma(shape float64) float64 {
+	if shape <= 0 {
+		panic("rng: non-positive gamma shape")
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return r.Gamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.Norm()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Dirichlet fills out with a draw from a Dirichlet distribution with the
+// given concentration parameters. len(out) must equal len(alpha) and every
+// alpha must be positive.
+func (r *Source) Dirichlet(alpha []float64, out []float64) {
+	if len(out) != len(alpha) {
+		panic("rng: Dirichlet length mismatch")
+	}
+	sum := 0.0
+	for i, a := range alpha {
+		g := r.Gamma(a)
+		out[i] = g
+		sum += g
+	}
+	if sum == 0 {
+		// All gammas underflowed; fall back to uniform.
+		u := 1 / float64(len(out))
+		for i := range out {
+			out[i] = u
+		}
+		return
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+}
+
+// Categorical returns an index sampled proportionally to the non-negative
+// weights. It panics if the weights are empty or sum to zero.
+func (r *Source) Categorical(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("rng: negative or NaN categorical weight")
+		}
+		total += w
+	}
+	if len(weights) == 0 || total == 0 {
+		panic("rng: categorical weights empty or all zero")
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1 // guard against accumulated rounding
+}

@@ -1,0 +1,324 @@
+// Package stats provides the numerical routines shared by the AutoClass
+// engine, the model terms, and the test suite: numerically stable
+// log-domain reductions, weighted and streaming moments, and simple
+// goodness-of-fit helpers.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by reductions that require at least one value.
+var ErrEmpty = errors.New("stats: empty input")
+
+// LogSumExp returns log(sum_i exp(xs[i])) computed stably. It returns -Inf
+// for an empty slice and handles -Inf entries (zero probabilities)
+// gracefully.
+func LogSumExp(xs []float64) float64 {
+	maxVal := math.Inf(-1)
+	for _, x := range xs {
+		if x > maxVal {
+			maxVal = x
+		}
+	}
+	if math.IsInf(maxVal, -1) {
+		return math.Inf(-1) // all zero probabilities (or empty)
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Exp(x - maxVal)
+	}
+	return maxVal + math.Log(sum)
+}
+
+// LogAdd returns log(exp(a) + exp(b)) stably.
+func LogAdd(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}
+
+// NormalizeLog converts a slice of unnormalized log-probabilities into
+// probabilities in place and returns the log of the normalizer. The result
+// sums to 1 unless every input is -Inf, in which case the slice is set to a
+// uniform distribution and -Inf is returned.
+func NormalizeLog(logp []float64) float64 {
+	z := LogSumExp(logp)
+	if math.IsInf(z, -1) {
+		u := 1 / float64(len(logp))
+		for i := range logp {
+			logp[i] = u
+		}
+		return z
+	}
+	for i := range logp {
+		logp[i] = math.Exp(logp[i] - z)
+	}
+	return z
+}
+
+// Sum returns the plain sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs, or an error for empty input.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	return Sum(xs) / float64(len(xs)), nil
+}
+
+// MinMax returns the smallest and largest values in xs, or an error for
+// empty input.
+func MinMax(xs []float64) (minVal, maxVal float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	minVal, maxVal = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < minVal {
+			minVal = x
+		}
+		if x > maxVal {
+			maxVal = x
+		}
+	}
+	return minVal, maxVal, nil
+}
+
+// Moments is a streaming accumulator for weighted first and second moments
+// using West's weighted extension of Welford's algorithm. The zero value is
+// an empty accumulator ready for use.
+type Moments struct {
+	w    float64 // total weight
+	mean float64
+	m2   float64 // sum of w * (x - mean)^2
+}
+
+// Add folds value x with weight w (w >= 0) into the accumulator.
+func (m *Moments) Add(x, w float64) {
+	if w <= 0 {
+		return
+	}
+	m.w += w
+	delta := x - m.mean
+	r := delta * w / m.w
+	m.mean += r
+	m.m2 += m.w * delta * r * (m.w - w) / m.w
+}
+
+// AddUnweighted folds x with weight 1.
+func (m *Moments) AddUnweighted(x float64) { m.Add(x, 1) }
+
+// MomentsFromSums reconstructs an accumulator from raw reduced sums
+// (Σw, Σw·x, Σw·x²) — the form in which moments travel through an
+// Allreduce. Non-positive total weight yields an empty accumulator.
+func MomentsFromSums(w, sum, sumsq float64) Moments {
+	if w <= 0 {
+		return Moments{}
+	}
+	mean := sum / w
+	m2 := sumsq - sum*sum/w
+	if m2 < 0 {
+		m2 = 0
+	}
+	return Moments{w: w, mean: mean, m2: m2}
+}
+
+// Merge folds another accumulator into this one (parallel Welford merge).
+func (m *Moments) Merge(o Moments) {
+	if o.w == 0 {
+		return
+	}
+	if m.w == 0 {
+		*m = o
+		return
+	}
+	total := m.w + o.w
+	delta := o.mean - m.mean
+	m.m2 += o.m2 + delta*delta*m.w*o.w/total
+	m.mean += delta * o.w / total
+	m.w = total
+}
+
+// Weight returns the accumulated total weight.
+func (m *Moments) Weight() float64 { return m.w }
+
+// Mean returns the weighted mean (0 if no weight accumulated).
+func (m *Moments) Mean() float64 { return m.mean }
+
+// Variance returns the weighted population variance (0 if no weight).
+func (m *Moments) Variance() float64 {
+	if m.w == 0 {
+		return 0
+	}
+	v := m.m2 / m.w
+	if v < 0 { // guard tiny negative from rounding
+		return 0
+	}
+	return v
+}
+
+// StdDev returns the weighted population standard deviation.
+func (m *Moments) StdDev() float64 { return math.Sqrt(m.Variance()) }
+
+// LogNormalPDF returns log N(x | mean, sigma). Sigma must be positive.
+func LogNormalPDF(x, mean, sigma float64) float64 {
+	z := (x - mean) / sigma
+	return -0.5*z*z - math.Log(sigma) - 0.5*math.Log(2*math.Pi)
+}
+
+// LgammaPlus returns log Γ(x) for x > 0 (sign dropped; callers in this
+// repository only use positive arguments, where Γ is positive).
+func LgammaPlus(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// LogBeta returns log B(a, b) = lgamma(a) + lgamma(b) - lgamma(a+b).
+func LogBeta(a, b float64) float64 {
+	return LgammaPlus(a) + LgammaPlus(b) - LgammaPlus(a+b)
+}
+
+// LogDirichletNorm returns the log normalizing constant of a Dirichlet with
+// the given concentration vector: sum lgamma(a_i) - lgamma(sum a_i).
+func LogDirichletNorm(alpha []float64) float64 {
+	sum := 0.0
+	acc := 0.0
+	for _, a := range alpha {
+		acc += LgammaPlus(a)
+		sum += a
+	}
+	return acc - LgammaPlus(sum)
+}
+
+// RelDiff returns |a-b| / max(|a|, |b|, 1), a scale-free difference used by
+// the convergence tests.
+func RelDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	scale := math.Max(math.Max(math.Abs(a), math.Abs(b)), 1)
+	return d / scale
+}
+
+// AlmostEqual reports whether a and b agree to within tol both relatively
+// and absolutely (whichever is looser), treating NaNs as unequal.
+func AlmostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	return diff <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It sorts a copy of xs.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 {
+		return 0, errors.New("stats: quantile out of [0,1]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Histogram counts xs into nbins equal-width bins over [lo, hi]. Values
+// outside the range are clamped into the end bins.
+func Histogram(xs []float64, lo, hi float64, nbins int) []int {
+	counts := make([]int, nbins)
+	if nbins == 0 || hi <= lo {
+		return counts
+	}
+	width := (hi - lo) / float64(nbins)
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= nbins {
+			b = nbins - 1
+		}
+		counts[b]++
+	}
+	return counts
+}
+
+// ChiSquareUniform returns the chi-square statistic of observed counts
+// against a uniform expectation. Used by tests to sanity-check samplers.
+func ChiSquareUniform(counts []int) float64 {
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	if n == 0 || len(counts) == 0 {
+		return 0
+	}
+	want := float64(n) / float64(len(counts))
+	stat := 0.0
+	for _, c := range counts {
+		d := float64(c) - want
+		stat += d * d / want
+	}
+	return stat
+}
+
+// KLDivergence returns sum p_i log(p_i/q_i) for probability vectors p and q
+// (entries where p_i == 0 contribute zero). It returns +Inf if some q_i is
+// zero where p_i > 0.
+func KLDivergence(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("stats: KL length mismatch")
+	}
+	d := 0.0
+	for i := range p {
+		if p[i] == 0 {
+			continue
+		}
+		if q[i] == 0 {
+			return math.Inf(1)
+		}
+		d += p[i] * math.Log(p[i]/q[i])
+	}
+	return d
+}
+
+// Entropy returns the Shannon entropy (nats) of a probability vector.
+func Entropy(p []float64) float64 {
+	h := 0.0
+	for _, v := range p {
+		if v > 0 {
+			h -= v * math.Log(v)
+		}
+	}
+	return h
+}

@@ -1,0 +1,382 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestLogSumExpBasic(t *testing.T) {
+	xs := []float64{math.Log(1), math.Log(2), math.Log(3)}
+	got := LogSumExp(xs)
+	want := math.Log(6)
+	if !AlmostEqual(got, want, 1e-12) {
+		t.Fatalf("LogSumExp = %v, want %v", got, want)
+	}
+}
+
+func TestLogSumExpEmpty(t *testing.T) {
+	if !math.IsInf(LogSumExp(nil), -1) {
+		t.Fatal("LogSumExp(nil) should be -Inf")
+	}
+}
+
+func TestLogSumExpAllNegInf(t *testing.T) {
+	xs := []float64{math.Inf(-1), math.Inf(-1)}
+	if !math.IsInf(LogSumExp(xs), -1) {
+		t.Fatal("LogSumExp of all -Inf should be -Inf")
+	}
+}
+
+func TestLogSumExpHugeMagnitudes(t *testing.T) {
+	// Naive exp would overflow; the stable version must not.
+	xs := []float64{1000, 1000 + math.Log(2)}
+	got := LogSumExp(xs)
+	want := 1000 + math.Log(3)
+	if !AlmostEqual(got, want, 1e-12) {
+		t.Fatalf("LogSumExp = %v, want %v", got, want)
+	}
+}
+
+func TestLogAddMatchesLogSumExp(t *testing.T) {
+	cases := [][2]float64{{0, 0}, {-5, 3}, {700, 710}, {math.Inf(-1), 2}, {4, math.Inf(-1)}}
+	for _, c := range cases {
+		got := LogAdd(c[0], c[1])
+		want := LogSumExp(c[:])
+		if !AlmostEqual(got, want, 1e-12) && !(math.IsInf(got, -1) && math.IsInf(want, -1)) {
+			t.Fatalf("LogAdd(%v,%v) = %v, want %v", c[0], c[1], got, want)
+		}
+	}
+}
+
+func TestNormalizeLogSumsToOne(t *testing.T) {
+	logp := []float64{-1, -2, -3, -50}
+	z := NormalizeLog(logp)
+	if math.IsInf(z, -1) {
+		t.Fatal("unexpected -Inf normalizer")
+	}
+	if s := Sum(logp); !AlmostEqual(s, 1, 1e-12) {
+		t.Fatalf("normalized probabilities sum to %v", s)
+	}
+}
+
+func TestNormalizeLogDegenerate(t *testing.T) {
+	logp := []float64{math.Inf(-1), math.Inf(-1), math.Inf(-1), math.Inf(-1)}
+	z := NormalizeLog(logp)
+	if !math.IsInf(z, -1) {
+		t.Fatal("expected -Inf normalizer")
+	}
+	for _, p := range logp {
+		if !AlmostEqual(p, 0.25, 1e-12) {
+			t.Fatalf("degenerate normalize should be uniform, got %v", logp)
+		}
+	}
+}
+
+func TestQuickNormalizeLog(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		logp := make([]float64, len(raw))
+		for i, v := range raw {
+			// Map arbitrary floats into a sane log-prob range.
+			logp[i] = -math.Abs(math.Mod(v, 100))
+		}
+		NormalizeLog(logp)
+		sum := Sum(logp)
+		for _, p := range logp {
+			if p < 0 || p > 1 {
+				return false
+			}
+		}
+		return AlmostEqual(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanAndMinMax(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	m, err := Mean(xs)
+	if err != nil || !AlmostEqual(m, 2.8, 1e-12) {
+		t.Fatalf("Mean = %v, %v", m, err)
+	}
+	lo, hi, err := MinMax(xs)
+	if err != nil || lo != 1 || hi != 5 {
+		t.Fatalf("MinMax = %v, %v, %v", lo, hi, err)
+	}
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Fatal("Mean(nil) should return ErrEmpty")
+	}
+	if _, _, err := MinMax(nil); err != ErrEmpty {
+		t.Fatal("MinMax(nil) should return ErrEmpty")
+	}
+}
+
+func TestMomentsAgainstDirect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 10}
+	ws := []float64{1, 2, 1, 0.5, 3}
+	var m Moments
+	for i := range xs {
+		m.Add(xs[i], ws[i])
+	}
+	wsum := Sum(ws)
+	mean := 0.0
+	for i := range xs {
+		mean += ws[i] * xs[i]
+	}
+	mean /= wsum
+	variance := 0.0
+	for i := range xs {
+		d := xs[i] - mean
+		variance += ws[i] * d * d
+	}
+	variance /= wsum
+	if !AlmostEqual(m.Mean(), mean, 1e-12) {
+		t.Fatalf("weighted mean %v, want %v", m.Mean(), mean)
+	}
+	if !AlmostEqual(m.Variance(), variance, 1e-12) {
+		t.Fatalf("weighted variance %v, want %v", m.Variance(), variance)
+	}
+	if !AlmostEqual(m.Weight(), wsum, 1e-12) {
+		t.Fatalf("weight %v, want %v", m.Weight(), wsum)
+	}
+}
+
+func TestMomentsIgnoreNonPositiveWeight(t *testing.T) {
+	var m Moments
+	m.Add(5, 0)
+	m.Add(7, -1)
+	if m.Weight() != 0 || m.Mean() != 0 || m.Variance() != 0 {
+		t.Fatal("non-positive weights must be ignored")
+	}
+}
+
+func TestMomentsMergeEqualsSequential(t *testing.T) {
+	r := rng.New(5)
+	var whole, left, right Moments
+	for i := 0; i < 1000; i++ {
+		x := r.NormMS(3, 2)
+		w := r.Float64() + 0.1
+		whole.Add(x, w)
+		if i < 500 {
+			left.Add(x, w)
+		} else {
+			right.Add(x, w)
+		}
+	}
+	left.Merge(right)
+	if !AlmostEqual(left.Mean(), whole.Mean(), 1e-10) {
+		t.Fatalf("merged mean %v != %v", left.Mean(), whole.Mean())
+	}
+	if !AlmostEqual(left.Variance(), whole.Variance(), 1e-10) {
+		t.Fatalf("merged variance %v != %v", left.Variance(), whole.Variance())
+	}
+}
+
+func TestMomentsMergeEmpty(t *testing.T) {
+	var a, b Moments
+	a.Add(2, 1)
+	before := a
+	a.Merge(b) // merging empty is a no-op
+	if a != before {
+		t.Fatal("merging empty accumulator changed state")
+	}
+	b.Merge(a) // merging into empty copies
+	if b != before {
+		t.Fatal("merging into empty accumulator should copy")
+	}
+}
+
+func TestLogNormalPDFIntegratesToOne(t *testing.T) {
+	// Trapezoid integration of exp(logpdf) over a wide range.
+	const mean, sigma = 1.5, 0.7
+	sum := 0.0
+	const step = 0.001
+	for x := mean - 8*sigma; x <= mean+8*sigma; x += step {
+		sum += math.Exp(LogNormalPDF(x, mean, sigma)) * step
+	}
+	if math.Abs(sum-1) > 1e-3 {
+		t.Fatalf("normal pdf integrates to %v", sum)
+	}
+}
+
+func TestLogNormalPDFPeak(t *testing.T) {
+	if LogNormalPDF(0, 0, 1) < LogNormalPDF(1, 0, 1) {
+		t.Fatal("pdf should peak at the mean")
+	}
+}
+
+func TestLogBetaSymmetry(t *testing.T) {
+	if !AlmostEqual(LogBeta(2, 5), LogBeta(5, 2), 1e-12) {
+		t.Fatal("LogBeta should be symmetric")
+	}
+	// B(1,1) = 1.
+	if !AlmostEqual(LogBeta(1, 1), 0, 1e-12) {
+		t.Fatalf("LogBeta(1,1) = %v, want 0", LogBeta(1, 1))
+	}
+}
+
+func TestLogDirichletNormMatchesBeta(t *testing.T) {
+	got := LogDirichletNorm([]float64{2, 5})
+	want := LogBeta(2, 5)
+	if !AlmostEqual(got, want, 1e-12) {
+		t.Fatalf("LogDirichletNorm = %v, want %v", got, want)
+	}
+}
+
+func TestRelDiff(t *testing.T) {
+	if RelDiff(100, 101) > 0.02 {
+		t.Fatal("RelDiff(100,101) should be about 0.01")
+	}
+	if RelDiff(0, 0) != 0 {
+		t.Fatal("RelDiff(0,0) should be 0")
+	}
+	if RelDiff(0, 0.5) != 0.5 {
+		t.Fatal("RelDiff uses scale floor of 1")
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !AlmostEqual(1, 1+1e-13, 1e-9) {
+		t.Fatal("tiny relative difference should be equal")
+	}
+	if AlmostEqual(1, 2, 1e-9) {
+		t.Fatal("1 and 2 should not be almost equal")
+	}
+	if AlmostEqual(math.NaN(), math.NaN(), 1) {
+		t.Fatal("NaNs are never almost equal")
+	}
+	if !AlmostEqual(1e20, 1e20*(1+1e-12), 1e-9) {
+		t.Fatal("large values compare relatively")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	for _, c := range []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2},
+	} {
+		got, err := Quantile(xs, c.q)
+		if err != nil || !AlmostEqual(got, c.want, 1e-12) {
+			t.Fatalf("Quantile(%v) = %v, %v; want %v", c.q, got, err, c.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+		t.Fatal("Quantile(nil) should be ErrEmpty")
+	}
+	if _, err := Quantile(xs, 2); err == nil {
+		t.Fatal("Quantile out of range should error")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0.1, 0.9, 1.5, 2.9, -5, 99}
+	counts := Histogram(xs, 0, 3, 3)
+	// -5 clamps into bin 0, 99 clamps into bin 2.
+	want := []int{3, 1, 2}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("Histogram = %v, want %v", counts, want)
+		}
+	}
+	if got := Histogram(xs, 3, 0, 3); Sum64(got) != 0 {
+		t.Fatalf("degenerate range should count nothing, got %v", got)
+	}
+}
+
+// Sum64 sums an []int (test helper).
+func Sum64(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestChiSquareUniform(t *testing.T) {
+	if ChiSquareUniform([]int{100, 100, 100, 100}) != 0 {
+		t.Fatal("perfectly uniform counts should have zero statistic")
+	}
+	if ChiSquareUniform([]int{400, 0, 0, 0}) <= 100 {
+		t.Fatal("highly skewed counts should have large statistic")
+	}
+	if ChiSquareUniform(nil) != 0 {
+		t.Fatal("empty counts should be zero")
+	}
+}
+
+func TestKLDivergence(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	if d := KLDivergence(p, p); !AlmostEqual(d, 0, 1e-12) {
+		t.Fatalf("KL(p||p) = %v", d)
+	}
+	q := []float64{0.9, 0.1}
+	if d := KLDivergence(p, q); d <= 0 {
+		t.Fatalf("KL(p||q) = %v, want positive", d)
+	}
+	if d := KLDivergence([]float64{1, 0}, []float64{0, 1}); !math.IsInf(d, 1) {
+		t.Fatalf("KL with disjoint support should be +Inf, got %v", d)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if h := Entropy([]float64{1}); h != 0 {
+		t.Fatalf("point mass entropy %v", h)
+	}
+	want := math.Log(4)
+	if h := Entropy([]float64{0.25, 0.25, 0.25, 0.25}); !AlmostEqual(h, want, 1e-12) {
+		t.Fatalf("uniform entropy %v, want %v", h, want)
+	}
+}
+
+func TestQuickLogSumExpMonotone(t *testing.T) {
+	// Adding an element never decreases the LogSumExp.
+	f := func(xs []float64, extraRaw float64) bool {
+		clean := make([]float64, 0, len(xs))
+		for _, v := range xs {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, math.Mod(v, 500))
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		extra := math.Mod(extraRaw, 500)
+		if math.IsNaN(extra) {
+			extra = 0
+		}
+		before := LogSumExp(clean)
+		after := LogSumExp(append(clean, extra))
+		return after >= before-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLogSumExp(b *testing.B) {
+	xs := make([]float64, 64)
+	r := rng.New(1)
+	for i := range xs {
+		xs[i] = r.NormMS(0, 10)
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += LogSumExp(xs)
+	}
+	_ = sink
+}
+
+func BenchmarkMomentsAdd(b *testing.B) {
+	var m Moments
+	for i := 0; i < b.N; i++ {
+		m.Add(float64(i%100), 1)
+	}
+	_ = m.Mean()
+}

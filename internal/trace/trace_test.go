@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAddAndGet(t *testing.T) {
+	p := New()
+	p.Add("a", 1.5)
+	p.Add("a", 0.5)
+	p.Add("b", 1)
+	e := p.Get("a")
+	if e.Seconds != 2 || e.Calls != 2 {
+		t.Fatalf("entry %+v", e)
+	}
+	if p.Get("missing") != (Entry{}) {
+		t.Fatal("missing entry not zero")
+	}
+	if p.Total() != 3 {
+		t.Fatalf("total %v", p.Total())
+	}
+}
+
+func TestNegativeClamped(t *testing.T) {
+	p := New()
+	p.Add("a", -5)
+	if p.Get("a").Seconds != 0 {
+		t.Fatal("negative time recorded")
+	}
+}
+
+func TestFraction(t *testing.T) {
+	p := New()
+	p.Add("big", 9)
+	p.Add("small", 1)
+	if f := p.Fraction("big"); f != 0.9 {
+		t.Fatalf("fraction %v", f)
+	}
+	empty := New()
+	if empty.Fraction("x") != 0 {
+		t.Fatal("empty profile fraction not 0")
+	}
+}
+
+func TestTimeMeasures(t *testing.T) {
+	p := New()
+	stop := p.Time("sleepy")
+	time.Sleep(10 * time.Millisecond)
+	stop()
+	if e := p.Get("sleepy"); e.Seconds < 0.005 || e.Calls != 1 {
+		t.Fatalf("timer recorded %+v", e)
+	}
+}
+
+func TestNamesSortedByTime(t *testing.T) {
+	p := New()
+	p.Add("small", 1)
+	p.Add("big", 10)
+	p.Add("mid", 5)
+	names := p.Names()
+	if len(names) != 3 || names[0] != "big" || names[2] != "small" {
+		t.Fatalf("names %v", names)
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	p := New()
+	p.Add("update_wts", 5)
+	p.Add("update_approximations", 0.01)
+	tbl := p.Table()
+	for _, want := range []string{"update_wts", "update_approximations", "total", "%"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("table missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New()
+	p.Add("a", 1)
+	p.Reset()
+	if p.Total() != 0 || len(p.Names()) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	p := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 1000; k++ {
+				p.Add("shared", 0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if e := p.Get("shared"); e.Calls != 8000 {
+		t.Fatalf("calls %d", e.Calls)
+	}
+}

@@ -1,0 +1,313 @@
+// Package repro is P-AutoClass in Go: a reproduction of "Scalable Parallel
+// Clustering for Data Mining on Multicomputers" (Foti, Lipari, Pizzuti,
+// Talia; IPPS 2000 Workshops).
+//
+// It provides Bayesian unsupervised classification (AutoClass) over tabular
+// data with real and discrete attributes, a message-passing SPMD
+// parallelization of the full classification search (P-AutoClass), and a
+// simulated-multicomputer mode that reports elapsed times under the
+// paper's Meiko CS-2 machine model.
+//
+// Quick start:
+//
+//	ds, _ := repro.LoadDataset("data.txt")
+//	res, _ := repro.Cluster(ds, repro.DefaultSearchConfig())
+//	fmt.Println(repro.BuildReport(res.Best, ds))
+//
+// Parallel, on 8 in-process ranks:
+//
+//	res, stats, _ := repro.ClusterParallel(ds, repro.DefaultSearchConfig(),
+//	    repro.ParallelConfig{Procs: 8})
+//
+// The heavy lifting lives in the internal packages (see DESIGN.md for the
+// system inventory); this package is the stable facade.
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/autoclass"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/pautoclass"
+	"repro/internal/simnet"
+)
+
+// Core data types, re-exported.
+type (
+	// Dataset is a typed table of instances.
+	Dataset = dataset.Dataset
+	// Attribute describes one dataset column.
+	Attribute = dataset.Attribute
+	// Classification is a fitted mixture model.
+	Classification = autoclass.Classification
+	// Report is a human-readable classification summary with AutoClass-
+	// style influence values.
+	Report = autoclass.Report
+	// SearchConfig controls the BIG_LOOP model search.
+	SearchConfig = autoclass.SearchConfig
+	// SearchResult is the outcome of a search: the best classification
+	// plus every try's record.
+	SearchResult = autoclass.SearchResult
+	// Machine is a simulated multicomputer model.
+	Machine = simnet.Machine
+	// GaussianMixture specifies a synthetic workload.
+	GaussianMixture = datagen.GaussianMixture
+)
+
+// Attribute kinds.
+const (
+	// Real marks a continuous attribute (modeled single_normal_cn).
+	Real = dataset.Real
+	// Discrete marks a nominal attribute (modeled single_multinomial).
+	Discrete = dataset.Discrete
+)
+
+// NewDataset creates an empty dataset with the given schema.
+func NewDataset(name string, attrs []Attribute) (*Dataset, error) {
+	return dataset.New(name, attrs)
+}
+
+// LoadDataset reads a dataset file: binary when the path ends in ".bin",
+// CSV with schema inference when it ends in ".csv", the native text format
+// otherwise.
+func LoadDataset(path string) (*Dataset, error) { return dataset.LoadFile(path) }
+
+// SaveDataset writes a dataset file in the format implied by the path.
+func SaveDataset(path string, ds *Dataset) error { return dataset.SaveFile(path, ds) }
+
+// Missing is the encoding of an unknown attribute value.
+var Missing = dataset.Missing
+
+// DefaultSearchConfig returns the paper-equivalent search settings
+// (start_j_list = 2,4,8,16,24,50,64, two tries each).
+func DefaultSearchConfig() SearchConfig { return autoclass.DefaultSearchConfig() }
+
+// MeikoCS2 returns the paper's experimental platform model.
+func MeikoCS2() Machine { return simnet.MeikoCS2() }
+
+// PentiumPC returns the paper's sequential anchor machine model.
+func PentiumPC() Machine { return simnet.PentiumPC() }
+
+// Cluster runs the sequential AutoClass search over the dataset with the
+// independent-attribute model.
+func Cluster(ds *Dataset, cfg SearchConfig) (*SearchResult, error) {
+	if ds == nil {
+		return nil, errors.New("repro: nil dataset")
+	}
+	return autoclass.Search(ds, model.DefaultSpec(ds), cfg, nil)
+}
+
+// ClusterCorrelated is Cluster with all real attributes modeled jointly by
+// a full-covariance Gaussian per class (AutoClass multi_normal_cn).
+func ClusterCorrelated(ds *Dataset, cfg SearchConfig) (*SearchResult, error) {
+	if ds == nil {
+		return nil, errors.New("repro: nil dataset")
+	}
+	return autoclass.Search(ds, model.CorrelatedSpec(ds), cfg, nil)
+}
+
+// Strategy selects the parallelization variant.
+type Strategy = pautoclass.Strategy
+
+// Parallelization strategies.
+const (
+	// Full is P-AutoClass (both EM phases parallel).
+	Full = pautoclass.Full
+	// WtsOnly is the update_wts-only prior-art baseline.
+	WtsOnly = pautoclass.WtsOnly
+)
+
+// ParallelConfig configures ClusterParallel.
+type ParallelConfig struct {
+	// Procs is the number of ranks (goroutines connected by the message-
+	// passing substrate). Must be >= 1.
+	Procs int
+	// Strategy selects Full (default) or WtsOnly.
+	Strategy Strategy
+	// Machine, when non-nil, runs the whole group under virtual clocks on
+	// this machine model and reports the simulated elapsed time.
+	Machine *Machine
+	// UseTCP routes every message over loopback TCP sockets instead of
+	// in-process channels, exercising the distributed deployment path.
+	UseTCP bool
+}
+
+// ParallelStats reports timing of a parallel run.
+type ParallelStats struct {
+	// WallSeconds is the real elapsed time.
+	WallSeconds float64
+	// VirtualSeconds and VirtualCommSeconds are the simulated machine's
+	// elapsed and communication time (zero unless a Machine was set).
+	VirtualSeconds, VirtualCommSeconds float64
+}
+
+// ClusterParallel runs the P-AutoClass search across pc.Procs ranks and
+// returns rank 0's result (all ranks produce the identical classification).
+func ClusterParallel(ds *Dataset, cfg SearchConfig, pc ParallelConfig) (*SearchResult, *ParallelStats, error) {
+	if ds == nil {
+		return nil, nil, errors.New("repro: nil dataset")
+	}
+	if pc.Procs < 1 {
+		return nil, nil, fmt.Errorf("repro: %d procs", pc.Procs)
+	}
+	var res *SearchResult
+	stats := &ParallelStats{}
+	start := time.Now()
+	body := func(c *mpi.Comm) error {
+		opts := pautoclass.Options{EM: cfg.EM, Strategy: pc.Strategy}
+		if pc.Machine != nil {
+			clk, err := simnet.NewClock(*pc.Machine)
+			if err != nil {
+				return err
+			}
+			opts.Clock = clk
+		}
+		r, err := pautoclass.Search(c, ds, model.DefaultSpec(ds), cfg, opts)
+		if err != nil {
+			return err
+		}
+		if opts.Clock != nil {
+			if err := opts.Clock.SyncBarrier(c); err != nil {
+				return err
+			}
+		}
+		if c.Rank() == 0 {
+			res = r
+			if opts.Clock != nil {
+				stats.VirtualSeconds = opts.Clock.Elapsed()
+				stats.VirtualCommSeconds = opts.Clock.CommSeconds()
+			}
+		}
+		return nil
+	}
+	var err error
+	if pc.UseTCP {
+		err = mpi.RunTCP(pc.Procs, body)
+	} else {
+		err = mpi.Run(pc.Procs, body)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.WallSeconds = time.Since(start).Seconds()
+	return res, stats, nil
+}
+
+// BuildReport renders the classification as an AutoClass-style report.
+func BuildReport(cls *Classification, ds *Dataset) *Report {
+	return autoclass.BuildReport(cls, ds)
+}
+
+// SaveCheckpoint and LoadCheckpoint persist classifications as JSON.
+func SaveCheckpoint(path string, cls *Classification) error {
+	return autoclass.SaveCheckpointFile(path, cls)
+}
+
+// LoadCheckpoint restores a classification saved by SaveCheckpoint,
+// validating it against the dataset's schema.
+func LoadCheckpoint(path string, ds *Dataset) (*Classification, error) {
+	return autoclass.LoadCheckpointFile(path, ds)
+}
+
+// PaperDataset generates n tuples of the paper's synthetic evaluation
+// workload (two real attributes, five Gaussian clusters).
+func PaperDataset(n int, seed uint64) (*Dataset, error) {
+	return datagen.Paper(n, seed)
+}
+
+// FormatHMS renders seconds in the paper's h.mm.ss format.
+func FormatHMS(seconds float64) string { return simnet.FormatHMS(seconds) }
+
+// PCCluster returns a commodity-PC-cluster machine model (the paper's
+// portability target).
+func PCCluster() Machine { return simnet.PCCluster() }
+
+// ModelSearchResult is the outcome of the two-level search (model forms ×
+// class counts).
+type ModelSearchResult = autoclass.ModelSearchResult
+
+// ClusterModels runs AutoClass's full two-level search: for every
+// applicable model form (independent attributes; correlated reals when the
+// dataset has two or more; log-normal reals when all are positive), the
+// complete BIG_LOOP — keeping the best classification across forms.
+func ClusterModels(ds *Dataset, cfg SearchConfig) (*ModelSearchResult, error) {
+	if ds == nil {
+		return nil, errors.New("repro: nil dataset")
+	}
+	sum := ds.Summarize()
+	return autoclass.SearchModels(ds, autoclass.StandardSpecCandidates(ds, sum), cfg, nil)
+}
+
+// CaseAssignment is one instance's class-membership record.
+type CaseAssignment = autoclass.CaseAssignment
+
+// AssignCases returns every instance's class memberships above the
+// threshold (the most probable class is always included).
+func AssignCases(cls *Classification, ds *Dataset, threshold float64) []CaseAssignment {
+	return autoclass.AssignCases(cls, ds.All(), threshold)
+}
+
+// WriteCases renders AutoClass-style case assignments to w.
+func WriteCases(w io.Writer, cls *Classification, ds *Dataset, threshold float64) error {
+	return autoclass.WriteCases(w, cls, ds.All(), threshold)
+}
+
+// ClassSizes returns the hard-assignment population of every class.
+func ClassSizes(cls *Classification, ds *Dataset) []int {
+	return autoclass.ClassSizes(cls, ds.All())
+}
+
+// MeanMaxMembership measures classification sharpness: the mean maximum
+// membership probability (≈1 for well-separated classes, ≈1/J for heavily
+// overlapped ones — the paper's §2 notion).
+func MeanMaxMembership(cls *Classification, ds *Dataset) float64 {
+	return autoclass.MeanMaxMembership(cls, ds.All())
+}
+
+// Contingency is a label × cluster co-occurrence table with external
+// clustering-quality metrics (Purity, AdjustedRandIndex,
+// NormalizedMutualInformation).
+type Contingency = eval.Contingency
+
+// Evaluate tabulates the classification's hard assignments against known
+// labels (len(labels) must equal ds.N()). AutoClass never uses labels; this
+// is for validating discovered structure against a planted or expert truth.
+func Evaluate(cls *Classification, ds *Dataset, labels []int) (*Contingency, error) {
+	if ds == nil || cls == nil {
+		return nil, errors.New("repro: nil dataset or classification")
+	}
+	if len(labels) != ds.N() {
+		return nil, fmt.Errorf("repro: %d labels for %d instances", len(labels), ds.N())
+	}
+	clusters := make([]int, ds.N())
+	for i := 0; i < ds.N(); i++ {
+		clusters[i] = cls.HardAssign(ds.Row(i))
+	}
+	return eval.NewContingency(labels, clusters)
+}
+
+// PaperMixtureForTest exposes the paper-workload generator spec so tests
+// and examples can generate labeled data.
+func PaperMixtureForTest() *GaussianMixture { return datagen.PaperMixture() }
+
+// SplitDataset deterministically shuffles and splits the dataset into
+// train/test parts for held-out evaluation.
+func SplitDataset(ds *Dataset, trainFrac float64, seed uint64) (train, test *Dataset, err error) {
+	if ds == nil {
+		return nil, nil, errors.New("repro: nil dataset")
+	}
+	return dataset.SplitShuffled(ds, trainFrac, seed)
+}
+
+// HeldoutLogLik returns the total log-likelihood of unseen instances under
+// the classification — the held-out validation of model selection.
+func HeldoutLogLik(cls *Classification, ds *Dataset) float64 {
+	return autoclass.HeldoutLogLik(cls, ds.All())
+}
