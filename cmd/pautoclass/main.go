@@ -40,6 +40,7 @@ func run(args []string, w io.Writer) error {
 	startJ := fs.String("start-j", "2,4,8,16,24,50,64", "comma-separated start_j_list")
 	tries := fs.Int("tries", 2, "random restarts per start J")
 	maxCycles := fs.Int("max-cycles", 200, "base_cycle cap per try")
+	parallelism := fs.Int("parallelism", 0, "intra-rank worker goroutines per base_cycle (0 = sequential, -1 = GOMAXPROCS)")
 	seed := fs.Uint64("seed", 1, "search seed")
 	strategy := fs.String("strategy", "full", "parallel strategy: full or wtsonly")
 	granularity := fs.String("granularity", "perterm", "statistics exchange: perterm or packed")
@@ -65,6 +66,7 @@ func run(args []string, w io.Writer) error {
 	cfg.Seed = *seed
 	cfg.Tries = *tries
 	cfg.EM.MaxCycles = *maxCycles
+	cfg.EM.Parallelism = *parallelism
 	cfg.StartJList = nil
 	for _, tok := range strings.Split(*startJ, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(tok))

@@ -69,6 +69,21 @@ type Config struct {
 	PruneClasses bool
 	// Granularity selects the statistics-exchange pattern (parallel only).
 	Granularity Granularity
+	// Parallelism selects the intra-rank execution mode of the two
+	// data-parallel phases (the E-step of update_wts and the statistics
+	// accumulation of update_parameters):
+	//
+	//	 0 — historical strictly-sequential row loop (the default;
+	//	     bit-for-bit the seed engine's numerics);
+	//	 1 — the deterministic sharded path on a single worker;
+	//	>1 — the sharded path on that many worker goroutines;
+	//	<0 — the sharded path on runtime.GOMAXPROCS(0) workers.
+	//
+	// The sharded path merges fixed-size row shards in ascending shard
+	// order, so its results are bitwise identical for every value >= 1 —
+	// changing the worker count never changes the search trajectory. See
+	// parallel.go for the determinism invariant.
+	Parallelism int
 }
 
 // DefaultConfig returns the engine defaults.
@@ -147,6 +162,10 @@ type Engine struct {
 	lastPost    float64
 	started     bool
 	initSeconds float64
+
+	scratch  shardScratch // per-shard accumulators, reused across cycles
+	statsBuf []float64    // merged statistics buffer, reused across cycles
+	logps    [][]float64  // per-worker log-membership scratch
 }
 
 // NewEngine validates inputs and builds an engine.
@@ -231,6 +250,10 @@ func (e *Engine) InitRandom(seed uint64) error {
 // and class, normalize per item, and produce the class sums w_j plus the
 // data log-likelihood. The returned buffer is {w_0 … w_{J−1}, logLik},
 // which the caller reduces globally — this is P-AutoClass's first Allreduce.
+//
+// With Parallelism != 0 the rows are processed shard by shard on a worker
+// pool; each worker writes only its shard's rows of e.wts (disjoint slices)
+// and a per-shard accumulator, merged afterwards in fixed shard order.
 func (e *Engine) updateWts() ([]float64, error) {
 	n := e.view.N()
 	j := e.cls.J()
@@ -238,8 +261,30 @@ func (e *Engine) updateWts() ([]float64, error) {
 		e.wts = make([]float64, n*j)
 	}
 	out := make([]float64, j+1)
-	logp := make([]float64, j)
-	for i := 0; i < n; i++ {
+	if shards := NumRowShards(n); e.cfg.Parallelism != 0 && shards > 0 {
+		workers := e.cfg.Workers(shards)
+		bufs := e.scratch.get(shards, j+1)
+		logps := e.workerLogps(workers, j)
+		ParallelFor(workers, shards, func(worker, s int) {
+			lo, hi := RowShardRange(s, n)
+			e.wtsRows(lo, hi, bufs[s], logps[worker][:j])
+		})
+		mergeShards(out, bufs)
+	} else {
+		e.wtsRows(0, n, out, make([]float64, j))
+	}
+	a := float64(e.cls.NumAttrColumns())
+	e.charge(float64(n) * float64(j) * (a + 1))
+	return out, nil
+}
+
+// wtsRows runs the E-step over rows [lo, hi), writing each row's weights
+// into e.wts and accumulating the class sums and log-likelihood into out
+// (length J+1). logp is caller-owned scratch of length J. It only reads
+// shared classification state, so disjoint row ranges may run concurrently.
+func (e *Engine) wtsRows(lo, hi int, out, logp []float64) {
+	j := e.cls.J()
+	for i := lo; i < hi; i++ {
 		row := e.view.Row(i)
 		e.cls.LogMembership(row, logp)
 		z := stats.NormalizeLog(logp)
@@ -252,9 +297,20 @@ func (e *Engine) updateWts() ([]float64, error) {
 			out[j] += z
 		}
 	}
-	a := float64(e.cls.NumAttrColumns())
-	e.charge(float64(n) * float64(j) * (a + 1))
-	return out, nil
+}
+
+// workerLogps returns per-worker scratch vectors of length j, reused
+// across cycles.
+func (e *Engine) workerLogps(workers, j int) [][]float64 {
+	if len(e.logps) < workers {
+		e.logps = make([][]float64, workers)
+	}
+	for w := 0; w < workers; w++ {
+		if len(e.logps[w]) < j {
+			e.logps[w] = make([]float64, j)
+		}
+	}
+	return e.logps
 }
 
 // updateParameters is the M-step (paper Fig. 5): for every class and every
@@ -266,14 +322,50 @@ func (e *Engine) updateWts() ([]float64, error) {
 func (e *Engine) updateParameters() (reducedValues, reductions int, err error) {
 	n := e.view.N()
 	j := e.cls.J()
+	if e.cfg.Granularity != PerTerm && e.cfg.Granularity != Packed {
+		return 0, 0, fmt.Errorf("autoclass: unknown granularity %d", int(e.cfg.Granularity))
+	}
+	// Accumulate every (class, term) statistic in one row-major pass. Each
+	// slot's additions still happen in ascending row order, so the totals
+	// are bitwise the ones the per-term loops would produce, and the single
+	// pass over the rows is kinder to the cache and shardable.
+	offs := make([]int, 0, j*len(e.cls.Classes[0].Terms)+1)
+	total := 0
+	for _, cl := range e.cls.Classes {
+		for _, term := range cl.Terms {
+			offs = append(offs, total)
+			total += term.StatsSize()
+		}
+	}
+	offs = append(offs, total)
+	if cap(e.statsBuf) < total {
+		e.statsBuf = make([]float64, total)
+	}
+	buf := e.statsBuf[:total]
+	for i := range buf {
+		buf[i] = 0
+	}
+	if shards := NumRowShards(n); e.cfg.Parallelism != 0 && shards > 0 {
+		workers := e.cfg.Workers(shards)
+		bufs := e.scratch.get(shards, total)
+		ParallelFor(workers, shards, func(_, s int) {
+			lo, hi := RowShardRange(s, n)
+			e.statsRows(lo, hi, bufs[s], offs)
+		})
+		mergeShards(buf, bufs)
+	} else {
+		e.statsRows(0, n, buf, offs)
+	}
+	// Exchange and re-estimate. The reduction pattern — one Allreduce per
+	// (class, term) pair, or one packed exchange — is untouched by the
+	// intra-rank parallelism; only the accumulation above was sharded.
 	switch e.cfg.Granularity {
 	case PerTerm:
+		ti := 0
 		for cj, cl := range e.cls.Classes {
 			for bi, term := range cl.Terms {
-				st := make([]float64, term.StatsSize())
-				for i := 0; i < n; i++ {
-					term.AccumulateStats(e.view.Row(i), e.wts[i*j+cj], st)
-				}
+				st := buf[offs[ti]:offs[ti+1]]
+				ti++
 				v, err := e.reduce(st)
 				if err != nil {
 					return reducedValues, reductions, fmt.Errorf("autoclass: reduce class %d block %d: %w", cj, bi, err)
@@ -286,23 +378,6 @@ func (e *Engine) updateParameters() (reducedValues, reductions int, err error) {
 			}
 		}
 	case Packed:
-		total := 0
-		for _, cl := range e.cls.Classes {
-			for _, term := range cl.Terms {
-				total += term.StatsSize()
-			}
-		}
-		buf := make([]float64, total)
-		pos := 0
-		for cj, cl := range e.cls.Classes {
-			for _, term := range cl.Terms {
-				st := buf[pos : pos+term.StatsSize()]
-				for i := 0; i < n; i++ {
-					term.AccumulateStats(e.view.Row(i), e.wts[i*j+cj], st)
-				}
-				pos += term.StatsSize()
-			}
-		}
 		v, err := e.reduce(buf)
 		if err != nil {
 			return reducedValues, reductions, fmt.Errorf("autoclass: packed reduce: %w", err)
@@ -311,19 +386,37 @@ func (e *Engine) updateParameters() (reducedValues, reductions int, err error) {
 			reducedValues += v
 			reductions++
 		}
-		pos = 0
+		ti := 0
 		for _, cl := range e.cls.Classes {
 			for _, term := range cl.Terms {
-				term.Update(buf[pos : pos+term.StatsSize()])
-				pos += term.StatsSize()
+				term.Update(buf[offs[ti]:offs[ti+1]])
+				ti++
 			}
 		}
-	default:
-		return 0, 0, fmt.Errorf("autoclass: unknown granularity %d", int(e.cfg.Granularity))
 	}
 	a := float64(e.cls.NumAttrColumns())
 	e.charge(float64(n) * float64(j) * a)
 	return reducedValues, reductions, nil
+}
+
+// statsRows folds rows [lo, hi) into buf, which holds every (class, term)
+// statistics vector back to back at the offsets in offs (len(offs) is the
+// term count + 1). AccumulateStats only reads term state and writes the
+// caller's slice, so disjoint row ranges may run concurrently on disjoint
+// buffers.
+func (e *Engine) statsRows(lo, hi int, buf []float64, offs []int) {
+	j := e.cls.J()
+	for i := lo; i < hi; i++ {
+		row := e.view.Row(i)
+		ti := 0
+		for cj, cl := range e.cls.Classes {
+			w := e.wts[i*j+cj]
+			for _, term := range cl.Terms {
+				term.AccumulateStats(row, w, buf[offs[ti]:offs[ti+1]])
+				ti++
+			}
+		}
+	}
 }
 
 // updateApproximations refreshes the cached posterior quantities — the

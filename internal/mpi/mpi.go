@@ -85,8 +85,11 @@ func (o Op) apply(dst, src []float64) error {
 
 // Transport moves tagged float64 payloads between the ranks of a group.
 // Implementations must deliver messages between each ordered pair of ranks
-// in FIFO order. Send may retain the slice until delivery; callers must not
-// modify a sent buffer. Recv returns a fresh slice owned by the caller.
+// in FIFO order. Send must not retain data after it returns — it copies (or
+// fully serializes) the payload, so callers are free to reuse the slice
+// immediately; the communicator relies on this to keep reusable scratch
+// buffers across collectives. Recv returns a fresh slice owned by the
+// caller.
 type Transport interface {
 	// Rank returns this endpoint's rank in [0, Size).
 	Rank() int
@@ -145,6 +148,13 @@ type Comm struct {
 	algo     AllreduceAlgo
 	seq      int // collective sequence number, must advance identically on all ranks
 	observer CollectiveObserver
+
+	// Reusable scratch, safe because Comm is single-goroutine and Send
+	// never retains payloads: `one` carries single-value collectives
+	// without a per-call allocation, `bounds` holds the ring algorithms'
+	// fragment boundaries.
+	one    [1]float64
+	bounds []int
 }
 
 // NewComm wraps a transport endpoint in a communicator.
@@ -198,6 +208,19 @@ func (c *Comm) observe(name string, steps, sent int) {
 	if c.observer != nil {
 		c.observer.ObserveCollective(name, steps, sent)
 	}
+}
+
+// fragBounds returns the p+1 ring-fragment boundaries over n values in a
+// scratch buffer reused across collectives.
+func (c *Comm) fragBounds(p, n int) []int {
+	if cap(c.bounds) < p+1 {
+		c.bounds = make([]int, p+1)
+	}
+	b := c.bounds[:p+1]
+	for i := 0; i <= p; i++ {
+		b[i] = i * n / p
+	}
+	return b
 }
 
 // Barrier blocks until every rank of the group has entered it.
@@ -281,13 +304,10 @@ func (c *Comm) ReduceScatter(op Op, data []float64) ([]float64, error) {
 	p := c.Size()
 	me := c.Rank()
 	n := len(data)
-	bounds := make([]int, p+1)
-	for i := 0; i <= p; i++ {
-		bounds[i] = i * n / p
-	}
 	if p == 1 {
 		return append([]float64(nil), data...), nil
 	}
+	bounds := c.fragBounds(p, n)
 	frag := func(i int) []float64 {
 		i = ((i % p) + p) % p
 		return data[bounds[i]:bounds[i+1]]
@@ -312,20 +332,23 @@ func (c *Comm) ReduceScatter(op Op, data []float64) ([]float64, error) {
 		steps++
 		sent += len(frag(sendIdx))
 	}
-	c.observe("reduce-scatter", steps, sent)
 	// After p−1 steps the standard ring leaves rank r holding the fully
 	// reduced fragment (r+1) mod p. One realignment hop gives every rank
 	// its own fragment: send the completed fragment to its owner (next),
-	// receive fragment `me` from the rank holding it (prev).
+	// receive fragment `me` from the rank holding it (prev). The hop is
+	// part of the collective, so it counts toward the observed totals.
 	done := (me + 1) % p
 	tag := c.collTag(2048)
 	if err := c.t.Send(next, tag, frag(done)); err != nil {
 		return nil, fmt.Errorf("mpi: reduce-scatter realign send: %w", err)
 	}
+	steps++
+	sent += len(frag(done))
 	got, err := c.t.Recv(prev, tag)
 	if err != nil {
 		return nil, fmt.Errorf("mpi: reduce-scatter realign recv: %w", err)
 	}
+	c.observe("reduce-scatter", steps, sent)
 	return got, nil
 }
 
@@ -441,20 +464,20 @@ func (c *Comm) Scatter(root int, parts [][]float64) ([]float64, error) {
 // BcastUint64 broadcasts a uint64 (e.g. a PRNG seed) from root, preserving
 // all 64 bits via the float64 bit pattern.
 func (c *Comm) BcastUint64(root int, v uint64) (uint64, error) {
-	buf := []float64{math.Float64frombits(v)}
-	if err := c.Bcast(root, buf); err != nil {
+	c.one[0] = math.Float64frombits(v)
+	if err := c.Bcast(root, c.one[:]); err != nil {
 		return 0, err
 	}
-	return math.Float64bits(buf[0]), nil
+	return math.Float64bits(c.one[0]), nil
 }
 
 // AllreduceFloat64 is a convenience single-value Allreduce.
 func (c *Comm) AllreduceFloat64(op Op, v float64) (float64, error) {
-	buf := []float64{v}
-	if err := c.Allreduce(op, buf); err != nil {
+	c.one[0] = v
+	if err := c.Allreduce(op, c.one[:]); err != nil {
 		return 0, err
 	}
-	return buf[0], nil
+	return c.one[0], nil
 }
 
 func (c *Comm) checkRoot(root int) error {
@@ -622,11 +645,7 @@ func (c *Comm) allreduceRing(op Op, data []float64) (steps, sent int, err error)
 		return 0, 0, nil
 	}
 	n := len(data)
-	// Fragment boundaries.
-	bounds := make([]int, p+1)
-	for i := 0; i <= p; i++ {
-		bounds[i] = i * n / p
-	}
+	bounds := c.fragBounds(p, n)
 	frag := func(i int) []float64 {
 		i = ((i % p) + p) % p
 		return data[bounds[i]:bounds[i+1]]

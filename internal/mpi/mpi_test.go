@@ -633,3 +633,35 @@ func TestReduceScatterThenAllgatherEqualsAllreduce(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// The realignment hop is part of the reduce-scatter collective, so the
+// observed totals must include it: p-1 ring steps plus one realign step,
+// each moving one n/p fragment.
+func TestReduceScatterObserverIncludesRealign(t *testing.T) {
+	const p, n = 4, 8
+	err := Run(p, func(c *Comm) error {
+		var gotSteps, gotSent int
+		c.SetObserver(observerFunc(func(name string, steps, sent int) {
+			if name == "reduce-scatter" {
+				gotSteps, gotSent = steps, sent
+			}
+		}))
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = float64(i)
+		}
+		if _, err := c.ReduceScatter(Sum, data); err != nil {
+			return err
+		}
+		if wantSteps := p; gotSteps != wantSteps {
+			return fmt.Errorf("rank %d observed %d steps, want %d", c.Rank(), gotSteps, wantSteps)
+		}
+		if wantSent := n; gotSent != wantSent {
+			return fmt.Errorf("rank %d observed %d sent values, want %d", c.Rank(), gotSent, wantSent)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -106,7 +106,9 @@ func (g *TCPGroup) Close() error {
 
 // StartTCPRank connects one rank of a distributed group. addrs lists every
 // rank's listen address (index = rank); the listener must already be bound
-// to addrs[rank]. It blocks until the full mesh is up.
+// to addrs[rank]. It blocks until the full mesh is up. The listener is
+// consumed: once the mesh is connected (or setup fails) it is closed and
+// its port released — the mesh needs no further accepts.
 func StartTCPRank(rank int, addrs []string, listener net.Listener) (Transport, error) {
 	return connectTCPRank(rank, addrs, listener)
 }
@@ -126,7 +128,9 @@ func connectTCPRank(rank int, addrs []string, listener net.Listener) (*tcpEndpoi
 	}
 	need := p - 1
 	acceptCh := make(chan accepted, need)
+	acceptDone := make(chan struct{})
 	go func() {
+		defer close(acceptDone)
 		for i := 0; i < need; i++ {
 			conn, err := listener.Accept()
 			if err != nil {
@@ -147,6 +151,25 @@ func connectTCPRank(rank int, addrs []string, listener net.Listener) (*tcpEndpoi
 			acceptCh <- accepted{src: int(hello.Src), conn: conn}
 		}
 	}()
+	// cleanup releases the listener and stops the accept goroutine. It must
+	// run on every exit path — success included — or the socket leaks and
+	// the goroutine parks in Accept forever. Closing the listener unblocks
+	// a pending Accept; any connections accepted but not yet collected are
+	// drained and closed.
+	cleanup := func() {
+		listener.Close()
+		<-acceptDone
+		for {
+			select {
+			case a := <-acceptCh:
+				if a.conn != nil {
+					a.conn.Close()
+				}
+			default:
+				return
+			}
+		}
+	}
 	// Dial my outgoing edges.
 	for d := 0; d < p; d++ {
 		if d == rank {
@@ -154,12 +177,14 @@ func connectTCPRank(rank int, addrs []string, listener net.Listener) (*tcpEndpoi
 		}
 		conn, err := net.Dial("tcp", addrs[d])
 		if err != nil {
+			cleanup()
 			ep.Close()
 			return nil, fmt.Errorf("dial rank %d at %s: %w", d, addrs[d], err)
 		}
 		hello := tcpEdgeHello{Src: uint32(rank), Dst: uint32(d)}
 		if err := binary.Write(conn, binary.LittleEndian, &hello); err != nil {
 			conn.Close()
+			cleanup()
 			ep.Close()
 			return nil, fmt.Errorf("hello to rank %d: %w", d, err)
 		}
@@ -169,16 +194,21 @@ func connectTCPRank(rank int, addrs []string, listener net.Listener) (*tcpEndpoi
 	for i := 0; i < need; i++ {
 		a := <-acceptCh
 		if a.err != nil {
+			cleanup()
 			ep.Close()
 			return nil, a.err
 		}
 		if ep.in[a.src] != nil {
 			a.conn.Close()
+			cleanup()
 			ep.Close()
 			return nil, fmt.Errorf("duplicate incoming edge from rank %d", a.src)
 		}
 		ep.in[a.src] = newTCPConnIn(a.conn)
 	}
+	// Mesh is up: the accept goroutine has exited (it collected exactly
+	// need connections), so cleanup just releases the listen socket.
+	cleanup()
 	return ep, nil
 }
 
@@ -206,21 +236,25 @@ func newTCPConnOut(conn net.Conn) *tcpConnOut {
 func (o *tcpConnOut) writer() {
 	defer close(o.done)
 	bw := bufio.NewWriter(o.conn)
-	hdr := make([]byte, 8)
-	buf := make([]byte, 8)
+	// Encode header and payload into one reusable frame and hand it to the
+	// buffered writer in a single call: a value-at-a-time loop costs an
+	// 8-byte bufio copy (and a possible flush) per float64, which dominates
+	// the large statistics exchanges.
+	var frame []byte
 	for msg := range o.queue {
-		binary.LittleEndian.PutUint32(hdr[0:4], uint32(msg.tag))
-		binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(msg.data)))
-		if _, err := bw.Write(hdr); err != nil {
+		n := 8 + 8*len(msg.data)
+		if cap(frame) < n {
+			frame = make([]byte, n)
+		}
+		f := frame[:n]
+		binary.LittleEndian.PutUint32(f[0:4], uint32(msg.tag))
+		binary.LittleEndian.PutUint32(f[4:8], uint32(len(msg.data)))
+		for i, v := range msg.data {
+			binary.LittleEndian.PutUint64(f[8+8*i:], math.Float64bits(v))
+		}
+		if _, err := bw.Write(f); err != nil {
 			o.err.Store(err)
 			return
-		}
-		for _, v := range msg.data {
-			binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
-			if _, err := bw.Write(buf); err != nil {
-				o.err.Store(err)
-				return
-			}
 		}
 		// Flush when the queue drains so batched collective steps share
 		// one syscall but nothing sits unsent while peers wait.
@@ -253,10 +287,14 @@ func (o *tcpConnOut) close() {
 	o.conn.Close()
 }
 
-// tcpConnIn reads messages from one directed edge.
+// tcpConnIn reads messages from one directed edge. recv is only ever called
+// by the owning rank's goroutine, so the raw byte scratch is reused across
+// messages; the decoded []float64 is freshly allocated because the Recv
+// contract hands ownership to the caller.
 type tcpConnIn struct {
 	conn net.Conn
 	br   *bufio.Reader
+	raw  []byte
 }
 
 func newTCPConnIn(conn net.Conn) *tcpConnIn {
@@ -273,7 +311,10 @@ func (in *tcpConnIn) recv() (int, []float64, error) {
 	if count > 1<<28 {
 		return 0, nil, fmt.Errorf("mpi: unreasonable tcp payload of %d values", count)
 	}
-	raw := make([]byte, 8*count)
+	if cap(in.raw) < int(8*count) {
+		in.raw = make([]byte, 8*count)
+	}
+	raw := in.raw[:8*count]
 	if _, err := io.ReadFull(in.br, raw); err != nil {
 		return 0, nil, fmt.Errorf("mpi: truncated tcp frame: %w", err)
 	}

@@ -2,6 +2,8 @@ package mpi
 
 import (
 	"fmt"
+	"net"
+	"sync"
 	"testing"
 
 	"repro/internal/stats"
@@ -151,4 +153,83 @@ func TestTCPPeerDisconnectSurfacesError(t *testing.T) {
 	if err := <-done; err == nil {
 		t.Fatal("recv from disconnected peer succeeded")
 	}
+}
+
+// TestStartTCPRankReleasesListener asserts the setup listener is consumed:
+// once the mesh is up its port must be rebindable (and the accept goroutine
+// gone), while the mesh itself keeps working.
+func TestStartTCPRankReleasesListener(t *testing.T) {
+	const p = 3
+	listeners := make([]net.Listener, p)
+	addrs := make([]string, p)
+	for r := 0; r < p; r++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[r] = l
+		addrs[r] = l.Addr().String()
+	}
+	eps := make([]Transport, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			eps[rank], errs[rank] = StartTCPRank(rank, addrs, listeners[rank])
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+		defer eps[r].Close()
+	}
+	for r, addr := range addrs {
+		l, err := net.Listen("tcp", addr)
+		if err != nil {
+			t.Fatalf("rank %d listener port %s not released: %v", r, addr, err)
+		}
+		l.Close()
+	}
+	// The mesh must still carry traffic after its listeners are gone.
+	var cwg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		cwg.Add(1)
+		go func(c *Comm) {
+			defer cwg.Done()
+			v := []float64{1}
+			if err := c.Allreduce(Sum, v); err != nil {
+				t.Errorf("allreduce: %v", err)
+			} else if v[0] != p {
+				t.Errorf("allreduce got %v", v[0])
+			}
+		}(NewComm(eps[r]))
+	}
+	cwg.Wait()
+}
+
+// A failed mesh setup must release the listener too.
+func TestStartTCPRankReleasesListenerOnError(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peer address nobody listens on: grab and close a port.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+	if _, err := StartTCPRank(0, []string{l.Addr().String(), deadAddr}, l); err == nil {
+		t.Fatal("mesh to dead peer succeeded")
+	}
+	rl, err := net.Listen("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatalf("listener port not released after failed setup: %v", err)
+	}
+	rl.Close()
 }

@@ -134,6 +134,22 @@ func (r *allreduceReducer) ReduceInPlace(buf []float64) error {
 func ParallelPriors(comm *mpi.Comm, view *dataset.View, opts *Options) (*model.Priors, error) {
 	ds := view.Dataset()
 	na := ds.NumAttrs()
+	// The priors phase must use — and charge for — the same collective
+	// algorithm as the EM phase, one sync per real exchange, or the virtual
+	// timeline diverges from the traffic actually generated.
+	algo := mpi.ReduceBcast
+	var clk *simnet.Clock
+	if opts != nil {
+		algo = opts.AllreduceAlgo
+		clk = opts.Clock
+	}
+	comm.SetAllreduceAlgo(algo)
+	syncClock := func(payload int) error {
+		if clk == nil {
+			return nil
+		}
+		return clk.SyncAllreduceAlgo(comm, algo, payload)
+	}
 	// Layout: per attribute [wKnown, sum, sumsq, missing, logW, logSum,
 	// logSumSq, nonPositive] + discrete counts.
 	const perAttr = 8
@@ -181,26 +197,32 @@ func ParallelPriors(comm *mpi.Comm, view *dataset.View, opts *Options) (*model.P
 			}
 		}
 	}
-	if opts != nil && opts.Clock != nil {
-		opts.Clock.ChargeOps(float64(view.N()) * float64(na))
+	if clk != nil {
+		clk.ChargeOps(float64(view.N()) * float64(na))
 	}
 	if err := comm.Allreduce(mpi.Sum, sums); err != nil {
 		return nil, fmt.Errorf("pautoclass: priors sums: %w", err)
 	}
+	if err := syncClock(len(sums)); err != nil {
+		return nil, err
+	}
 	if err := comm.Allreduce(mpi.Min, mins); err != nil {
 		return nil, fmt.Errorf("pautoclass: priors mins: %w", err)
 	}
+	if err := syncClock(len(mins)); err != nil {
+		return nil, err
+	}
 	if err := comm.Allreduce(mpi.Max, maxs); err != nil {
 		return nil, fmt.Errorf("pautoclass: priors maxs: %w", err)
+	}
+	if err := syncClock(len(maxs)); err != nil {
+		return nil, err
 	}
 	if len(counts) > 0 {
 		if err := comm.Allreduce(mpi.Sum, counts); err != nil {
 			return nil, fmt.Errorf("pautoclass: priors counts: %w", err)
 		}
-	}
-	if opts != nil && opts.Clock != nil {
-		payload := len(sums) + len(mins) + len(maxs) + len(counts)
-		if err := opts.Clock.SyncAllreduce(comm, payload); err != nil {
+		if err := syncClock(len(counts)); err != nil {
 			return nil, err
 		}
 	}
@@ -208,10 +230,8 @@ func ParallelPriors(comm *mpi.Comm, view *dataset.View, opts *Options) (*model.P
 	if err != nil {
 		return nil, fmt.Errorf("pautoclass: priors n: %w", err)
 	}
-	if opts != nil && opts.Clock != nil {
-		if err := opts.Clock.SyncAllreduce(comm, 1); err != nil {
-			return nil, err
-		}
+	if err := syncClock(1); err != nil {
+		return nil, err
 	}
 	// Rebuild a dataset.Summary from the reduced values and derive priors
 	// through the same code path the sequential engine uses.
@@ -263,6 +283,7 @@ func RunTrial(comm *mpi.Comm, view *dataset.View, pr *model.Priors, spec model.S
 	var charger autoclass.Charger
 	if opts.Clock != nil {
 		charger = opts.Clock
+		opts.Clock.SetParallelism(opts.EM.EffectiveParallelism())
 	}
 	comm.SetAllreduceAlgo(opts.AllreduceAlgo)
 	switch opts.Strategy {

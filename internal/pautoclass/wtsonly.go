@@ -114,7 +114,10 @@ func (e *wtsOnlyEngine) reduceWts(buf []float64) error {
 	return nil
 }
 
-// updateWts is the parallel E-step, identical to P-AutoClass's.
+// updateWts is the parallel E-step, identical to P-AutoClass's — including
+// the hybrid intra-rank mode: with cfg.Parallelism != 0 the local rows are
+// sharded over worker goroutines on the same fixed grid, merged in shard
+// order, so the baseline stays deterministic and directly comparable.
 func (e *wtsOnlyEngine) updateWts() error {
 	n := e.view.N()
 	j := e.cls.J()
@@ -122,18 +125,41 @@ func (e *wtsOnlyEngine) updateWts() error {
 		e.wts = make([]float64, n*j)
 	}
 	out := make([]float64, j+1)
-	logp := make([]float64, j)
-	for i := 0; i < n; i++ {
-		e.cls.LogMembership(e.view.Row(i), logp)
-		z := stats.NormalizeLog(logp)
-		w := e.wts[i*j : (i+1)*j]
-		for cj := 0; cj < j; cj++ {
-			w[cj] = logp[cj]
-			out[cj] += logp[cj]
+	wtsRows := func(lo, hi int, out, logp []float64) {
+		for i := lo; i < hi; i++ {
+			e.cls.LogMembership(e.view.Row(i), logp)
+			z := stats.NormalizeLog(logp)
+			w := e.wts[i*j : (i+1)*j]
+			for cj := 0; cj < j; cj++ {
+				w[cj] = logp[cj]
+				out[cj] += logp[cj]
+			}
+			if !math.IsInf(z, -1) {
+				out[j] += z
+			}
 		}
-		if !math.IsInf(z, -1) {
-			out[j] += z
+	}
+	if shards := autoclass.NumRowShards(n); e.cfg.Parallelism != 0 && shards > 0 {
+		workers := e.cfg.Workers(shards)
+		bufs := make([][]float64, shards)
+		for s := range bufs {
+			bufs[s] = make([]float64, j+1)
 		}
+		logps := make([][]float64, workers)
+		for w := range logps {
+			logps[w] = make([]float64, j)
+		}
+		autoclass.ParallelFor(workers, shards, func(worker, s int) {
+			lo, hi := autoclass.RowShardRange(s, n)
+			wtsRows(lo, hi, bufs[s], logps[worker])
+		})
+		for _, buf := range bufs {
+			for k, v := range buf {
+				out[k] += v
+			}
+		}
+	} else {
+		wtsRows(0, n, out, make([]float64, j))
 	}
 	a := float64(e.cls.NumAttrColumns())
 	e.charge(float64(n) * float64(j) * (a + 1))
@@ -168,13 +194,56 @@ func (e *wtsOnlyEngine) parametersOnRoot() error {
 		for r, rg := range e.parts {
 			copy(full[rg.Lo*j:rg.Hi*j], parts[r])
 		}
-		for cj, cl := range e.cls.Classes {
+		// One row-major pass accumulating every (class, term) statistic,
+		// sharded across workers when the hybrid mode is on (the root's
+		// recompute covers ALL rows, so multicore helps it most of all).
+		offs := make([]int, 0, 8)
+		total := 0
+		for _, cl := range e.cls.Classes {
 			for _, term := range cl.Terms {
-				st := make([]float64, term.StatsSize())
-				for i := 0; i < e.ds.N(); i++ {
-					term.AccumulateStats(e.ds.Row(i), full[i*j+cj], st)
+				offs = append(offs, total)
+				total += term.StatsSize()
+			}
+		}
+		offs = append(offs, total)
+		nAll := e.ds.N()
+		statsRows := func(lo, hi int, buf []float64) {
+			for i := lo; i < hi; i++ {
+				row := e.ds.Row(i)
+				ti := 0
+				for cj, cl := range e.cls.Classes {
+					w := full[i*j+cj]
+					for _, term := range cl.Terms {
+						term.AccumulateStats(row, w, buf[offs[ti]:offs[ti+1]])
+						ti++
+					}
 				}
-				term.Update(st)
+			}
+		}
+		stBuf := make([]float64, total)
+		if shards := autoclass.NumRowShards(nAll); e.cfg.Parallelism != 0 && shards > 0 {
+			workers := e.cfg.Workers(shards)
+			bufs := make([][]float64, shards)
+			for s := range bufs {
+				bufs[s] = make([]float64, total)
+			}
+			autoclass.ParallelFor(workers, shards, func(_, s int) {
+				lo, hi := autoclass.RowShardRange(s, nAll)
+				statsRows(lo, hi, bufs[s])
+			})
+			for _, b := range bufs {
+				for k, v := range b {
+					stBuf[k] += v
+				}
+			}
+		} else {
+			statsRows(0, nAll, stBuf)
+		}
+		ti := 0
+		for _, cl := range e.cls.Classes {
+			for _, term := range cl.Terms {
+				term.Update(stBuf[offs[ti]:offs[ti+1]])
+				ti++
 			}
 		}
 		a := float64(e.cls.NumAttrColumns())

@@ -41,6 +41,12 @@ type Machine struct {
 	Alpha float64
 	// Beta is seconds per byte of payload (1/bandwidth).
 	Beta float64
+	// Cores is the number of processor cores per node available to a
+	// rank's intra-rank (shared-memory) parallelism. Zero means one. The
+	// interconnect terms are per node, so Cores scales only computation:
+	// a clock whose rank runs the hybrid engine with Parallelism p divides
+	// op time by min(p, Cores).
+	Cores int
 	// Contended marks a shared-medium network (a hub or bus rather than
 	// the CS-2's fat tree or a switch): transfers that a tree collective
 	// would overlap instead serialize on the wire, so each stage pays for
@@ -58,6 +64,9 @@ func (m Machine) Validate() error {
 	if m.Alpha < 0 || m.Beta < 0 {
 		return fmt.Errorf("simnet: machine %q has negative communication cost", m.Name)
 	}
+	if m.Cores < 0 {
+		return fmt.Errorf("simnet: machine %q has negative core count", m.Name)
+	}
 	return nil
 }
 
@@ -73,6 +82,7 @@ func MeikoCS2() Machine {
 		OpRate: 1.2e6,
 		Alpha:  300e-6,
 		Beta:   1.0 / 50e6,
+		Cores:  1,
 	}
 }
 
@@ -88,6 +98,7 @@ func PCCluster() Machine {
 		OpRate: 2.4e6,
 		Alpha:  900e-6,
 		Beta:   1.0 / 12.5e6, // 100 Mb/s
+		Cores:  1,
 	}
 }
 
@@ -102,6 +113,7 @@ func EthernetHubCluster() Machine {
 		Alpha:     1.2e-3,
 		Beta:      1.0 / 1.25e6, // 10 Mb/s
 		Contended: true,
+		Cores:     1,
 	}
 }
 
@@ -115,6 +127,21 @@ func PentiumPC() Machine {
 		OpRate: 2.4e6,
 		Alpha:  0,
 		Beta:   0,
+		Cores:  1,
+	}
+}
+
+// SMPCluster models a cluster of small shared-memory nodes — the natural
+// target of the hybrid engine: each rank owns one multi-core node and runs
+// the base_cycle's data-parallel phases on Cores workers while the ranks
+// still exchange sufficient statistics over the switch. OpRate is per core.
+func SMPCluster() Machine {
+	return Machine{
+		Name:   "SMP cluster (8-core nodes, Gigabit Ethernet)",
+		OpRate: 5.0e7,
+		Alpha:  20e-6,
+		Beta:   1.0 / 125e6, // 1 Gb/s
+		Cores:  8,
 	}
 }
 
@@ -221,6 +248,7 @@ func (m Machine) GatherCost(p, bytesPerRank int) float64 {
 // NewClock. Clock is not safe for concurrent use — each rank owns one.
 type Clock struct {
 	m       Machine
+	par     int // intra-rank workers the engine runs with (0/1 = sequential)
 	seconds float64
 	ops     float64
 	comm    float64
@@ -247,13 +275,48 @@ func MustNewClock(m Machine) *Clock {
 // Machine returns the clock's machine model.
 func (c *Clock) Machine() Machine { return c.m }
 
-// ChargeOps advances the clock by units/OpRate seconds of computation.
+// SetParallelism tells the clock how many intra-rank workers the engine is
+// running with, so ChargeOps can model the node-level speedup. Values below
+// one are treated as one (sequential).
+func (c *Clock) SetParallelism(p int) {
+	if p < 1 {
+		p = 1
+	}
+	c.par = p
+}
+
+// Parallelism returns the intra-rank worker count the clock models.
+func (c *Clock) Parallelism() int {
+	if c.par < 1 {
+		return 1
+	}
+	return c.par
+}
+
+// speedup is the effective intra-rank computation speedup: the configured
+// worker count, capped by the machine's cores per node (extra workers
+// time-slice, they do not add throughput).
+func (c *Clock) speedup() float64 {
+	cores := c.m.Cores
+	if cores < 1 {
+		cores = 1
+	}
+	p := c.Parallelism()
+	if p > cores {
+		p = cores
+	}
+	return float64(p)
+}
+
+// ChargeOps advances the clock by units/(OpRate·speedup) seconds of
+// computation, where speedup is min(SetParallelism, Machine.Cores). Op
+// units are counted undivided — speedup compresses time, not work.
 func (c *Clock) ChargeOps(units float64) {
 	if units < 0 || math.IsNaN(units) {
 		return
 	}
 	c.ops += units
-	c.seconds += units / c.m.OpRate
+	c.seconds += units / (c.m.OpRate * c.speedup())
 }
 
 // ChargeSeconds advances the clock by raw seconds (e.g. modeled I/O).

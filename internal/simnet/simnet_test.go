@@ -364,3 +364,49 @@ func TestStragglerDominatesGroupTime(t *testing.T) {
 		}
 	}
 }
+
+// Cores × SetParallelism scales computation time, capped at the node's core
+// count, and never changes the op-unit totals or communication terms.
+func TestChargeOpsScalesWithParallelism(t *testing.T) {
+	m := SMPCluster()
+	if m.Cores != 8 {
+		t.Fatalf("SMPCluster cores %d", m.Cores)
+	}
+	base := MustNewClock(m)
+	base.ChargeOps(1e6)
+	cases := []struct {
+		par     int
+		speedup float64
+	}{
+		{0, 1}, {1, 1}, {4, 4}, {8, 8}, {64, 8}, // capped at Cores
+	}
+	for _, c := range cases {
+		clk := MustNewClock(m)
+		clk.SetParallelism(c.par)
+		clk.ChargeOps(1e6)
+		want := base.Elapsed() / c.speedup
+		if math.Abs(clk.Elapsed()-want) > 1e-12*want {
+			t.Errorf("par %d: elapsed %v, want %v", c.par, clk.Elapsed(), want)
+		}
+		if clk.Ops() != base.Ops() {
+			t.Errorf("par %d: ops %v changed (work is not divided, time is)", c.par, clk.Ops())
+		}
+	}
+	// Single-core presets are immune to the knob.
+	clk := MustNewClock(MeikoCS2())
+	clk.SetParallelism(16)
+	clk.ChargeOps(1e6)
+	ref := MustNewClock(MeikoCS2())
+	ref.ChargeOps(1e6)
+	if clk.Elapsed() != ref.Elapsed() {
+		t.Errorf("single-core machine sped up: %v vs %v", clk.Elapsed(), ref.Elapsed())
+	}
+}
+
+func TestValidateRejectsNegativeCores(t *testing.T) {
+	m := MeikoCS2()
+	m.Cores = -1
+	if err := m.Validate(); err == nil {
+		t.Fatal("negative Cores accepted")
+	}
+}
