@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench check
+.PHONY: build test vet race bench check trace-smoke
 
 build:
 	$(GO) build ./...
@@ -18,5 +18,14 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Local equivalent of the CI trace-smoke job: a traced 4-rank Meiko run
+# whose Chrome trace, events and metrics land in /tmp for inspection.
+trace-smoke:
+	$(GO) run ./cmd/datagen -workload paper -n 2000 -seed 7 -o /tmp/smoke.txt
+	$(GO) run ./cmd/pautoclass -data /tmp/smoke.txt -procs 4 -start-j 4 \
+		-tries 1 -max-cycles 10 -machine meiko \
+		-trace-out /tmp/trace.json -events-out /tmp/events.jsonl \
+		-metrics-out /tmp/metrics.json -phase-profile
 
 check: vet build test race

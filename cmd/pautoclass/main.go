@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -22,8 +23,10 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/model"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/pautoclass"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -52,6 +55,11 @@ func run(args []string, w io.Writer) error {
 	classify := fs.String("classify", "", "skip the search: load this classification checkpoint and classify the dataset")
 	report := fs.Bool("report", false, "print the full class report")
 	checkpoint := fs.String("checkpoint", "", "write the best classification to this JSON file")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace-event file (load in Perfetto) of the run to this path")
+	eventsOut := fs.String("events-out", "", "write the raw trace events as JSON lines to this path")
+	metricsOut := fs.String("metrics-out", "", "write per-rank metrics and the comm/compute breakdown as JSON to this path")
+	phaseProfile := fs.Bool("phase-profile", false, "print the per-phase wall-time table (update_wts / update_parameters / update_approximations)")
+	pprofPrefix := fs.String("pprof", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof runtime profiles")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -111,6 +119,30 @@ func run(args []string, w io.Writer) error {
 		spec = model.CorrelatedSpec(ds)
 	}
 
+	if *pprofPrefix != "" {
+		cpuF, err := os.Create(*pprofPrefix + ".cpu.pprof")
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+			heapF, err := os.Create(*pprofPrefix + ".heap.pprof")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pautoclass: heap profile:", err)
+				return
+			}
+			if err := pprof.WriteHeapProfile(heapF); err != nil {
+				fmt.Fprintln(os.Stderr, "pautoclass: heap profile:", err)
+			}
+			heapF.Close()
+		}()
+	}
+
 	if *classify != "" {
 		return runClassify(w, ds, *classify, *cases)
 	}
@@ -128,6 +160,21 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "search: start_j_list=%v tries=%d procs=%d strategy=%s\n",
 		cfg.StartJList, cfg.Tries, *procs, opts.Strategy)
 
+	// One observability session covers every in-process rank; rank i records
+	// through obsRun.Rank(i). Created only when an output was requested so
+	// the default path stays on the nil (no-op) hooks.
+	var obsRun *obs.Run
+	if *traceOut != "" || *eventsOut != "" || *metricsOut != "" {
+		obsRun = obs.NewRun(*procs)
+		if mach != nil {
+			obsRun.SetMachineLabel(mach.Name)
+		}
+	}
+	var profile *trace.Profile
+	if *phaseProfile {
+		profile = trace.New()
+	}
+
 	var best *autoclass.SearchResult
 	var virtual float64
 	start := time.Now()
@@ -139,6 +186,12 @@ func run(args []string, w io.Writer) error {
 				return err
 			}
 			o.Clock = clk
+		}
+		o.Obs = obsRun.Rank(c.Rank())
+		if c.Rank() == 0 {
+			// The §3.1 phase table reports one rank's wall time; the phases
+			// are symmetric across ranks, so rank 0 stands for all.
+			o.Profile = profile
 		}
 		res, err := pautoclass.Search(c, ds, spec, cfg, o)
 		if err != nil {
@@ -173,6 +226,33 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "  virtual time on %s: %s", mach.Name, simnet.FormatHMS(virtual))
 	}
 	fmt.Fprintln(w)
+	if profile != nil {
+		fmt.Fprintln(w)
+		fmt.Fprint(w, profile.Table())
+	}
+	if obsRun != nil {
+		b := obsRun.Breakdown()
+		fmt.Fprintln(w)
+		fmt.Fprint(w, b.Table())
+		if *traceOut != "" {
+			if err := writeTo(*traceOut, obsRun.WriteChromeTrace); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "chrome trace written to %s\n", *traceOut)
+		}
+		if *eventsOut != "" {
+			if err := writeTo(*eventsOut, obsRun.WriteEventsJSONL); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "trace events written to %s\n", *eventsOut)
+		}
+		if *metricsOut != "" {
+			if err := writeTo(*metricsOut, obsRun.WriteMetricsJSON); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "metrics written to %s\n", *metricsOut)
+		}
+	}
 	if *report {
 		fmt.Fprintln(w)
 		if _, err := autoclass.BuildReport(best.Best, ds).WriteTo(w); err != nil {
@@ -192,6 +272,19 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "case assignments written to %s\n", *cases)
 	}
 	return nil
+}
+
+// writeTo creates path and streams write's output into it.
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeCasesFile writes the case assignments of cls over ds to path.

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Reducer is the hook through which the parallel engine turns local
@@ -125,6 +126,31 @@ type CycleStats struct {
 	LogPost float64
 }
 
+// CycleInfo is the per-cycle record handed to a CycleObserver: one
+// base_cycle's position in the run, outcome, and phase statistics.
+type CycleInfo struct {
+	// Cycle is the 0-based cycle index within the current try.
+	Cycle int
+	// J is the class count after this cycle's pruning.
+	J int
+	// LogPost is the log posterior after the cycle.
+	LogPost float64
+	// Delta is the relative log-posterior change versus the previous
+	// cycle — the quantity the convergence test thresholds.
+	Delta float64
+	// Stats carries the cycle's phase timings and reduction traffic.
+	Stats CycleStats
+}
+
+// CycleObserver receives every completed base_cycle's CycleInfo — the hook
+// through which the observability layer records per-cycle engine metrics.
+// Observation must not perform communication or mutate engine state; the
+// SPMD invariant requires identical trajectories with and without an
+// observer installed.
+type CycleObserver interface {
+	ObserveCycle(info CycleInfo)
+}
+
 // EMResult summarizes a full parameter-level search (one try).
 type EMResult struct {
 	// Cycles executed, and whether the run Converged before MaxCycles.
@@ -163,6 +189,11 @@ type Engine struct {
 	started     bool
 	initSeconds float64
 
+	// Optional observability hooks; both nil-safe and off the per-row hot
+	// path (consulted once per cycle, never inside the row loops).
+	profile  *trace.Profile
+	cycleObs CycleObserver
+
 	scratch  shardScratch // per-shard accumulators, reused across cycles
 	statsBuf []float64    // merged statistics buffer, reused across cycles
 	logps    [][]float64  // per-worker log-membership scratch
@@ -188,6 +219,15 @@ func NewEngine(view *dataset.View, cls *Classification, cfg Config, red Reducer,
 
 // Classification returns the engine's (mutated in place) classification.
 func (e *Engine) Classification() *Classification { return e.cls }
+
+// SetProfile installs a trace.Profile that accumulates the §3.1 phase
+// timings (update_wts / update_parameters / update_approximations /
+// initialization) across cycles and tries. Nil disables profiling.
+func (e *Engine) SetProfile(p *trace.Profile) { e.profile = p }
+
+// SetCycleObserver installs a CycleObserver notified after every completed
+// base_cycle. Nil disables observation.
+func (e *Engine) SetCycleObserver(o CycleObserver) { e.cycleObs = o }
 
 func (e *Engine) charge(units float64) {
 	if e.charger != nil {
@@ -529,6 +569,46 @@ func (e *Engine) convergedAfter(post float64) bool {
 	return e.belowTol >= e.cfg.ConvergeWindow
 }
 
+// observeCycle feeds the optional profile and cycle observer. It runs once
+// per cycle, outside the phase timers, and is a no-op when both hooks are
+// nil — the disabled path costs two nil checks and no allocations.
+// CycleDelta is the relative log-posterior change reported to cycle
+// observers: stats.RelDiff against the previous cycle, except on the first
+// cycle — measured against the -Inf starting posterior RelDiff is NaN, so
+// the infinite improvement is reported as +Inf.
+func CycleDelta(post, last float64) float64 {
+	if math.IsInf(last, -1) {
+		return math.Inf(1)
+	}
+	return stats.RelDiff(post, last)
+}
+
+func (e *Engine) observeCycle(cycle int, cs CycleStats, delta float64) {
+	if e.profile != nil {
+		e.profile.Add(PhaseWts, cs.WtsSeconds)
+		e.profile.Add(PhaseParams, cs.ParamsSeconds)
+		e.profile.Add(PhaseApprox, cs.ApproxSeconds)
+	}
+	if e.cycleObs != nil {
+		e.cycleObs.ObserveCycle(CycleInfo{
+			Cycle:   cycle,
+			J:       e.cls.J(),
+			LogPost: cs.LogPost,
+			Delta:   delta,
+			Stats:   cs,
+		})
+	}
+}
+
+// Phase names used by the engine's trace.Profile instrumentation — shared
+// with the TPROF harness so every §3.1-style table uses the same labels.
+const (
+	PhaseWts    = "update_wts"
+	PhaseParams = "update_parameters"
+	PhaseApprox = "update_approximations"
+	PhaseInit   = "initialization"
+)
+
 // Run executes base_cycle until convergence or the cycle cap — AutoClass's
 // "new classification try" (paper Fig. 2). InitRandom must have been
 // called.
@@ -538,6 +618,9 @@ func (e *Engine) Run() (EMResult, error) {
 		return res, errors.New("autoclass: Run before InitRandom")
 	}
 	res.InitSeconds = e.initSeconds
+	if e.profile != nil {
+		e.profile.Add(PhaseInit, e.initSeconds)
+	}
 	for cycle := 0; cycle < e.cfg.MaxCycles; cycle++ {
 		cs, err := e.BaseCycle()
 		if err != nil {
@@ -550,6 +633,7 @@ func (e *Engine) Run() (EMResult, error) {
 		res.ReducedValues += cs.ReducedValues
 		res.Reductions += cs.Reductions
 		res.History = append(res.History, cs.LogPost)
+		e.observeCycle(cycle, cs, CycleDelta(cs.LogPost, e.lastPost))
 		if e.convergedAfter(cs.LogPost) {
 			res.Converged = true
 			break

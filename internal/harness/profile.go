@@ -84,10 +84,10 @@ func RunProfile(cfg ProfileConfig) (*ProfileResult, error) {
 		InitSeconds:   res.Totals.InitSeconds,
 		Profile:       trace.New(),
 	}
-	pr.Profile.Add("update_wts", pr.WtsSeconds)
-	pr.Profile.Add("update_parameters", pr.ParamsSeconds)
-	pr.Profile.Add("update_approximations", pr.ApproxSeconds)
-	pr.Profile.Add("initialization", pr.InitSeconds)
+	pr.Profile.Add(autoclass.PhaseWts, pr.WtsSeconds)
+	pr.Profile.Add(autoclass.PhaseParams, pr.ParamsSeconds)
+	pr.Profile.Add(autoclass.PhaseApprox, pr.ApproxSeconds)
+	pr.Profile.Add(autoclass.PhaseInit, pr.InitSeconds)
 	other := total - pr.WtsSeconds - pr.ParamsSeconds - pr.ApproxSeconds - pr.InitSeconds
 	if other > 0 {
 		pr.Profile.Add("other (IO, driver, summary)", other)

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Op identifies an elementwise reduction operator.
@@ -136,18 +137,30 @@ func (a AllreduceAlgo) String() string {
 // CollectiveObserver is notified after each completed collective with the
 // number of point-to-point communication steps this rank participated in
 // and the total float64s this rank sent. The simulated-machine clock uses
-// these to charge communication time.
+// these to charge communication time; the observability layer uses them to
+// build per-collective comm metrics. Implementations must be safe for the
+// rank goroutine to call while other goroutines install or remove
+// observers, and must never call back into the Comm.
 type CollectiveObserver interface {
 	ObserveCollective(name string, steps int, sentValues int)
 }
 
+// observerRef boxes a CollectiveObserver so the interface value can be
+// swapped atomically (atomic.Pointer cannot hold an interface directly).
+type observerRef struct {
+	o CollectiveObserver
+}
+
 // Comm is a communicator bound to one rank of a group. It is not safe for
-// concurrent use by multiple goroutines; each rank runs its own Comm.
+// concurrent use by multiple goroutines; each rank runs its own Comm. The
+// one exception is the observer, which is stored atomically so that a
+// different goroutine (a test harness, a metrics collector attaching to a
+// live run) may install or clear it while collectives are in flight.
 type Comm struct {
 	t        Transport
 	algo     AllreduceAlgo
 	seq      int // collective sequence number, must advance identically on all ranks
-	observer CollectiveObserver
+	observer atomic.Pointer[observerRef]
 
 	// Reusable scratch, safe because Comm is single-goroutine and Send
 	// never retains payloads: `one` carries single-value collectives
@@ -166,8 +179,25 @@ func NewComm(t Transport) *Comm {
 // must select the same algorithm.
 func (c *Comm) SetAllreduceAlgo(a AllreduceAlgo) { c.algo = a }
 
-// SetObserver installs a CollectiveObserver (nil to disable).
-func (c *Comm) SetObserver(o CollectiveObserver) { c.observer = o }
+// SetObserver installs a CollectiveObserver (nil to disable). The observer
+// is stored atomically, so SetObserver is safe to call from any goroutine,
+// including while the rank's goroutine is inside a collective: the racing
+// collective reports to whichever observer it loads, never to a torn value.
+func (c *Comm) SetObserver(o CollectiveObserver) {
+	if o == nil {
+		c.observer.Store(nil)
+		return
+	}
+	c.observer.Store(&observerRef{o: o})
+}
+
+// Observer returns the currently installed CollectiveObserver (nil if none).
+func (c *Comm) Observer() CollectiveObserver {
+	if r := c.observer.Load(); r != nil {
+		return r.o
+	}
+	return nil
+}
 
 // Rank returns this communicator's rank.
 func (c *Comm) Rank() int { return c.t.Rank() }
@@ -205,8 +235,8 @@ func (c *Comm) collTag(phase int) int {
 }
 
 func (c *Comm) observe(name string, steps, sent int) {
-	if c.observer != nil {
-		c.observer.ObserveCollective(name, steps, sent)
+	if r := c.observer.Load(); r != nil {
+		r.o.ObserveCollective(name, steps, sent)
 	}
 }
 

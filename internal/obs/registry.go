@@ -1,0 +1,403 @@
+// Package obs is the run-wide observability layer: a metrics registry, a
+// per-rank event tracer with Chrome trace-event export, and a comm/compute
+// breakdown report — the instrumentation that turns any live P-AutoClass
+// run into the paper's Fig. 9/10-style artifacts instead of requiring the
+// offline harness experiments.
+//
+// Design constraints, in order:
+//
+//  1. SPMD safety. Observation must never perform communication or feed
+//     back into the engine; tracing on versus off produces bitwise
+//     identical search trajectories.
+//  2. Nil safety. Every recording method on every type is a no-op on a nil
+//     receiver, so call sites need no guards and the disabled path costs a
+//     nil check.
+//  3. Hot-path economy. Counters, gauges and histograms record through
+//     atomics with zero allocations; registry map lookups happen only at
+//     metric-creation time, never per observation.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically accumulating float64 metric (counts, seconds,
+// bytes). The zero value is ready to use; a nil *Counter discards adds.
+type Counter struct {
+	bits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Add folds v into the counter. Safe for concurrent use; no allocations.
+func (c *Counter) Add(v float64) {
+	if c == nil || math.IsNaN(v) {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated total (0 for nil).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a last-value-wins float64 metric. Nil-safe like Counter.
+type Gauge struct {
+	bits atomic.Uint64
+	set  atomic.Bool
+}
+
+// Set stores v. Safe for concurrent use; no allocations.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+	g.set.Store(true)
+}
+
+// Value returns the last stored value (0 if never set or nil).
+func (g *Gauge) Value() float64 {
+	if g == nil || !g.set.Load() {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets is the fixed bucket count of Histogram: power-of-two bucket
+// boundaries spanning [2^-32, 2^31), plus underflow/overflow at the ends —
+// wide enough for payload bytes, microsecond phases and multi-hour runs.
+const histBuckets = 64
+
+// histMinExp is the exponent of the smallest finite bucket boundary.
+const histMinExp = -32
+
+// Histogram accumulates a distribution over power-of-two buckets with an
+// exact sum/count/min/max, all through atomics. Nil-safe like Counter.
+type Histogram struct {
+	counts  [histBuckets]atomic.Uint64
+	sum     Counter
+	n       atomic.Uint64
+	minBits atomic.Uint64 // float64 bits; valid once n > 0
+	maxBits atomic.Uint64
+}
+
+// bucketIndex maps v to its bucket: index i covers [2^(histMinExp+i-1),
+// 2^(histMinExp+i)), with bucket 0 the underflow (v < 2^histMinExp,
+// including zero and negatives) and the last bucket the overflow.
+func bucketIndex(v float64) int {
+	if !(v > 0) || math.IsInf(v, 1) {
+		if math.IsInf(v, 1) {
+			return histBuckets - 1
+		}
+		return 0
+	}
+	_, exp := math.Frexp(v) // v = frac × 2^exp, frac in [0.5, 1)
+	i := exp - histMinExp
+	if i < 0 {
+		return 0
+	}
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// Observe folds v into the distribution. Safe for concurrent use; no
+// allocations.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+	if h.n.Add(1) == 1 {
+		// First observation seeds min and max; the CAS loops below handle
+		// races with concurrent observers.
+		h.minBits.Store(math.Float64bits(v))
+		h.maxBits.Store(math.Float64bits(v))
+		return
+	}
+	for {
+		old := h.minBits.Load()
+		if math.Float64frombits(old) <= v || h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if math.Float64frombits(old) >= v || h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the exact sum of observations (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// Mean returns Sum/Count (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Min and Max return the observed extrema (0 when empty).
+func (h *Histogram) Min() float64 {
+	if h == nil || h.n.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.minBits.Load())
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() float64 {
+	if h == nil || h.n.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.maxBits.Load())
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (q in [0,1])
+// from the bucket boundaries — within a factor of two of the true value,
+// which is all a breakdown report needs.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(n)))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.counts[i].Load()
+		if seen >= target {
+			return math.Ldexp(1, histMinExp+i) // upper boundary of bucket i
+		}
+	}
+	return h.Max()
+}
+
+// Registry holds named metrics for one rank. Metric creation takes a lock;
+// recording through the returned handles does not. A nil *Registry hands
+// out nil handles, so a disabled registry never allocates and call sites
+// stay unconditional.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter; nil on a nil
+// registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge; nil on a nil
+// registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram; nil on a nil
+// registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is one histogram's exported summary.
+type HistogramSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot is a point-in-time copy of a registry's metrics with
+// deterministically ordered keys (sorted at serialization time by
+// encoding/json's map handling).
+type Snapshot struct {
+	Counters   map[string]float64           `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// clampFinite maps the values JSON cannot represent to their nearest
+// representable neighbors: NaN to 0 and the infinities to ±MaxFloat64 (an
+// unconverged first cycle reports an infinite delta, which must not poison
+// a metrics or trace export).
+func clampFinite(v float64) float64 {
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case math.IsInf(v, 1):
+		return math.MaxFloat64
+	case math.IsInf(v, -1):
+		return -math.MaxFloat64
+	}
+	return v
+}
+
+// Snapshot copies the current metric values. Nil registries snapshot empty.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]float64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = clampFinite(c.Value())
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = clampFinite(g.Value())
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = HistogramSnapshot{
+			Count: h.Count(),
+			Sum:   clampFinite(h.Sum()),
+			Mean:  clampFinite(h.Mean()),
+			Min:   clampFinite(h.Min()),
+			Max:   clampFinite(h.Max()),
+			P50:   clampFinite(h.Quantile(0.50)),
+			P99:   clampFinite(h.Quantile(0.99)),
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON (keys sorted by
+// encoding/json, so output is deterministic for deterministic values).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Names returns the registry's metric names, sorted, prefixed by kind —
+// handy for tests and debugging dumps.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for n := range r.counters {
+		names = append(names, "counter:"+n)
+	}
+	for n := range r.gauges {
+		names = append(names, "gauge:"+n)
+	}
+	for n := range r.hists {
+		names = append(names, "histogram:"+n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// mergeInto folds this registry's counters and histogram sums into dst as
+// counters (gauges are rank-local and not merged). Used by the run-level
+// aggregate view.
+func (r *Registry) mergeInto(dst *Registry) {
+	if r == nil || dst == nil {
+		return
+	}
+	r.mu.Lock()
+	type kv struct {
+		name string
+		v    float64
+	}
+	var vals []kv
+	for name, c := range r.counters {
+		vals = append(vals, kv{name, c.Value()})
+	}
+	r.mu.Unlock()
+	for _, e := range vals {
+		dst.Counter(e.name).Add(e.v)
+	}
+}

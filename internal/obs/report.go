@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/plot"
+	"repro/internal/simnet"
+)
+
+// RankBreakdown decomposes one rank's virtual run time the way the paper's
+// Figs. 9/10 decompose a parallel run: modeled computation seconds versus
+// communication seconds (collective cost plus the idle wait for the group's
+// slowest rank).
+type RankBreakdown struct {
+	Rank           int     `json:"rank"`
+	ComputeSeconds float64 `json:"compute_seconds"`
+	CommSeconds    float64 `json:"comm_seconds"`
+	WaitSeconds    float64 `json:"wait_seconds"`
+	Collectives    float64 `json:"collectives"`
+	SentValues     float64 `json:"sent_values"`
+}
+
+// Total returns the rank's accounted virtual seconds.
+func (b RankBreakdown) Total() float64 {
+	return b.ComputeSeconds + b.CommSeconds + b.WaitSeconds
+}
+
+// CommFraction returns communication's share of the rank's accounted time
+// (wait counts as communication, as in the clock's CommSeconds).
+func (b RankBreakdown) CommFraction() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return (b.CommSeconds + b.WaitSeconds) / t
+}
+
+// Breakdown aggregates a finished run into the Fig. 9/10 comm/compute
+// decomposition. Virtual-time fields are zero unless the run's ranks were
+// bound to simnet clocks.
+type Breakdown struct {
+	Machine string `json:"machine,omitempty"`
+	Ranks   int    `json:"ranks"`
+	// ComputeSeconds and CommSeconds are means over ranks; Elapsed is the
+	// slowest rank's accounted total — the run's virtual makespan.
+	ComputeSeconds float64         `json:"compute_seconds"`
+	CommSeconds    float64         `json:"comm_seconds"`
+	ElapsedSeconds float64         `json:"elapsed_seconds"`
+	Cycles         float64         `json:"cycles"`
+	PerRank        []RankBreakdown `json:"per_rank"`
+}
+
+// CommFraction returns communication's mean share of accounted time.
+func (b *Breakdown) CommFraction() float64 {
+	t := b.ComputeSeconds + b.CommSeconds
+	if t == 0 {
+		return 0
+	}
+	return b.CommSeconds / t
+}
+
+// Breakdown computes the run's comm/compute decomposition from the ranks'
+// registries.
+func (r *Run) Breakdown() Breakdown {
+	b := Breakdown{}
+	if r == nil {
+		return b
+	}
+	b.Machine = r.machine
+	b.Ranks = len(r.ranks)
+	var sumCompute, sumComm float64
+	for i, rk := range r.ranks {
+		var colls float64
+		var sent float64
+		for _, name := range collectiveNames {
+			colls += rk.collCount[name].Value()
+			sent += rk.collValues[name].Value()
+		}
+		rb := RankBreakdown{
+			Rank:           i,
+			ComputeSeconds: rk.cComputeSec.Value(),
+			CommSeconds:    rk.cCommSec.Value(),
+			WaitSeconds:    rk.cWait.Value(),
+			Collectives:    colls,
+			SentValues:     sent,
+		}
+		b.PerRank = append(b.PerRank, rb)
+		sumCompute += rb.ComputeSeconds
+		sumComm += rb.CommSeconds + rb.WaitSeconds
+		if t := rb.Total(); t > b.ElapsedSeconds {
+			b.ElapsedSeconds = t
+		}
+	}
+	if b.Ranks > 0 {
+		b.ComputeSeconds = sumCompute / float64(b.Ranks)
+		b.CommSeconds = sumComm / float64(b.Ranks)
+		b.Cycles = r.ranks[0].cCycles.Value()
+	}
+	return b
+}
+
+// Table renders the per-rank decomposition as an aligned text table — the
+// single-run form of the paper's Fig. 9/10 data.
+func (b *Breakdown) Table() string {
+	var sb strings.Builder
+	title := "Comm/compute breakdown"
+	if b.Machine != "" {
+		title += " on " + b.Machine
+	}
+	fmt.Fprintf(&sb, "%s (%d ranks, %d cycles)\n", title, b.Ranks, int(b.Cycles))
+	if b.ComputeSeconds == 0 && b.CommSeconds == 0 {
+		sb.WriteString("no virtual-time accounting (run without a machine model); " +
+			"pass a simnet clock to decompose compute vs. communication\n")
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "%-5s %12s %12s %12s %8s %12s %14s\n",
+		"rank", "compute[s]", "comm[s]", "wait[s]", "comm%", "collectives", "values sent")
+	for _, rb := range b.PerRank {
+		fmt.Fprintf(&sb, "%-5d %12.4f %12.4f %12.4f %7.2f%% %12d %14d\n",
+			rb.Rank, rb.ComputeSeconds, rb.CommSeconds, rb.WaitSeconds,
+			100*rb.CommFraction(), int(rb.Collectives), int(rb.SentValues))
+	}
+	fmt.Fprintf(&sb, "%-5s %12.4f %12.4f %12s %7.2f%%   elapsed %s\n",
+		"mean", b.ComputeSeconds, b.CommSeconds, "",
+		100*b.CommFraction(), simnet.FormatHMS(b.ElapsedSeconds))
+	return sb.String()
+}
+
+// Trend collects breakdowns of runs at increasing rank counts — the full
+// Fig. 9/10 table, where the paper shows communication's share of the
+// elapsed time growing with the processor count.
+type Trend struct {
+	Rows []Breakdown
+}
+
+// Add appends a run's breakdown.
+func (t *Trend) Add(b Breakdown) { t.Rows = append(t.Rows, b) }
+
+// Table renders compute/comm seconds and the comm fraction per rank count.
+func (t *Trend) Table() string {
+	var sb strings.Builder
+	sb.WriteString("Compute vs. communication by processor count (paper Figs. 9-10)\n")
+	fmt.Fprintf(&sb, "%-6s %14s %12s %12s %8s\n",
+		"procs", "elapsed[s]", "compute[s]", "comm[s]", "comm%")
+	for _, b := range t.Rows {
+		fmt.Fprintf(&sb, "%-6d %14.4f %12.4f %12.4f %7.2f%%\n",
+			b.Ranks, b.ElapsedSeconds, b.ComputeSeconds, b.CommSeconds, 100*b.CommFraction())
+	}
+	return sb.String()
+}
+
+// Chart renders the comm-fraction curve versus processor count through
+// internal/plot.
+func (t *Trend) Chart() (string, error) {
+	if len(t.Rows) == 0 {
+		return "", fmt.Errorf("obs: empty trend")
+	}
+	x := make([]float64, len(t.Rows))
+	frac := make([]float64, len(t.Rows))
+	for i, b := range t.Rows {
+		x[i] = float64(b.Ranks)
+		frac[i] = 100 * b.CommFraction()
+	}
+	c := plot.Chart{
+		Title:  "Communication share of elapsed time vs. processors",
+		XLabel: "processors",
+		YLabel: "comm %",
+		X:      x,
+		Series: []plot.Series{{Label: "comm fraction", Y: frac}},
+	}
+	return c.Render()
+}

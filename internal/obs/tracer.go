@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Arg is one key/value annotation on an Event. Args are an ordered slice,
+// not a map, so serialized output is deterministic.
+type Arg struct {
+	Key string
+	Val float64
+}
+
+// Event is one structured trace record on a rank's track. Timestamps are
+// virtual-clock seconds when the rank is bound to a simnet.Clock (so the
+// Meiko/SMP presets render as a true timeline), or accumulated wall phase
+// seconds otherwise.
+type Event struct {
+	// Name labels the event ("compute", "comm:allreduce", "cycle", …).
+	Name string
+	// Cat is the Chrome trace category ("compute", "comm", "engine").
+	Cat string
+	// Ph is the Chrome phase: 'X' complete, 'i' instant, 'C' counter.
+	Ph byte
+	// TS is the event start in seconds on the rank's timeline.
+	TS float64
+	// Dur is the duration in seconds (complete events only).
+	Dur float64
+	// Args annotate the event.
+	Args []Arg
+}
+
+// maxEventsPerTrack bounds a track's memory; beyond it events are counted
+// as dropped rather than stored. A per-term 8-class run emits tens of
+// events per cycle, so the default cap covers thousands of cycles.
+const maxEventsPerTrack = 1 << 20
+
+// Tracer collects events on one track per rank. Each track is appended to
+// only by its own rank's goroutine (the SPMD structure guarantees this), so
+// recording needs no locks; export happens after every rank has finished.
+type Tracer struct {
+	tracks  [][]Event
+	lastTS  []float64
+	dropped []uint64
+}
+
+// NewTracer returns a tracer with one empty track per rank.
+func NewTracer(ranks int) *Tracer {
+	if ranks < 1 {
+		ranks = 1
+	}
+	return &Tracer{
+		tracks:  make([][]Event, ranks),
+		lastTS:  make([]float64, ranks),
+		dropped: make([]uint64, ranks),
+	}
+}
+
+// Ranks returns the number of tracks.
+func (t *Tracer) Ranks() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.tracks)
+}
+
+// Emit appends ev to the rank's track. Nil-safe. Timestamps are clamped to
+// be non-decreasing per track so exported traces are always monotonic even
+// under a wall-clock fallback timeline.
+func (t *Tracer) Emit(rank int, ev Event) {
+	if t == nil || rank < 0 || rank >= len(t.tracks) {
+		return
+	}
+	if len(t.tracks[rank]) >= maxEventsPerTrack {
+		t.dropped[rank]++
+		return
+	}
+	if ev.TS < t.lastTS[rank] {
+		ev.TS = t.lastTS[rank]
+	}
+	t.lastTS[rank] = ev.TS
+	t.tracks[rank] = append(t.tracks[rank], ev)
+}
+
+// Dropped returns how many events were discarded over the track cap.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	var d uint64
+	for _, n := range t.dropped {
+		d += n
+	}
+	return d
+}
+
+// Events returns the rank's recorded events (nil out of range).
+func (t *Tracer) Events(rank int) []Event {
+	if t == nil || rank < 0 || rank >= len(t.tracks) {
+		return nil
+	}
+	return t.tracks[rank]
+}
+
+// fnum formats a float with the shortest round-trip decimal representation
+// — deterministic for deterministic inputs, which the golden-file tests
+// rely on. NaN and the infinities have no JSON literal (a first cycle's
+// convergence delta against the -Inf starting posterior is infinite), so
+// they are clamped to the largest finite values.
+func fnum(v float64) string {
+	return strconv.FormatFloat(clampFinite(v), 'g', -1, 64)
+}
+
+// writeArgs writes {"k":v,...} preserving arg order.
+func writeArgs(w *bufio.Writer, args []Arg) {
+	w.WriteByte('{')
+	for i, a := range args {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		fmt.Fprintf(w, "%q:%s", a.Key, fnum(a.Val))
+	}
+	w.WriteByte('}')
+}
+
+// WriteJSONL writes every event as one JSON object per line, grouped by
+// rank, in emission order — the raw structured log the trace smoke job and
+// downstream tooling consume.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for rank, track := range t.tracks {
+		for _, ev := range track {
+			fmt.Fprintf(bw, `{"rank":%d,"name":%q,"cat":%q,"ph":%q,"ts":%s`,
+				rank, ev.Name, ev.Cat, string(ev.Ph), fnum(ev.TS))
+			if ev.Ph == 'X' {
+				fmt.Fprintf(bw, `,"dur":%s`, fnum(ev.Dur))
+			}
+			if len(ev.Args) > 0 {
+				bw.WriteString(`,"args":`)
+				writeArgs(bw, ev.Args)
+			}
+			bw.WriteString("}\n")
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteChromeTrace exports every track in Chrome trace-event JSON (the
+// format Perfetto and chrome://tracing load): one process, one thread per
+// rank, timestamps and durations in microseconds. Complete events become
+// ph "X", instants ph "i" with thread scope, counters ph "C".
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"traceEvents\":[\n")
+	first := true
+	emit := func(s string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(s)
+	}
+	emit(`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"pautoclass"}}`)
+	for rank := range t.tracks {
+		emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":"rank %d"}}`, rank, rank))
+	}
+	for rank, track := range t.tracks {
+		for _, ev := range track {
+			if !first {
+				bw.WriteString(",\n")
+			}
+			first = false
+			tsUS := ev.TS * 1e6
+			switch ev.Ph {
+			case 'X':
+				fmt.Fprintf(bw, `{"name":%q,"cat":%q,"ph":"X","pid":1,"tid":%d,"ts":%s,"dur":%s`,
+					ev.Name, ev.Cat, rank, fnum(tsUS), fnum(ev.Dur*1e6))
+			case 'C':
+				fmt.Fprintf(bw, `{"name":%q,"cat":%q,"ph":"C","pid":1,"tid":%d,"ts":%s`,
+					ev.Name, ev.Cat, rank, fnum(tsUS))
+			default:
+				fmt.Fprintf(bw, `{"name":%q,"cat":%q,"ph":"i","s":"t","pid":1,"tid":%d,"ts":%s`,
+					ev.Name, ev.Cat, rank, fnum(tsUS))
+			}
+			if len(ev.Args) > 0 {
+				bw.WriteString(`,"args":`)
+				writeArgs(bw, ev.Args)
+			}
+			bw.WriteByte('}')
+		}
+	}
+	bw.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n")
+	return bw.Flush()
+}

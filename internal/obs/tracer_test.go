@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/autoclass"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func TestEmitClampsTimestampsMonotonic(t *testing.T) {
+	tr := NewTracer(2)
+	tr.Emit(0, Event{Name: "a", Ph: 'i', TS: 1})
+	tr.Emit(0, Event{Name: "b", Ph: 'i', TS: 0.5}) // goes backwards → clamped
+	tr.Emit(1, Event{Name: "c", Ph: 'i', TS: 0.2}) // other track unaffected
+	evs := tr.Events(0)
+	if len(evs) != 2 || evs[1].TS != 1 {
+		t.Fatalf("events = %+v, want second clamped to ts=1", evs)
+	}
+	if tr.Events(1)[0].TS != 0.2 {
+		t.Fatal("clamp leaked across tracks")
+	}
+	// Out-of-range and nil emits are safe no-ops.
+	tr.Emit(5, Event{})
+	tr.Emit(-1, Event{})
+	var nilT *Tracer
+	nilT.Emit(0, Event{})
+	if nilT.Ranks() != 0 || nilT.Dropped() != 0 {
+		t.Fatal("nil tracer accessors should read zero")
+	}
+}
+
+// syntheticRun drives a deterministic 4-rank simnet scenario through the
+// full observability stack — clock charges, collectives, engine cycles —
+// with no real EM numerics, so its trace bytes are identical on every
+// platform and can be golden-file compared.
+func syntheticRun(t *testing.T) *Run {
+	t.Helper()
+	const p = 4
+	run := NewRun(p)
+	run.SetMachineLabel("Meiko CS-2 (synthetic)")
+	err := mpi.Run(p, func(c *mpi.Comm) error {
+		clk, err := simnet.NewClock(simnet.MeikoCS2())
+		if err != nil {
+			return err
+		}
+		r := run.Rank(c.Rank())
+		c.SetObserver(r)
+		r.BindClock(clk)
+		buf := make([]float64, 64)
+		for cycle := 0; cycle < 3; cycle++ {
+			// Unequal compute loads make the faster ranks wait at the sync.
+			clk.ChargeOps(float64(1000 * (c.Rank() + 1)))
+			if err := c.Allreduce(mpi.Sum, buf); err != nil {
+				return err
+			}
+			if err := clk.SyncAllreduce(c, len(buf)); err != nil {
+				return err
+			}
+			r.ObserveCycle(autoclass.CycleInfo{
+				Cycle:   cycle,
+				J:       4 - cycle,
+				LogPost: -1000 - float64(cycle),
+				Delta:   0.25,
+				Stats: autoclass.CycleStats{
+					LogPost:       -1000 - float64(cycle),
+					WtsSeconds:    0.010,
+					ParamsSeconds: 0.005,
+					ApproxSeconds: 0.001,
+					Reductions:    1,
+					ReducedValues: 64,
+				},
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("mpi.Run: %v", err)
+	}
+	return run
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/obs -update`): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s differs from golden file; rerun with -update if the change is intended\ngot:\n%s", name, got)
+	}
+}
+
+// TestChromeTraceGolden byte-compares the Chrome trace of the synthetic
+// 4-rank simnet run against the checked-in golden file and verifies the
+// structural invariants the acceptance criteria name: the JSON parses, there
+// is one track per rank, and per-track timestamps are monotonic.
+func TestChromeTraceGolden(t *testing.T) {
+	run := syntheticRun(t)
+	var buf bytes.Buffer
+	if err := run.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "chrome_trace.golden.json", buf.Bytes())
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			TS   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	tracks := map[int]bool{}
+	lastTS := map[int]float64{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		tracks[ev.Tid] = true
+		if ev.TS < lastTS[ev.Tid] {
+			t.Fatalf("track %d timestamps not monotonic: %v after %v", ev.Tid, ev.TS, lastTS[ev.Tid])
+		}
+		lastTS[ev.Tid] = ev.TS
+	}
+	if len(tracks) != run.Ranks() {
+		t.Fatalf("trace has %d tracks, want one per rank (%d)", len(tracks), run.Ranks())
+	}
+}
+
+func TestEventsJSONLGolden(t *testing.T) {
+	run := syntheticRun(t)
+	var buf bytes.Buffer
+	if err := run.WriteEventsJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "events.golden.jsonl", buf.Bytes())
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	for i, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", i, err)
+		}
+		for _, k := range []string{"rank", "name", "cat", "ph", "ts"} {
+			if _, ok := obj[k]; !ok {
+				t.Fatalf("line %d missing %q: %s", i, k, line)
+			}
+		}
+	}
+}
+
+func TestMetricsAndBreakdown(t *testing.T) {
+	run := syntheticRun(t)
+	var buf bytes.Buffer
+	if err := run.WriteMetricsJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Ranks     int        `json:"ranks"`
+		PerRank   []Snapshot `json:"per_rank"`
+		Breakdown *Breakdown `json:"breakdown"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v", err)
+	}
+	if m.Ranks != 4 || len(m.PerRank) != 4 || m.Breakdown == nil {
+		t.Fatalf("metrics = ranks %d, per_rank %d", m.Ranks, len(m.PerRank))
+	}
+	b := run.Breakdown()
+	if b.Ranks != 4 || b.Cycles != 3 {
+		t.Fatalf("breakdown = %+v", b)
+	}
+	if b.ComputeSeconds <= 0 || b.CommSeconds <= 0 {
+		t.Fatalf("breakdown missing virtual time: %+v", b)
+	}
+	// Rank 3 had the heaviest compute, so it waits the least; rank 0 the
+	// most. The per-rank wait ordering is the visible signature of the
+	// synchronization semantics.
+	if b.PerRank[0].WaitSeconds <= b.PerRank[3].WaitSeconds {
+		t.Fatalf("expected rank 0 to wait more than rank 3: %+v", b.PerRank)
+	}
+	if !strings.Contains(b.Table(), "comm%") {
+		t.Fatal("breakdown table missing header")
+	}
+	// Every rank saw exactly 3 engine collectives (the sync meta-exchange
+	// must not be counted).
+	for i, rb := range b.PerRank {
+		if rb.Collectives != 3 {
+			t.Fatalf("rank %d counted %v collectives, want 3 (meta-exchanges must be suppressed)", i, rb.Collectives)
+		}
+	}
+	agg := run.Aggregate()
+	if got := agg.Counter(MetricCycles).Value(); got != 12 {
+		t.Fatalf("aggregate cycles = %v, want 12", got)
+	}
+}
+
+func TestTrendTableAndChart(t *testing.T) {
+	var tr Trend
+	tr.Add(Breakdown{Ranks: 2, ComputeSeconds: 8, CommSeconds: 2, ElapsedSeconds: 10})
+	tr.Add(Breakdown{Ranks: 4, ComputeSeconds: 4, CommSeconds: 2, ElapsedSeconds: 6})
+	tr.Add(Breakdown{Ranks: 8, ComputeSeconds: 2, CommSeconds: 2, ElapsedSeconds: 4})
+	tab := tr.Table()
+	if !strings.Contains(tab, "Figs. 9-10") || !strings.Contains(tab, "comm%") {
+		t.Fatalf("trend table missing headers:\n%s", tab)
+	}
+	chart, err := tr.Chart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(chart, "comm") {
+		t.Fatalf("chart missing series label:\n%s", chart)
+	}
+	if _, err := (&Trend{}).Chart(); err == nil {
+		t.Fatal("empty trend chart should error")
+	}
+}

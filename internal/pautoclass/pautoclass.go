@@ -33,8 +33,10 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/model"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Strategy selects the parallelization approach.
@@ -77,6 +79,28 @@ type Options struct {
 	// exchanges (default ReduceBcast, the paper implementation's pattern).
 	// It is applied to the communicator and to the virtual cost model.
 	AllreduceAlgo mpi.AllreduceAlgo
+	// Obs, when non-nil, records this rank's metrics and trace events. It
+	// is installed as the communicator's collective observer and, when a
+	// Clock is present, as the clock observer, and receives a per-cycle
+	// engine callback. Observation never communicates, so trajectories are
+	// bitwise identical with or without it.
+	Obs *obs.Rank
+	// Profile, when non-nil, accumulates per-phase wall time (§3.1-style
+	// update_wts / update_parameters / update_approximations table).
+	Profile *trace.Profile
+}
+
+// install wires the rank's observer into the communicator, the virtual
+// clock, and (via engine setters at the call sites) the EM engines. It is
+// idempotent, so Search and RunTrial may both call it.
+func (o *Options) install(comm *mpi.Comm) {
+	if o.Obs == nil {
+		return
+	}
+	comm.SetObserver(o.Obs)
+	if o.Clock != nil {
+		o.Obs.BindClock(o.Clock)
+	}
 }
 
 // DefaultOptions returns Full-strategy options with engine defaults.
@@ -286,12 +310,17 @@ func RunTrial(comm *mpi.Comm, view *dataset.View, pr *model.Priors, spec model.S
 		opts.Clock.SetParallelism(opts.EM.EffectiveParallelism())
 	}
 	comm.SetAllreduceAlgo(opts.AllreduceAlgo)
+	opts.install(comm)
 	switch opts.Strategy {
 	case Full:
 		eng, err := autoclass.NewEngine(view, cls, opts.EM,
 			&allreduceReducer{comm: comm, clock: opts.Clock, algo: opts.AllreduceAlgo}, charger)
 		if err != nil {
 			return nil, zero, err
+		}
+		eng.SetProfile(opts.Profile)
+		if opts.Obs != nil {
+			eng.SetCycleObserver(opts.Obs)
 		}
 		if err := eng.InitRandom(seed); err != nil {
 			return nil, zero, err
@@ -330,6 +359,7 @@ func Search(comm *mpi.Comm, ds *dataset.Dataset, spec model.Spec,
 	if err != nil {
 		return nil, err
 	}
+	opts.install(comm)
 	pr, err := ParallelPriors(comm, view, &opts)
 	if err != nil {
 		return nil, err

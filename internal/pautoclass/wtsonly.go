@@ -11,6 +11,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // wtsOnlyEngine reproduces the parallelization strategy of the prior MIMD
@@ -42,6 +43,11 @@ type wtsOnlyEngine struct {
 	started     bool
 	initSeconds float64
 	parts       []dataset.Range // block partition, for reassembling gathers
+
+	// Observability hooks, mirroring the Full engine's: both are nil-safe
+	// and purely passive, so the baseline's trajectory is unchanged by them.
+	profile  *trace.Profile
+	cycleObs autoclass.CycleObserver
 }
 
 func newWtsOnlyEngine(comm *mpi.Comm, view *dataset.View, cls *autoclass.Classification, opts Options) (*wtsOnlyEngine, error) {
@@ -52,7 +58,7 @@ func newWtsOnlyEngine(comm *mpi.Comm, view *dataset.View, cls *autoclass.Classif
 	if err != nil {
 		return nil, err
 	}
-	return &wtsOnlyEngine{
+	e := &wtsOnlyEngine{
 		comm:     comm,
 		view:     view,
 		ds:       view.Dataset(),
@@ -61,7 +67,12 @@ func newWtsOnlyEngine(comm *mpi.Comm, view *dataset.View, cls *autoclass.Classif
 		clock:    opts.Clock,
 		lastPost: math.Inf(-1),
 		parts:    parts,
-	}, nil
+		profile:  opts.Profile,
+	}
+	if opts.Obs != nil {
+		e.cycleObs = opts.Obs
+	}
+	return e, nil
 }
 
 func (e *wtsOnlyEngine) charge(units float64) {
@@ -362,6 +373,9 @@ func (e *wtsOnlyEngine) Run() (autoclass.EMResult, error) {
 		return res, errors.New("pautoclass: Run before InitRandom")
 	}
 	res.InitSeconds = e.initSeconds
+	if e.profile != nil {
+		e.profile.Add(autoclass.PhaseInit, e.initSeconds)
+	}
 	for cycle := 0; cycle < e.cfg.MaxCycles; cycle++ {
 		cs, err := e.BaseCycle()
 		if err != nil {
@@ -372,6 +386,20 @@ func (e *wtsOnlyEngine) Run() (autoclass.EMResult, error) {
 		res.ParamsSeconds += cs.ParamsSeconds
 		res.ApproxSeconds += cs.ApproxSeconds
 		res.History = append(res.History, cs.LogPost)
+		if e.profile != nil {
+			e.profile.Add(autoclass.PhaseWts, cs.WtsSeconds)
+			e.profile.Add(autoclass.PhaseParams, cs.ParamsSeconds)
+			e.profile.Add(autoclass.PhaseApprox, cs.ApproxSeconds)
+		}
+		if e.cycleObs != nil {
+			e.cycleObs.ObserveCycle(autoclass.CycleInfo{
+				Cycle:   cycle,
+				J:       e.cls.J(),
+				LogPost: cs.LogPost,
+				Delta:   autoclass.CycleDelta(cs.LogPost, e.lastPost),
+				Stats:   cs,
+			})
+		}
 		if stats.RelDiff(cs.LogPost, e.lastPost) < e.cfg.RelDelta {
 			e.belowTol++
 		} else {

@@ -244,6 +244,20 @@ func (m Machine) GatherCost(p, bytesPerRank int) float64 {
 	return float64(p-1) * (m.Alpha + float64(bytesPerRank)*m.Beta)
 }
 
+// ClockObserver receives the clock's charges as they happen — the hook the
+// observability layer uses to build a per-rank virtual timeline. ObserveOps
+// fires after every computation charge with the op units and the virtual
+// seconds they cost; ObserveSync fires after every multi-rank collective
+// synchronization with the modeled collective cost and the idle seconds the
+// rank spent waiting for the group's slowest member. Both are called with
+// the clock already advanced, so Elapsed() minus the reported seconds gives
+// the interval's virtual start time. Observers must not call back into the
+// clock's charging or sync methods.
+type ClockObserver interface {
+	ObserveOps(units, seconds float64)
+	ObserveSync(cost, wait float64)
+}
+
 // Clock is one rank's virtual clock. The zero value is invalid; use
 // NewClock. Clock is not safe for concurrent use — each rank owns one.
 type Clock struct {
@@ -253,6 +267,7 @@ type Clock struct {
 	ops     float64
 	comm    float64
 	colls   int
+	obs     ClockObserver
 }
 
 // NewClock returns a zeroed clock on machine m.
@@ -308,6 +323,10 @@ func (c *Clock) speedup() float64 {
 	return float64(p)
 }
 
+// SetObserver installs a ClockObserver (nil to disable). Observation never
+// changes what the clock charges, only reports it.
+func (c *Clock) SetObserver(o ClockObserver) { c.obs = o }
+
 // ChargeOps advances the clock by units/(OpRate·speedup) seconds of
 // computation, where speedup is min(SetParallelism, Machine.Cores). Op
 // units are counted undivided — speedup compresses time, not work.
@@ -315,8 +334,12 @@ func (c *Clock) ChargeOps(units float64) {
 	if units < 0 || math.IsNaN(units) {
 		return
 	}
+	dt := units / (c.m.OpRate * c.speedup())
 	c.ops += units
-	c.seconds += units / (c.m.OpRate * c.speedup())
+	c.seconds += dt
+	if c.obs != nil {
+		c.obs.ObserveOps(units, dt)
+	}
 }
 
 // ChargeSeconds advances the clock by raw seconds (e.g. modeled I/O).
@@ -384,7 +407,17 @@ func (c *Clock) sync(comm *mpi.Comm, cost float64) error {
 		c.colls++
 		return nil
 	}
+	// The max-exchange below is simulation machinery, not modeled traffic:
+	// hide it from the comm's collective observer so per-collective metrics
+	// count exactly the collectives the engine performs.
+	prev := comm.Observer()
+	if prev != nil {
+		comm.SetObserver(nil)
+	}
 	maxT, err := comm.AllreduceFloat64(mpi.Max, c.seconds)
+	if prev != nil {
+		comm.SetObserver(prev)
+	}
 	if err != nil {
 		return fmt.Errorf("simnet: clock sync: %w", err)
 	}
@@ -392,6 +425,9 @@ func (c *Clock) sync(comm *mpi.Comm, cost float64) error {
 	c.seconds = maxT + cost
 	c.comm += wait + cost
 	c.colls++
+	if c.obs != nil {
+		c.obs.ObserveSync(cost, wait)
+	}
 	return nil
 }
 
