@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench check trace-smoke
+.PHONY: build test vet race bench check trace-smoke faults
 
 build:
 	$(GO) build ./...
@@ -27,5 +27,14 @@ trace-smoke:
 		-tries 1 -max-cycles 10 -machine meiko \
 		-trace-out /tmp/trace.json -events-out /tmp/events.jsonl \
 		-metrics-out /tmp/metrics.json -phase-profile
+
+# Fault-tolerance suite: fault-injection matrix (every collective ×
+# Allreduce algorithm × transport with a rank killed mid-collective),
+# deadline/retry semantics, and the kill-and-resume bitwise-identity
+# test. The hard -timeout makes a hang a failure, not a stall.
+faults:
+	$(GO) test -race -timeout 180s \
+		-run 'Fault|Flaky|Timeout|Deadline|Retry|Race|Checkpoint|Resume|KillAndResume' \
+		./internal/mpi ./internal/autoclass ./internal/pautoclass ./cmd/pautoclass
 
 check: vet build test race

@@ -50,7 +50,10 @@ func run(args []string, w io.Writer) error {
 	machine := fs.String("machine", "none", "virtual machine model: none, meiko or pentium")
 	correlated := fs.Bool("correlated", false, "model real attributes with a joint covariance term")
 	models := fs.Bool("models", false, "run the model-level search over every applicable model form (sequential only)")
-	resume := fs.String("resume", "", "search-state file for checkpointed/resumable search (sequential only)")
+	resume := fs.String("resume", "", "search-state file for checkpointed/resumable search (sequential or parallel)")
+	checkpointEvery := fs.Int("checkpoint-every", 8, "with -resume and -procs > 1: cycles between mid-try snapshots (0 = try boundaries only)")
+	opTimeout := fs.Duration("op-timeout", 0, "per-operation transport deadline; a stalled rank errors out instead of hanging (0 = none)")
+	sendRetries := fs.Int("send-retries", 1, "max attempts per send when the transport reports a transient fault (1 = no retry)")
 	cases := fs.String("cases", "", "write AutoClass-style case assignments of the best classification to this file")
 	classify := fs.String("classify", "", "skip the search: load this classification checkpoint and classify the dataset")
 	report := fs.Bool("report", false, "print the full class report")
@@ -149,16 +152,16 @@ func run(args []string, w io.Writer) error {
 	if *models {
 		return runModelSearch(w, ds, cfg, *report, *checkpoint)
 	}
-	if *resume != "" {
-		if *procs != 1 {
-			return fmt.Errorf("-resume supports only -procs 1")
-		}
+	if *resume != "" && *procs == 1 {
 		return runResumable(w, ds, spec, cfg, *resume, *report, *checkpoint, *cases)
 	}
 
 	fmt.Fprintf(w, "dataset %s: %d tuples, %d attributes\n", ds.Name, ds.N(), ds.NumAttrs())
 	fmt.Fprintf(w, "search: start_j_list=%v tries=%d procs=%d strategy=%s\n",
 		cfg.StartJList, cfg.Tries, *procs, opts.Strategy)
+	if *resume != "" {
+		fmt.Fprintf(w, "resumable parallel search: state in %s, snapshot every %d cycles\n", *resume, *checkpointEvery)
+	}
 
 	// One observability session covers every in-process rank; rank i records
 	// through obsRun.Rank(i). Created only when an output was requested so
@@ -178,7 +181,11 @@ func run(args []string, w io.Writer) error {
 	var best *autoclass.SearchResult
 	var virtual float64
 	start := time.Now()
-	err = mpi.Run(*procs, func(c *mpi.Comm) error {
+	rcfg := mpi.RunConfig{
+		OpDeadline: *opTimeout,
+		Retry:      mpi.RetryPolicy{MaxAttempts: *sendRetries},
+	}
+	err = mpi.RunWith(*procs, rcfg, func(c *mpi.Comm) error {
 		o := opts
 		if mach != nil {
 			clk, err := simnet.NewClock(*mach)
@@ -188,12 +195,23 @@ func run(args []string, w io.Writer) error {
 			o.Clock = clk
 		}
 		o.Obs = obsRun.Rank(c.Rank())
+		if o.Obs != nil {
+			// Transport retries/timeouts land in the same per-rank metrics.
+			c.SetObserver(o.Obs)
+		}
 		if c.Rank() == 0 {
 			// The §3.1 phase table reports one rank's wall time; the phases
 			// are symmetric across ranks, so rank 0 stands for all.
 			o.Profile = profile
 		}
-		res, err := pautoclass.Search(c, ds, spec, cfg, o)
+		var res *autoclass.SearchResult
+		var err error
+		if *resume != "" {
+			res, err = pautoclass.SearchCheckpointed(c, ds, spec, cfg, o,
+				pautoclass.Checkpoint{Path: *resume, Every: *checkpointEvery})
+		} else {
+			res, err = pautoclass.Search(c, ds, spec, cfg, o)
+		}
 		if err != nil {
 			return err
 		}

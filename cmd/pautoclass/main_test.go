@@ -156,9 +156,47 @@ func TestCLIResumeAndCases(t *testing.T) {
 	if _, err := os.Stat(casesPath); err != nil {
 		t.Fatalf("cases file: %v", err)
 	}
-	// -resume with -procs > 1 is rejected.
-	if err := run(append(args, "-procs", "2"), &buf); err == nil {
-		t.Fatal("-resume with -procs 2 accepted")
+}
+
+func TestCLIParallelResume(t *testing.T) {
+	path := writeDataset(t, 400)
+	dir := t.TempDir()
+	state := filepath.Join(dir, "state.json")
+	ck := filepath.Join(dir, "best.json")
+	args := []string{"-data", path, "-procs", "3", "-start-j", "3,5", "-tries", "1",
+		"-max-cycles", "20", "-resume", state, "-checkpoint-every", "4",
+		"-op-timeout", "30s", "-send-retries", "3", "-checkpoint", ck}
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "resumable parallel search") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+	first, err := os.ReadFile(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(state); err != nil {
+		t.Fatalf("search state file: %v", err)
+	}
+	// Relaunching against the finished state replays nothing and writes the
+	// bitwise-identical best classification.
+	buf.Reset()
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("relaunched search wrote a different best classification")
+	}
+	// The parallel checkpointed path supports only the full strategy.
+	if err := run([]string{"-data", path, "-procs", "2", "-start-j", "3", "-tries", "1",
+		"-resume", state, "-strategy", "wtsonly"}, &buf); err == nil {
+		t.Fatal("-resume with -strategy wtsonly accepted")
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"repro/internal/dataset"
@@ -28,6 +29,48 @@ type checkpointV1 struct {
 	Blocks    []ckptBlock     `json:"blocks"`
 	Classes   []ckptClass     `json:"classes"`
 	Priors    json.RawMessage `json:"priors"`
+	// Search carries the mid-search position when the checkpoint was taken
+	// inside a try; absent for plain classification snapshots.
+	Search *ckptSearchV1 `json:"search,omitempty"`
+}
+
+// ckptSearchV1 is the serialized SearchPoint.
+type ckptSearchV1 struct {
+	TryIndex   int     `json:"try_index"`
+	StartJ     int     `json:"start_j"`
+	Try        int     `json:"try"`
+	TrySeed    uint64  `json:"try_seed"`
+	CycleInTry int     `json:"cycle_in_try"`
+	BelowTol   int     `json:"below_tol"`
+	LastPost   float64 `json:"last_post"`
+	SearchSeed uint64  `json:"search_seed"`
+}
+
+// SearchPoint pins a checkpoint to its position in the BIG_LOOP search: the
+// try index in the deterministic schedule, the class-count ladder position,
+// the RNG stream state (the per-try seed drawn from the search's seed
+// chain), and the engine's cycle-boundary state within the try. Together
+// with the classification it makes resume reproduce the uninterrupted
+// trajectory bitwise.
+type SearchPoint struct {
+	// TryIndex is the 0-based position in the flattened StartJList × Tries
+	// schedule; it equals the number of Uint64 draws consumed from the
+	// search seed chain before this try's seed.
+	TryIndex int
+	// StartJ and Try locate the try on the class-count ladder (Try counts
+	// repeats within one StartJ).
+	StartJ, Try int
+	// TrySeed is the seed drawn for this try — the RNG stream state,
+	// verified on resume against a re-derived chain.
+	TrySeed uint64
+	// CycleInTry is the number of completed cycles within the try.
+	CycleInTry int
+	// BelowTol and LastPost restore the engine's convergence tracker.
+	BelowTol int
+	LastPost float64
+	// SearchSeed is the search's root seed, so resume can detect a
+	// mismatched -seed flag instead of silently diverging.
+	SearchSeed uint64
 }
 
 type ckptBlock struct {
@@ -41,11 +84,8 @@ type ckptClass struct {
 	Terms [][]float64 `json:"terms"`
 }
 
-// SaveCheckpoint serializes the classification to w.
-func SaveCheckpoint(w io.Writer, cls *Classification) error {
-	if cls == nil {
-		return errors.New("autoclass: nil classification")
-	}
+// buildCheckpoint converts a classification to its serialized form.
+func buildCheckpoint(cls *Classification) (checkpointV1, error) {
 	ck := checkpointV1{
 		Version:   1,
 		N:         cls.N,
@@ -67,9 +107,44 @@ func SaveCheckpoint(w io.Writer, cls *Classification) error {
 	}
 	pri, err := json.Marshal(cls.Priors)
 	if err != nil {
-		return fmt.Errorf("autoclass: marshal priors: %w", err)
+		return ck, fmt.Errorf("autoclass: marshal priors: %w", err)
 	}
 	ck.Priors = pri
+	return ck, nil
+}
+
+// SaveCheckpoint serializes the classification to w.
+func SaveCheckpoint(w io.Writer, cls *Classification) error {
+	return SaveCheckpointSearch(w, cls, nil)
+}
+
+// SaveCheckpointSearch serializes the classification plus, when sp is
+// non-nil, its mid-search position. A mid-search snapshot is only legal
+// after at least one completed cycle: before that LastPost is -Inf, which
+// JSON cannot encode.
+func SaveCheckpointSearch(w io.Writer, cls *Classification, sp *SearchPoint) error {
+	if cls == nil {
+		return errors.New("autoclass: nil classification")
+	}
+	ck, err := buildCheckpoint(cls)
+	if err != nil {
+		return err
+	}
+	if sp != nil {
+		if math.IsInf(sp.LastPost, 0) || math.IsNaN(sp.LastPost) {
+			return fmt.Errorf("autoclass: search checkpoint before first cycle (last_post %v)", sp.LastPost)
+		}
+		ck.Search = &ckptSearchV1{
+			TryIndex:   sp.TryIndex,
+			StartJ:     sp.StartJ,
+			Try:        sp.Try,
+			TrySeed:    sp.TrySeed,
+			CycleInTry: sp.CycleInTry,
+			BelowTol:   sp.BelowTol,
+			LastPost:   sp.LastPost,
+			SearchSeed: sp.SearchSeed,
+		}
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(&ck)
@@ -78,17 +153,47 @@ func SaveCheckpoint(w io.Writer, cls *Classification) error {
 // LoadCheckpoint reconstructs a classification from r, validating it
 // against the dataset's schema.
 func LoadCheckpoint(r io.Reader, ds *dataset.Dataset) (*Classification, error) {
+	cls, _, err := LoadCheckpointSearch(r, ds)
+	return cls, err
+}
+
+// LoadCheckpointSearch is LoadCheckpoint that also returns the mid-search
+// position when the checkpoint carries one (nil otherwise).
+func LoadCheckpointSearch(r io.Reader, ds *dataset.Dataset) (*Classification, *SearchPoint, error) {
 	var ck checkpointV1
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&ck); err != nil {
-		return nil, fmt.Errorf("autoclass: decode checkpoint: %w", err)
+		return nil, nil, fmt.Errorf("autoclass: decode checkpoint: %w", err)
 	}
 	if ck.Version != 1 {
-		return nil, fmt.Errorf("autoclass: unsupported checkpoint version %d", ck.Version)
+		return nil, nil, fmt.Errorf("autoclass: unsupported checkpoint version %d", ck.Version)
 	}
 	if len(ck.Classes) == 0 {
-		return nil, errors.New("autoclass: checkpoint has no classes")
+		return nil, nil, errors.New("autoclass: checkpoint has no classes")
 	}
+	cls, err := restoreClassification(&ck, ds)
+	if err != nil {
+		return nil, nil, err
+	}
+	var sp *SearchPoint
+	if ck.Search != nil {
+		sp = &SearchPoint{
+			TryIndex:   ck.Search.TryIndex,
+			StartJ:     ck.Search.StartJ,
+			Try:        ck.Search.Try,
+			TrySeed:    ck.Search.TrySeed,
+			CycleInTry: ck.Search.CycleInTry,
+			BelowTol:   ck.Search.BelowTol,
+			LastPost:   ck.Search.LastPost,
+			SearchSeed: ck.Search.SearchSeed,
+		}
+	}
+	return cls, sp, nil
+}
+
+// restoreClassification rebuilds the in-memory classification from its
+// serialized form, validating against the dataset's schema.
+func restoreClassification(ck *checkpointV1, ds *dataset.Dataset) (*Classification, error) {
 	var spec model.Spec
 	for _, b := range ck.Blocks {
 		spec.Blocks = append(spec.Blocks, model.BlockSpec{Kind: model.TermKind(b.Kind), Attrs: b.Attrs})

@@ -2,6 +2,7 @@ package autoclass
 
 import (
 	"bytes"
+	"math"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -103,6 +104,47 @@ func TestCheckpointFileRoundTrip(t *testing.T) {
 	}
 	if _, err := LoadCheckpointFile(filepath.Join(t.TempDir(), "missing.json"), ds); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+func TestCheckpointSearchPointRoundTrip(t *testing.T) {
+	cls, ds := convergedClassification(t, 300)
+	sp := &SearchPoint{
+		TryIndex: 3, StartJ: 8, Try: 1,
+		TrySeed:    0xdeadbeefcafef00d, // all 64 bits must survive
+		CycleInTry: 17, BelowTol: 2, LastPost: cls.LogPost,
+		SearchSeed: ^uint64(0),
+	}
+	var buf bytes.Buffer
+	if err := SaveCheckpointSearch(&buf, cls, sp); err != nil {
+		t.Fatal(err)
+	}
+	got, gotSP, err := LoadCheckpointSearch(bytes.NewReader(buf.Bytes()), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSP == nil {
+		t.Fatal("search point lost in round trip")
+	}
+	if *gotSP != *sp {
+		t.Fatalf("search point mismatch:\nsaved:  %+v\nloaded: %+v", sp, gotSP)
+	}
+	if got.LogPost != cls.LogPost || got.Cycles != cls.Cycles {
+		t.Fatalf("classification mismatch: %v/%d", got.LogPost, got.Cycles)
+	}
+	// Plain checkpoints stay search-point-free through the new loader.
+	buf.Reset()
+	if err := SaveCheckpoint(&buf, cls); err != nil {
+		t.Fatal(err)
+	}
+	if _, sp2, err := LoadCheckpointSearch(&buf, ds); err != nil || sp2 != nil {
+		t.Fatalf("plain checkpoint: sp=%v err=%v", sp2, err)
+	}
+	// A pre-first-cycle snapshot (-Inf LastPost) cannot be encoded and must
+	// be rejected, not silently mangled.
+	bad := &SearchPoint{LastPost: math.Inf(-1)}
+	if err := SaveCheckpointSearch(&bytes.Buffer{}, cls, bad); err == nil {
+		t.Error("non-finite LastPost accepted")
 	}
 }
 

@@ -193,6 +193,9 @@ type Engine struct {
 	// path (consulted once per cycle, never inside the row loops).
 	profile  *trace.Profile
 	cycleObs CycleObserver
+	// cycleHook, unlike cycleObs, may perform communication (it carries the
+	// distributed checkpoint protocol) and may abort the run.
+	cycleHook CycleHook
 
 	scratch  shardScratch // per-shard accumulators, reused across cycles
 	statsBuf []float64    // merged statistics buffer, reused across cycles
@@ -228,6 +231,49 @@ func (e *Engine) SetProfile(p *trace.Profile) { e.profile = p }
 // SetCycleObserver installs a CycleObserver notified after every completed
 // base_cycle. Nil disables observation.
 func (e *Engine) SetCycleObserver(o CycleObserver) { e.cycleObs = o }
+
+// CycleHook runs at the end of every completed cycle of Run/RunFrom, after
+// the convergence tracker has been updated — exactly the boundary State()
+// snapshots. Unlike a CycleObserver it may perform communication (the
+// distributed checkpoint protocol lives here) and a non-nil error aborts
+// the run. The hook must not mutate classification state: the SPMD
+// invariant requires identical trajectories with and without it installed.
+type CycleHook func(cycle int, converged bool) error
+
+// SetCycleHook installs the per-cycle hook. Nil disables it.
+func (e *Engine) SetCycleHook(h CycleHook) { e.cycleHook = h }
+
+// EngineState is the cycle-boundary snapshot of the engine's mutable search
+// state beyond the Classification itself: together with the classification
+// (parameters, weights, posterior) it is sufficient to continue the run —
+// the per-item weights matrix is recomputed from the parameters at the top
+// of the next BaseCycle, so it never needs to be persisted.
+type EngineState struct {
+	// Cycles is the classification's total cycle count at the snapshot.
+	Cycles int
+	// BelowTol is the convergence tracker: consecutive cycles whose
+	// relative posterior change stayed below RelDelta.
+	BelowTol int
+	// LastPost is the posterior the next cycle's delta is measured against.
+	LastPost float64
+}
+
+// State snapshots the engine at a cycle boundary (call it from a CycleHook
+// or between BaseCycle calls).
+func (e *Engine) State() EngineState {
+	return EngineState{Cycles: e.cls.Cycles, BelowTol: e.belowTol, LastPost: e.lastPost}
+}
+
+// Restore rehydrates a freshly built engine from a cycle-boundary snapshot
+// whose classification was restored alongside it. The engine is marked
+// started — InitRandom must not be called — and RunFrom then continues the
+// trajectory bitwise-identically to a run that was never interrupted.
+func (e *Engine) Restore(st EngineState) {
+	e.belowTol = st.BelowTol
+	e.lastPost = st.LastPost
+	e.started = true
+	e.initSeconds = 0
+}
 
 func (e *Engine) charge(units float64) {
 	if e.charger != nil {
@@ -613,6 +659,14 @@ const (
 // "new classification try" (paper Fig. 2). InitRandom must have been
 // called.
 func (e *Engine) Run() (EMResult, error) {
+	return e.RunFrom(0)
+}
+
+// RunFrom is Run starting at cycle index `from` — the resume entry point
+// after Restore. The index only offsets the cycle numbers reported to
+// observers and the hook (and the remaining-cycle budget); the numerics are
+// entirely determined by the restored classification and engine state.
+func (e *Engine) RunFrom(from int) (EMResult, error) {
 	var res EMResult
 	if !e.started {
 		return res, errors.New("autoclass: Run before InitRandom")
@@ -621,7 +675,7 @@ func (e *Engine) Run() (EMResult, error) {
 	if e.profile != nil {
 		e.profile.Add(PhaseInit, e.initSeconds)
 	}
-	for cycle := 0; cycle < e.cfg.MaxCycles; cycle++ {
+	for cycle := from; cycle < e.cfg.MaxCycles; cycle++ {
 		cs, err := e.BaseCycle()
 		if err != nil {
 			return res, err
@@ -633,8 +687,15 @@ func (e *Engine) Run() (EMResult, error) {
 		res.ReducedValues += cs.ReducedValues
 		res.Reductions += cs.Reductions
 		res.History = append(res.History, cs.LogPost)
-		e.observeCycle(cycle, cs, CycleDelta(cs.LogPost, e.lastPost))
-		if e.convergedAfter(cs.LogPost) {
+		delta := CycleDelta(cs.LogPost, e.lastPost)
+		converged := e.convergedAfter(cs.LogPost)
+		e.observeCycle(cycle, cs, delta)
+		if e.cycleHook != nil {
+			if err := e.cycleHook(cycle, converged); err != nil {
+				return res, err
+			}
+		}
+		if converged {
 			res.Converged = true
 			break
 		}

@@ -1,0 +1,339 @@
+package mpi
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlakyBudgetExhaustionPersistent is the regression test for the budget
+// underflow: the counter used to decrement past the sign guard, so after
+// exactly one injected failure the transport silently recovered. An
+// exhausted budget must fail every subsequent operation.
+func TestFlakyBudgetExhaustionPersistent(t *testing.T) {
+	g, err := NewMemGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep0, _ := g.Endpoint(0)
+	f := NewFlakyTransport(ep0, 0, -1)
+	for i := 0; i < 5; i++ {
+		err := f.Send(1, i, []float64{1})
+		var inj *ErrInjected
+		if !errors.As(err, &inj) {
+			t.Fatalf("send %d after budget exhaustion: got %v, want injected failure", i, err)
+		}
+		if inj.Transient() {
+			t.Fatalf("send %d: persistent budget failure reported transient", i)
+		}
+	}
+}
+
+// TestFailOnceTransient checks the explicit one-shot mode: exactly one
+// retryable failure, then normal operation.
+func TestFailOnceTransient(t *testing.T) {
+	g, _ := NewMemGroup(2)
+	ep0, _ := g.Endpoint(0)
+	f := NewFaultyTransport(ep0, FaultPlan{Faults: []Fault{FailOnce("send", -1, 1)}})
+	if err := f.Send(1, 0, []float64{1}); err != nil {
+		t.Fatalf("first send: %v", err)
+	}
+	err := f.Send(1, 1, []float64{2})
+	var inj *ErrInjected
+	if !errors.As(err, &inj) || !inj.Transient() {
+		t.Fatalf("second send: got %v, want transient injected failure", err)
+	}
+	if err := f.Send(1, 2, []float64{3}); err != nil {
+		t.Fatalf("third send after one-shot fault: %v", err)
+	}
+}
+
+type countingFaultObserver struct {
+	retries, timeouts atomic.Int64
+}
+
+func (o *countingFaultObserver) ObserveRetry(op string, attempt int) { o.retries.Add(1) }
+func (o *countingFaultObserver) ObserveTimeout(op string)            { o.timeouts.Add(1) }
+
+// TestRetryRecoversOneShotFault wires the full chain: a one-shot transient
+// fault under a RetryTransport must be absorbed by the retry loop and
+// counted by the fault observer.
+func TestRetryRecoversOneShotFault(t *testing.T) {
+	g, _ := NewMemGroup(2)
+	ep0, _ := g.Endpoint(0)
+	faulty := NewFaultyTransport(ep0, FaultPlan{Faults: []Fault{FailOnce("send", -1, 0)}})
+	rt := NewRetryTransport(faulty, RetryPolicy{MaxAttempts: 3, BaseDelay: time.Microsecond})
+	var obs countingFaultObserver
+	rt.SetFaultObserver(&obs)
+	if err := rt.Send(1, 7, []float64{42}); err != nil {
+		t.Fatalf("send with retry: %v", err)
+	}
+	if got := obs.retries.Load(); got != 1 {
+		t.Fatalf("observed %d retries, want 1", got)
+	}
+	ep1, _ := g.Endpoint(1)
+	data, err := ep1.Recv(0, 7)
+	if err != nil || len(data) != 1 || data[0] != 42 {
+		t.Fatalf("recv after retried send: %v %v", data, err)
+	}
+}
+
+// TestRetryDoesNotRetryPersistentFault: persistent injected failures are not
+// transient, so the retry loop must give up immediately.
+func TestRetryDoesNotRetryPersistentFault(t *testing.T) {
+	g, _ := NewMemGroup(2)
+	ep0, _ := g.Endpoint(0)
+	faulty := NewFaultyTransport(ep0, FaultPlan{Faults: []Fault{{Op: "send", Peer: -1}}})
+	rt := NewRetryTransport(faulty, RetryPolicy{MaxAttempts: 5, BaseDelay: time.Microsecond})
+	var obs countingFaultObserver
+	rt.SetFaultObserver(&obs)
+	var inj *ErrInjected
+	if err := rt.Send(1, 0, []float64{1}); !errors.As(err, &inj) {
+		t.Fatalf("send: got %v, want injected failure", err)
+	}
+	if got := obs.retries.Load(); got != 0 {
+		t.Fatalf("observed %d retries on a persistent fault, want 0", got)
+	}
+}
+
+// TestFaultPerPeerTargeting: a fault aimed at one peer leaves traffic to
+// other peers untouched.
+func TestFaultPerPeerTargeting(t *testing.T) {
+	g, _ := NewMemGroup(3)
+	ep0, _ := g.Endpoint(0)
+	f := NewFaultyTransport(ep0, FaultPlan{Faults: []Fault{{Op: "send", Peer: 2}}})
+	if err := f.Send(1, 0, []float64{1}); err != nil {
+		t.Fatalf("send to healthy peer: %v", err)
+	}
+	var inj *ErrInjected
+	if err := f.Send(2, 0, []float64{1}); !errors.As(err, &inj) || inj.Peer != 2 {
+		t.Fatalf("send to targeted peer: got %v, want injected failure with Peer=2", err)
+	}
+}
+
+// TestFaultDropAndDelay: drops report success without delivering; delays
+// stall the op but let it through.
+func TestFaultDropAndDelay(t *testing.T) {
+	g, _ := NewMemGroup(2)
+	ep0, _ := g.Endpoint(0)
+	f := NewFaultyTransport(ep0, FaultPlan{Faults: []Fault{
+		{Op: "send", Peer: -1, Count: 1, Mode: FaultDrop},
+		// A firing Drop stops plan evaluation, so this rule first sees (and
+		// delays) the second send.
+		{Op: "send", Peer: -1, Count: 1, Mode: FaultDelay, Delay: 20 * time.Millisecond},
+	}})
+	if err := f.Send(1, 0, []float64{1}); err != nil {
+		t.Fatalf("dropped send reported %v, want success", err)
+	}
+	start := time.Now()
+	if err := f.Send(1, 1, []float64{2}); err != nil {
+		t.Fatalf("delayed send: %v", err)
+	}
+	if el := time.Since(start); el < 20*time.Millisecond {
+		t.Fatalf("delayed send returned after %v, want >= 20ms", el)
+	}
+	// Only the delayed message must arrive; the dropped one vanished.
+	ep1, _ := g.Endpoint(1)
+	if _, err := ep1.Recv(0, 1); err != nil {
+		t.Fatalf("recv of delayed message: %v", err)
+	}
+	select {
+	case msg := <-g.chans[0][1]:
+		t.Fatalf("dropped message was delivered: %+v", msg)
+	default:
+	}
+}
+
+// TestMemRecvDeadline: with a deadline armed, a Recv with no sender fails
+// with ErrTimeout in bounded time instead of hanging.
+func TestMemRecvDeadline(t *testing.T) {
+	g, _ := NewMemGroup(2)
+	ep0, _ := g.Endpoint(0)
+	SetOpDeadline(ep0, 50*time.Millisecond)
+	start := time.Now()
+	_, err := ep0.Recv(1, 0)
+	el := time.Since(start)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("recv: got %v, want ErrTimeout", err)
+	}
+	var te *TimeoutError
+	if !errors.As(err, &te) || te.Op != "recv" || te.Peer != 1 {
+		t.Fatalf("recv: got %v, want *TimeoutError{Op: recv, Peer: 1}", err)
+	}
+	if el < 50*time.Millisecond || el > 5*time.Second {
+		t.Fatalf("recv timed out after %v, want ~50ms", el)
+	}
+}
+
+// TestTCPRecvDeadline is TestMemRecvDeadline over real sockets.
+func TestTCPRecvDeadline(t *testing.T) {
+	g, err := NewTCPGroup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	ep0, err := g.Endpoint(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep1, err := g.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep0.Close()
+	defer ep1.Close()
+	SetOpDeadline(ep0, 50*time.Millisecond)
+	start := time.Now()
+	_, err = ep0.Recv(1, 0)
+	el := time.Since(start)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("recv: got %v, want ErrTimeout", err)
+	}
+	if el < 50*time.Millisecond || el > 5*time.Second {
+		t.Fatalf("recv timed out after %v, want ~50ms", el)
+	}
+}
+
+// TestTCPSendCloseRace: concurrent Sends racing the endpoint Close must not
+// panic on a closed queue channel (run under -race).
+func TestTCPSendCloseRace(t *testing.T) {
+	for iter := 0; iter < 20; iter++ {
+		g, err := NewTCPGroup(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep0, err := g.Endpoint(0)
+		if err != nil {
+			g.Close()
+			t.Fatal(err)
+		}
+		ep1, err := g.Endpoint(1)
+		if err != nil {
+			g.Close()
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					if err := ep0.Send(1, 0, []float64{float64(i)}); err != nil {
+						return
+					}
+				}
+			}()
+		}
+		time.Sleep(time.Millisecond)
+		ep0.Close()
+		wg.Wait()
+		ep1.Close()
+		g.Close()
+	}
+}
+
+// TestFaultMatrix kills one rank on its very first transport operation and
+// drives every collective, every Allreduce algorithm, over both transports.
+// Every healthy rank must return an error (no hangs, bounded by the
+// deadline), and the victim must report the injected error. The workload
+// alternates the collective under test with a Barrier so that single-shot
+// collectives whose tree never touches the victim still observe the crash
+// through the Barrier's cascade.
+func TestFaultMatrix(t *testing.T) {
+	const (
+		p      = 4
+		victim = 2
+		iters  = 50
+	)
+	allreduce := func(algo AllreduceAlgo) func(c *Comm) error {
+		return func(c *Comm) error {
+			buf := []float64{float64(c.Rank()), 1, 2}
+			return c.Allreduce(Sum, buf)
+		}
+	}
+	ops := []struct {
+		name string
+		algo AllreduceAlgo
+		call func(c *Comm) error
+	}{
+		{"barrier", ReduceBcast, func(c *Comm) error { return c.Barrier() }},
+		{"bcast", ReduceBcast, func(c *Comm) error { return c.Bcast(0, []float64{1, 2}) }},
+		{"reduce", ReduceBcast, func(c *Comm) error { return c.Reduce(0, Sum, []float64{1, 2}) }},
+		{"allreduce-reducebcast", ReduceBcast, allreduce(ReduceBcast)},
+		{"allreduce-recursivedoubling", RecursiveDoubling, allreduce(RecursiveDoubling)},
+		{"allreduce-ring", Ring, allreduce(Ring)},
+		{"reducescatter", ReduceBcast, func(c *Comm) error {
+			_, err := c.ReduceScatter(Sum, []float64{1, 2, 3, 4, 5})
+			return err
+		}},
+		{"gather", ReduceBcast, func(c *Comm) error {
+			_, err := c.Gather(0, []float64{float64(c.Rank())})
+			return err
+		}},
+		{"allgather", ReduceBcast, func(c *Comm) error {
+			_, err := c.Allgather([]float64{float64(c.Rank())})
+			return err
+		}},
+		{"scatter", ReduceBcast, func(c *Comm) error {
+			var parts [][]float64
+			if c.Rank() == 0 {
+				parts = [][]float64{{0}, {1}, {2}, {3}}
+			}
+			_, err := c.Scatter(0, parts)
+			return err
+		}},
+	}
+	runners := []struct {
+		name string
+		run  func(p int, cfg RunConfig, plans map[int]FaultPlan, fn func(c *Comm) error) ([]error, error)
+	}{
+		{"mem", RunFaultyMem},
+		{"tcp", RunFaultyTCP},
+	}
+	for _, rn := range runners {
+		rn := rn
+		for _, op := range ops {
+			op := op
+			t.Run(rn.name+"/"+op.name, func(t *testing.T) {
+				t.Parallel()
+				cfg := RunConfig{Algo: op.algo, OpDeadline: 2 * time.Second}
+				// Both directions fail from the very first op, so the victim
+				// crashes no matter whether the collective starts with a send
+				// or a receive.
+				plans := map[int]FaultPlan{victim: {Faults: []Fault{{Op: "", Peer: -1}}}}
+				start := time.Now()
+				errs, err := rn.run(p, cfg, plans, func(c *Comm) error {
+					for i := 0; i < iters; i++ {
+						if err := op.call(c); err != nil {
+							return err
+						}
+						if err := c.Barrier(); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				elapsed := time.Since(start)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var inj *ErrInjected
+				if !errors.As(errs[victim], &inj) {
+					t.Errorf("victim: got %v, want injected failure", errs[victim])
+				}
+				for r, e := range errs {
+					if r != victim && e == nil {
+						t.Errorf("healthy rank %d returned nil, want error (crash not propagated)", r)
+					}
+				}
+				// The deadline (2s) bounds any single blocked operation; the
+				// generous multiple absorbs scheduler noise on loaded CI.
+				if elapsed > 15*time.Second {
+					t.Errorf("matrix case took %v, deadline did not bound the hang", elapsed)
+				}
+			})
+		}
+	}
+}

@@ -2,38 +2,71 @@ package mpi
 
 import (
 	"fmt"
-	"sync/atomic"
+	"sync"
+	"time"
 )
 
-// FlakyTransport wraps a Transport and fails operations on command — the
-// fault-injection hook used to verify that every layer above the transport
-// (collectives, reducers, the parallel engine, the BIG_LOOP drivers)
-// propagates communication failures instead of hanging or corrupting
-// state. A rank whose transport starts failing behaves like a crashed node
-// from its own perspective; peers blocked on it observe closed channels or
-// reset connections from theirs.
-type FlakyTransport struct {
-	inner Transport
-	// sendBudget and recvBudget count down; when a budget reaches zero the
-	// corresponding operation starts failing. Negative budgets never fail.
-	sendBudget atomic.Int64
-	recvBudget atomic.Int64
+// FaultMode selects what an injected fault does when it fires.
+type FaultMode int
+
+const (
+	// FaultFail makes the matched operation return *ErrInjected without
+	// touching the inner transport.
+	FaultFail FaultMode = iota
+	// FaultDrop makes a matched Send report success without delivering the
+	// message — a silent network loss. On Recv it discards one incoming
+	// message before receiving for real; use with care, the discarded slot
+	// usually strands the collective until the deadline fires.
+	FaultDrop
+	// FaultDelay sleeps for Delay before performing the operation normally —
+	// a slow link or a GC-paused peer.
+	FaultDelay
+)
+
+// Fault is one injection rule. Zero value fails every matched operation
+// forever starting with the first one.
+type Fault struct {
+	// Op restricts the rule to "send" or "recv"; "" matches both.
+	Op string
+	// Peer restricts the rule to operations with one peer rank; -1 (or any
+	// negative) matches every peer.
+	Peer int
+	// After lets that many matching operations through before the rule
+	// starts firing.
+	After int64
+	// Count bounds how many times the rule fires; <= 0 means forever.
+	// Count == 1 with Transient set is the explicit one-shot mode: exactly
+	// one failure, marked retryable.
+	Count int64
+	// Mode selects the effect; Delay is the sleep for FaultDelay.
+	Mode  FaultMode
+	Delay time.Duration
+	// Transient marks injected failures as retryable (ErrInjected reports
+	// Transient() == true, so a RetryTransport will retry them).
+	Transient bool
 }
 
-// NewFlakyTransport wraps inner so that sends fail after sendBudget
-// successful sends and receives fail after recvBudget successful receives.
-// A negative budget disables failure for that direction.
-func NewFlakyTransport(inner Transport, sendBudget, recvBudget int64) *FlakyTransport {
-	f := &FlakyTransport{inner: inner}
-	f.sendBudget.Store(sendBudget)
-	f.recvBudget.Store(recvBudget)
-	return f
+// FailOnce is the one-shot fault: the (after+1)-th matching operation fails
+// with a retryable error, everything else succeeds.
+func FailOnce(op string, peer int, after int64) Fault {
+	return Fault{Op: op, Peer: peer, After: after, Count: 1, Transient: true}
 }
 
-// ErrInjected marks injected failures so tests can distinguish them.
+// FaultPlan is the full injection schedule for one rank's transport. Rules
+// are evaluated in order; the first Fail/Drop rule that fires wins, while
+// Delay rules accumulate.
+type FaultPlan struct {
+	Faults []Fault
+}
+
+// ErrInjected marks injected failures so tests can distinguish them from
+// real transport errors.
 type ErrInjected struct {
 	Op   string
 	Rank int
+	Peer int
+	// Retryable mirrors the firing rule's Transient flag.
+	Retryable bool
 }
 
 // Error implements error.
@@ -41,37 +74,151 @@ func (e *ErrInjected) Error() string {
 	return fmt.Sprintf("mpi: injected %s failure on rank %d", e.Op, e.Rank)
 }
 
-func (f *FlakyTransport) Rank() int { return f.inner.Rank() }
-func (f *FlakyTransport) Size() int { return f.inner.Size() }
+// Transient implements TransientError: one-shot injected failures are safe
+// to retry.
+func (e *ErrInjected) Transient() bool { return e.Retryable }
 
-// Send implements Transport, failing once the send budget is exhausted.
-func (f *FlakyTransport) Send(dst, tag int, data []float64) error {
-	if f.sendBudget.Load() >= 0 && f.sendBudget.Add(-1) < 0 {
-		return &ErrInjected{Op: "send", Rank: f.inner.Rank()}
-	}
-	return f.inner.Send(dst, tag, data)
+// faultState tracks how often one rule has matched and fired.
+type faultState struct {
+	Fault
+	seen, fired int64
 }
 
-// Recv implements Transport, failing once the recv budget is exhausted.
-func (f *FlakyTransport) Recv(src, tag int) ([]float64, error) {
-	if f.recvBudget.Load() >= 0 && f.recvBudget.Add(-1) < 0 {
-		return nil, &ErrInjected{Op: "recv", Rank: f.inner.Rank()}
+// FaultyTransport wraps a Transport and executes a FaultPlan against it —
+// the fault-injection hook used to verify that every layer above the
+// transport (collectives, reducers, the parallel engine, the BIG_LOOP
+// drivers) propagates communication failures instead of hanging or
+// corrupting state. A rank whose transport fails persistently behaves like
+// a crashed node from its own perspective; peers blocked on it observe
+// closed channels or reset connections from theirs.
+type FaultyTransport struct {
+	inner  Transport
+	mu     sync.Mutex
+	faults []faultState
+}
+
+// FlakyTransport is the historical name for the budget-based fault
+// injector; it is now a FaultyTransport built by NewFlakyTransport.
+type FlakyTransport = FaultyTransport
+
+// NewFaultyTransport wraps inner with the given fault plan.
+func NewFaultyTransport(inner Transport, plan FaultPlan) *FaultyTransport {
+	t := &FaultyTransport{inner: inner, faults: make([]faultState, len(plan.Faults))}
+	for i, f := range plan.Faults {
+		t.faults[i] = faultState{Fault: f}
 	}
-	return f.inner.Recv(src, tag)
+	return t
+}
+
+// NewFlakyTransport wraps inner so that sends fail persistently after
+// sendBudget successful sends and receives fail persistently after
+// recvBudget successful receives. A negative budget disables failure for
+// that direction. (An exhausted budget used to recover after one error —
+// the counter decremented past the sign guard — which made "crashed" ranks
+// silently resurrect mid-collective.)
+func NewFlakyTransport(inner Transport, sendBudget, recvBudget int64) *FlakyTransport {
+	var plan FaultPlan
+	if sendBudget >= 0 {
+		plan.Faults = append(plan.Faults, Fault{Op: "send", Peer: -1, After: sendBudget})
+	}
+	if recvBudget >= 0 {
+		plan.Faults = append(plan.Faults, Fault{Op: "recv", Peer: -1, After: recvBudget})
+	}
+	return NewFaultyTransport(inner, plan)
+}
+
+func (t *FaultyTransport) Rank() int { return t.inner.Rank() }
+func (t *FaultyTransport) Size() int { return t.inner.Size() }
+
+// SetOpDeadline forwards to the inner transport when it supports deadlines,
+// so a deadline configured on the chain still bounds the real operations.
+func (t *FaultyTransport) SetOpDeadline(d time.Duration) { SetOpDeadline(t.inner, d) }
+
+// apply runs the plan for one operation and returns the accumulated delay,
+// whether to drop, and the injected error (nil if the op should proceed).
+func (t *FaultyTransport) apply(op string, peer int) (time.Duration, bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var delay time.Duration
+	for i := range t.faults {
+		f := &t.faults[i]
+		if f.Op != "" && f.Op != op {
+			continue
+		}
+		if f.Peer >= 0 && f.Peer != peer {
+			continue
+		}
+		f.seen++
+		if f.seen <= f.After {
+			continue
+		}
+		if f.Count > 0 && f.fired >= f.Count {
+			continue
+		}
+		f.fired++
+		switch f.Mode {
+		case FaultDelay:
+			delay += f.Delay
+		case FaultDrop:
+			return delay, true, nil
+		default: // FaultFail
+			return delay, false, &ErrInjected{Op: op, Rank: t.inner.Rank(), Peer: peer, Retryable: f.Transient}
+		}
+	}
+	return delay, false, nil
+}
+
+// Send implements Transport, consulting the fault plan first.
+func (t *FaultyTransport) Send(dst, tag int, data []float64) error {
+	delay, drop, err := t.apply("send", dst)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if err != nil {
+		return err
+	}
+	if drop {
+		return nil
+	}
+	return t.inner.Send(dst, tag, data)
+}
+
+// Recv implements Transport, consulting the fault plan first.
+func (t *FaultyTransport) Recv(src, tag int) ([]float64, error) {
+	delay, drop, err := t.apply("recv", src)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if drop {
+		if _, err := t.inner.Recv(src, tag); err != nil {
+			return nil, err
+		}
+	}
+	return t.inner.Recv(src, tag)
 }
 
 // Close implements Transport.
-func (f *FlakyTransport) Close() error { return f.inner.Close() }
+func (t *FaultyTransport) Close() error { return t.inner.Close() }
 
-// RunFlaky is Run with rank `victim`'s transport failing after the given
-// send budget. Other ranks run on healthy transports; the function returns
-// the per-rank errors (index = rank) after every goroutine finishes, so
-// tests can assert both that the victim failed with an injected error and
-// that no healthy rank hung. Peers of a failed rank may block waiting for
-// messages that will never arrive — exactly as on a real multicomputer —
-// so RunFlaky closes the victim's channels (via Close) once it exits,
-// unblocking any peer stuck in Recv.
-func RunFlaky(p int, victim int, sendBudget int64, fn func(c *Comm) error) ([]error, error) {
+var _ Transport = (*FaultyTransport)(nil)
+var _ DeadlineTransport = (*FaultyTransport)(nil)
+
+// RunFaultyMem runs fn on p in-process ranks with per-rank fault plans and
+// returns the per-rank errors (index = rank) after every goroutine
+// finishes, so tests can assert both that victims failed with injected
+// errors and that no healthy rank hung. Peers of a failed rank may block
+// waiting for messages that will never arrive — exactly as on a real
+// multicomputer — so as each rank exits (crashed or finished) its outgoing
+// channels are closed. Messages already buffered stay readable, but a peer
+// blocked waiting for a message that will never come observes the closure
+// instead of deadlocking, exactly as a reset connection would surface on a
+// real machine. Failures therefore cascade: a crash can strand a healthy
+// rank mid-collective, which then errors and releases its own dependents in
+// turn.
+func RunFaultyMem(p int, cfg RunConfig, plans map[int]FaultPlan, fn func(c *Comm) error) ([]error, error) {
 	g, err := NewMemGroup(p)
 	if err != nil {
 		return nil, err
@@ -84,9 +231,11 @@ func RunFlaky(p int, victim int, sendBudget int64, fn func(c *Comm) error) ([]er
 			return nil, err
 		}
 		var tr Transport = ep
-		if r == victim {
-			tr = NewFlakyTransport(ep, sendBudget, -1)
+		if plan, ok := plans[r]; ok && len(plan.Faults) > 0 {
+			tr = NewFaultyTransport(ep, plan)
 		}
+		comm := NewComm(cfg.wrap(tr))
+		comm.SetAllreduceAlgo(cfg.Algo)
 		go func(rank int, c *Comm) {
 			defer func() {
 				if rec := recover(); rec != nil {
@@ -95,15 +244,8 @@ func RunFlaky(p int, victim int, sendBudget int64, fn func(c *Comm) error) ([]er
 				done <- rank
 			}()
 			errs[rank] = fn(c)
-		}(r, NewComm(tr))
+		}(r, comm)
 	}
-	// As each rank exits — crashed or finished — close its outgoing
-	// channels. Messages already buffered stay readable, but a peer blocked
-	// waiting for a message that will never come observes the closure
-	// instead of deadlocking, exactly as a reset connection would surface
-	// on a real machine. Failures therefore cascade: a crash can strand a
-	// healthy rank mid-collective, which then errors and releases its own
-	// dependents in turn.
 	for finished := 0; finished < p; finished++ {
 		rank := <-done
 		for d := 0; d < p; d++ {
@@ -113,4 +255,60 @@ func RunFlaky(p int, victim int, sendBudget int64, fn func(c *Comm) error) ([]er
 		}
 	}
 	return errs, nil
+}
+
+// RunFaultyTCP is RunFaultyMem over real loopback TCP sockets. The crash
+// cascade works through the sockets themselves: each rank closes its
+// endpoint the moment its function returns, so peers blocked on it observe
+// EOF or a reset instead of hanging.
+func RunFaultyTCP(p int, cfg RunConfig, plans map[int]FaultPlan, fn func(c *Comm) error) ([]error, error) {
+	g, err := NewTCPGroup(p)
+	if err != nil {
+		return nil, err
+	}
+	defer g.Close()
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	var launchErr error
+	for r := 0; r < p; r++ {
+		ep, err := g.Endpoint(r)
+		if err != nil {
+			launchErr = err
+			break
+		}
+		var tr Transport = ep
+		if plan, ok := plans[r]; ok && len(plan.Faults) > 0 {
+			tr = NewFaultyTransport(ep, plan)
+		}
+		comm := NewComm(cfg.wrap(tr))
+		comm.SetAllreduceAlgo(cfg.Algo)
+		wg.Add(1)
+		go func(rank int, c *Comm, raw Transport) {
+			defer wg.Done()
+			defer raw.Close()
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, rec)
+				}
+			}()
+			errs[rank] = fn(c)
+		}(r, comm, ep)
+	}
+	if launchErr != nil {
+		g.Close()
+		wg.Wait()
+		return nil, launchErr
+	}
+	wg.Wait()
+	return errs, nil
+}
+
+// RunFlaky is RunFaultyMem with rank `victim`'s transport failing
+// persistently after the given send budget (negative disables injection).
+func RunFlaky(p int, victim int, sendBudget int64, fn func(c *Comm) error) ([]error, error) {
+	plans := map[int]FaultPlan{}
+	if sendBudget >= 0 {
+		plans[victim] = FaultPlan{Faults: []Fault{{Op: "send", Peer: -1, After: sendBudget}}}
+	}
+	return RunFaultyMem(p, RunConfig{}, plans, fn)
 }

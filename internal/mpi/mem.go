@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // memMessage is one in-flight message of the in-process transport.
@@ -50,13 +51,20 @@ func (g *MemGroup) Endpoint(rank int) (Transport, error) {
 }
 
 type memEndpoint struct {
-	g      *MemGroup
-	rank   int
-	closed atomic.Bool
+	g          *MemGroup
+	rank       int
+	closed     atomic.Bool
+	opDeadline atomic.Int64 // nanoseconds; <= 0 blocks indefinitely
 }
 
 func (e *memEndpoint) Rank() int { return e.rank }
 func (e *memEndpoint) Size() int { return e.g.p }
+
+// SetOpDeadline implements DeadlineTransport: a Recv that sees no message
+// within d fails with *TimeoutError. Sends are always non-blocking on the
+// channel mesh (a full channel errors immediately), so the deadline only
+// governs receives.
+func (e *memEndpoint) SetOpDeadline(d time.Duration) { e.opDeadline.Store(int64(d)) }
 
 func (e *memEndpoint) Send(dst, tag int, data []float64) error {
 	if e.closed.Load() {
@@ -89,7 +97,19 @@ func (e *memEndpoint) Recv(src, tag int) ([]float64, error) {
 	if src == e.rank {
 		return nil, fmt.Errorf("mpi: rank %d receiving from itself", src)
 	}
-	msg, ok := <-e.g.chans[src][e.rank]
+	var msg memMessage
+	var ok bool
+	if d := e.opDeadline.Load(); d > 0 {
+		timer := time.NewTimer(time.Duration(d))
+		select {
+		case msg, ok = <-e.g.chans[src][e.rank]:
+			timer.Stop()
+		case <-timer.C:
+			return nil, &TimeoutError{Op: "recv", Rank: e.rank, Peer: src, After: time.Duration(d)}
+		}
+	} else {
+		msg, ok = <-e.g.chans[src][e.rank]
+	}
 	if !ok {
 		return nil, ErrClosed
 	}
@@ -104,16 +124,46 @@ func (e *memEndpoint) Close() error {
 	return nil
 }
 
+// RunConfig bundles the per-rank transport/communicator options of the Run*
+// helpers.
+type RunConfig struct {
+	// Algo selects the Allreduce algorithm (default ReduceBcast).
+	Algo AllreduceAlgo
+	// OpDeadline, when positive, arms a per-operation deadline on every
+	// endpoint: a stalled peer surfaces as ErrTimeout instead of a hang.
+	OpDeadline time.Duration
+	// Retry, when enabled, wraps every endpoint in a RetryTransport that
+	// retries transient send failures with exponential backoff.
+	Retry RetryPolicy
+}
+
+// wrap applies the config's deadline and retry layers to a raw endpoint.
+func (cfg RunConfig) wrap(t Transport) Transport {
+	if cfg.OpDeadline > 0 {
+		SetOpDeadline(t, cfg.OpDeadline)
+	}
+	if cfg.Retry.enabled() {
+		t = NewRetryTransport(t, cfg.Retry)
+	}
+	return t
+}
+
 // Run executes fn concurrently on p in-process ranks connected by a
 // MemGroup mesh and waits for all of them. Each rank receives its own Comm.
 // The returned error joins the per-rank failures (nil when every rank
 // succeeded). This is the local analogue of `mpirun -np p`.
 func Run(p int, fn func(c *Comm) error) error {
-	return RunAlgo(p, ReduceBcast, fn)
+	return RunWith(p, RunConfig{}, fn)
 }
 
 // RunAlgo is Run with an explicit Allreduce algorithm selection.
 func RunAlgo(p int, algo AllreduceAlgo, fn func(c *Comm) error) error {
+	return RunWith(p, RunConfig{Algo: algo}, fn)
+}
+
+// RunWith is Run with explicit transport options: collective algorithm,
+// per-operation deadline, and send retry policy.
+func RunWith(p int, cfg RunConfig, fn func(c *Comm) error) error {
 	g, err := NewMemGroup(p)
 	if err != nil {
 		return err
@@ -125,8 +175,8 @@ func RunAlgo(p int, algo AllreduceAlgo, fn func(c *Comm) error) error {
 		if err != nil {
 			return err
 		}
-		comm := NewComm(ep)
-		comm.SetAllreduceAlgo(algo)
+		comm := NewComm(cfg.wrap(ep))
+		comm.SetAllreduceAlgo(cfg.Algo)
 		wg.Add(1)
 		go func(rank int, c *Comm) {
 			defer wg.Done()

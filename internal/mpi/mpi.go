@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+	"time"
 )
 
 // Op identifies an elementwise reduction operator.
@@ -189,6 +190,13 @@ func (c *Comm) SetObserver(o CollectiveObserver) {
 		return
 	}
 	c.observer.Store(&observerRef{o: o})
+	// An observer that also understands fault events is forwarded to the
+	// transport chain, so retry/timeout counters need no extra wiring.
+	if fo, ok := o.(FaultObserver); ok {
+		if ft, ok := c.t.(faultObservable); ok {
+			ft.SetFaultObserver(fo)
+		}
+	}
 }
 
 // Observer returns the currently installed CollectiveObserver (nil if none).
@@ -730,3 +738,69 @@ func nextPow2(p int) int {
 
 // ErrClosed is returned by transport operations after Close.
 var ErrClosed = errors.New("mpi: transport closed")
+
+// ErrTimeout is the sentinel that every per-operation deadline expiry
+// matches: errors.Is(err, ErrTimeout) is true for any *TimeoutError, however
+// deeply wrapped by the collective machinery. A timeout is fail-stop — the
+// transport stream may be desynchronized afterwards (a TCP frame can be
+// abandoned mid-read), so callers must treat the endpoint as dead, exactly
+// like a crashed peer.
+var ErrTimeout = errors.New("mpi: operation deadline exceeded")
+
+// TimeoutError reports which operation on which edge exceeded its deadline.
+type TimeoutError struct {
+	// Op is "send" or "recv".
+	Op string
+	// Rank is the local rank; Peer the remote rank of the stalled edge.
+	Rank, Peer int
+	// After is the configured per-operation deadline.
+	After time.Duration
+}
+
+// Error implements error.
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("mpi: rank %d %s to/from rank %d exceeded %v deadline", e.Rank, e.Op, e.Peer, e.After)
+}
+
+// Is makes errors.Is(err, ErrTimeout) match.
+func (e *TimeoutError) Is(target error) bool { return target == ErrTimeout }
+
+// Timeout implements the net.Error-style timeout predicate.
+func (e *TimeoutError) Timeout() bool { return true }
+
+// DeadlineTransport is the optional interface of transports that support a
+// per-operation deadline: once set, a Send or Recv that cannot complete
+// within d fails with a *TimeoutError instead of blocking. d <= 0 disables
+// the deadline (operations block indefinitely, the zero-value behaviour).
+type DeadlineTransport interface {
+	SetOpDeadline(d time.Duration)
+}
+
+// SetOpDeadline configures a per-operation deadline on t if its transport
+// chain supports one, reporting whether it did. Wrapper transports
+// (FlakyTransport, RetryTransport) forward to their inner transport.
+func SetOpDeadline(t Transport, d time.Duration) bool {
+	if dt, ok := t.(DeadlineTransport); ok {
+		dt.SetOpDeadline(d)
+		return true
+	}
+	return false
+}
+
+// FaultObserver is notified of fault-handling events on a transport chain:
+// send retries and operation timeouts. obs.Rank implements it, so installing
+// a rank recorder as the Comm's CollectiveObserver also wires these counters
+// when the transport chain supports fault observation (see RetryTransport).
+// Implementations must be safe for concurrent use.
+type FaultObserver interface {
+	// ObserveRetry reports one retried send (attempt counts from 1).
+	ObserveRetry(op string, attempt int)
+	// ObserveTimeout reports one operation that failed with ErrTimeout.
+	ObserveTimeout(op string)
+}
+
+// faultObservable is implemented by transport wrappers that accept a
+// FaultObserver (RetryTransport). Comm.SetObserver forwards automatically.
+type faultObservable interface {
+	SetFaultObserver(o FaultObserver)
+}

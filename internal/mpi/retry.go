@@ -1,0 +1,154 @@
+package mpi
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// TransientError marks failures that are safe to retry: the operation had no
+// effect (or a repeat is idempotent at the transport layer). Injected faults
+// in FailOnce mode report Transient() == true; real transport breakage
+// (closed endpoints, reset connections, deadline expiry) does not, because a
+// TCP stream is not recoverable mid-frame and a timeout means the deadline
+// contract has already been broken.
+type TransientError interface {
+	error
+	Transient() bool
+}
+
+// IsTransient reports whether err (or anything it wraps) is a retryable
+// transient failure.
+func IsTransient(err error) bool {
+	var te TransientError
+	return errors.As(err, &te) && te.Transient()
+}
+
+// RetryPolicy bounds the retry loop for transient send failures.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per send (first attempt
+	// included). <= 1 disables retrying.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each subsequent
+	// retry doubles it, capped at MaxDelay. Zero values default to
+	// 1ms / 100ms.
+	BaseDelay, MaxDelay time.Duration
+}
+
+func (p RetryPolicy) enabled() bool { return p.MaxAttempts > 1 }
+
+// backoff returns the sleep before retry number `retry` (counting from 1).
+func (p RetryPolicy) backoff(retry int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	maxD := p.MaxDelay
+	if maxD <= 0 {
+		maxD = 100 * time.Millisecond
+	}
+	d := base
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= maxD {
+			return maxD
+		}
+	}
+	if d > maxD {
+		return maxD
+	}
+	return d
+}
+
+// RetryTransport wraps a Transport and retries transient send failures with
+// bounded exponential backoff. Receives are never retried — a failed Recv
+// may have consumed part of a message, so repeating it cannot be made safe
+// at this layer. The wrapper is also the transport chain's fault-observation
+// point: it reports retries and ErrTimeout expiries (from either direction)
+// to the installed FaultObserver.
+type RetryTransport struct {
+	inner  Transport
+	policy RetryPolicy
+	obs    atomic.Pointer[faultObserverRef]
+}
+
+// faultObserverRef boxes a FaultObserver for atomic swapping.
+type faultObserverRef struct {
+	o FaultObserver
+}
+
+// NewRetryTransport wraps inner with the given retry policy. A zero policy
+// still observes timeouts but never retries.
+func NewRetryTransport(inner Transport, policy RetryPolicy) *RetryTransport {
+	return &RetryTransport{inner: inner, policy: policy}
+}
+
+// SetFaultObserver installs the observer notified of retries and timeouts
+// (nil to disable). Safe to call from any goroutine, including while
+// operations are in flight.
+func (r *RetryTransport) SetFaultObserver(o FaultObserver) {
+	if o == nil {
+		r.obs.Store(nil)
+		return
+	}
+	r.obs.Store(&faultObserverRef{o: o})
+}
+
+// SetOpDeadline forwards to the inner transport when it supports deadlines.
+func (r *RetryTransport) SetOpDeadline(d time.Duration) { SetOpDeadline(r.inner, d) }
+
+func (r *RetryTransport) observeRetry(op string, attempt int) {
+	if ref := r.obs.Load(); ref != nil {
+		ref.o.ObserveRetry(op, attempt)
+	}
+}
+
+func (r *RetryTransport) observeTimeout(op string, err error) {
+	if err == nil || !errors.Is(err, ErrTimeout) {
+		return
+	}
+	if ref := r.obs.Load(); ref != nil {
+		ref.o.ObserveTimeout(op)
+	}
+}
+
+func (r *RetryTransport) Rank() int { return r.inner.Rank() }
+func (r *RetryTransport) Size() int { return r.inner.Size() }
+
+// Send implements Transport, retrying transient failures up to the policy's
+// attempt budget with exponential backoff.
+func (r *RetryTransport) Send(dst, tag int, data []float64) error {
+	attempts := r.policy.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		err = r.inner.Send(dst, tag, data)
+		if err == nil {
+			return nil
+		}
+		if !IsTransient(err) || attempt == attempts {
+			break
+		}
+		r.observeRetry("send", attempt)
+		time.Sleep(r.policy.backoff(attempt))
+	}
+	r.observeTimeout("send", err)
+	return err
+}
+
+// Recv implements Transport. No retry (see type comment); timeouts are
+// counted on their way through.
+func (r *RetryTransport) Recv(src, tag int) ([]float64, error) {
+	data, err := r.inner.Recv(src, tag)
+	r.observeTimeout("recv", err)
+	return data, err
+}
+
+// Close implements Transport.
+func (r *RetryTransport) Close() error { return r.inner.Close() }
+
+var _ Transport = (*RetryTransport)(nil)
+var _ DeadlineTransport = (*RetryTransport)(nil)
+var _ faultObservable = (*RetryTransport)(nil)

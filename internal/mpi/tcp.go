@@ -9,6 +9,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // The TCP transport runs each rank over real sockets — a full mesh of
@@ -188,7 +189,7 @@ func connectTCPRank(rank int, addrs []string, listener net.Listener) (*tcpEndpoi
 			ep.Close()
 			return nil, fmt.Errorf("hello to rank %d: %w", d, err)
 		}
-		ep.out[d] = newTCPConnOut(conn)
+		ep.out[d] = newTCPConnOut(conn, rank, d, &ep.opDeadline)
 	}
 	// Collect my incoming edges.
 	for i := 0; i < need; i++ {
@@ -204,7 +205,7 @@ func connectTCPRank(rank int, addrs []string, listener net.Listener) (*tcpEndpoi
 			ep.Close()
 			return nil, fmt.Errorf("duplicate incoming edge from rank %d", a.src)
 		}
-		ep.in[a.src] = newTCPConnIn(a.conn)
+		ep.in[a.src] = newTCPConnIn(a.conn, rank, a.src, &ep.opDeadline)
 	}
 	// Mesh is up: the accept goroutine has exited (it collected exactly
 	// need connections), so cleanup just releases the listen socket.
@@ -216,18 +217,31 @@ func connectTCPRank(rank int, addrs []string, listener net.Listener) (*tcpEndpoi
 // goroutine drains a queue so that Send never blocks on the socket — the
 // butterfly exchange requires sends to complete locally before the
 // matching receive is posted.
+//
+// The mutex makes enqueue and close mutually exclusive: without it a Send
+// racing close() could write to a closed channel and panic the whole
+// process, turning a clean peer shutdown into a local crash.
 type tcpConnOut struct {
-	conn  net.Conn
-	queue chan memMessage
-	done  chan struct{}
-	err   atomic.Value // error
+	conn       net.Conn
+	rank, peer int
+	deadline   *atomic.Int64 // shared with the owning endpoint, nanoseconds
+
+	mu     sync.Mutex
+	closed bool
+	queue  chan memMessage
+
+	done chan struct{}
+	err  atomic.Value // error
 }
 
-func newTCPConnOut(conn net.Conn) *tcpConnOut {
+func newTCPConnOut(conn net.Conn, rank, peer int, deadline *atomic.Int64) *tcpConnOut {
 	o := &tcpConnOut{
-		conn:  conn,
-		queue: make(chan memMessage, memChanCap),
-		done:  make(chan struct{}),
+		conn:     conn,
+		rank:     rank,
+		peer:     peer,
+		deadline: deadline,
+		queue:    make(chan memMessage, memChanCap),
+		done:     make(chan struct{}),
 	}
 	go o.writer()
 	return o
@@ -252,15 +266,16 @@ func (o *tcpConnOut) writer() {
 		for i, v := range msg.data {
 			binary.LittleEndian.PutUint64(f[8+8*i:], math.Float64bits(v))
 		}
+		o.armWriteDeadline()
 		if _, err := bw.Write(f); err != nil {
-			o.err.Store(err)
+			o.err.Store(o.sendError(err))
 			return
 		}
 		// Flush when the queue drains so batched collective steps share
 		// one syscall but nothing sits unsent while peers wait.
 		if len(o.queue) == 0 {
 			if err := bw.Flush(); err != nil {
-				o.err.Store(err)
+				o.err.Store(o.sendError(err))
 				return
 			}
 		}
@@ -268,43 +283,124 @@ func (o *tcpConnOut) writer() {
 	bw.Flush()
 }
 
+// armWriteDeadline applies the endpoint's per-op deadline to the socket so
+// a peer that stops draining cannot park the writer goroutine forever.
+func (o *tcpConnOut) armWriteDeadline() {
+	if d := o.deadline.Load(); d > 0 {
+		o.conn.SetWriteDeadline(time.Now().Add(time.Duration(d)))
+	} else {
+		o.conn.SetWriteDeadline(time.Time{})
+	}
+}
+
+// sendError converts a socket write timeout into the typed *TimeoutError.
+func (o *tcpConnOut) sendError(err error) error {
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		return &TimeoutError{Op: "send", Rank: o.rank, Peer: o.peer, After: time.Duration(o.deadline.Load())}
+	}
+	return err
+}
+
 func (o *tcpConnOut) send(tag int, data []float64) error {
 	if e := o.err.Load(); e != nil {
 		return e.(error)
 	}
 	msg := memMessage{tag: tag, data: append([]float64(nil), data...)}
-	select {
-	case o.queue <- msg:
-		return nil
-	default:
-		return fmt.Errorf("mpi: tcp send queue full")
+	var waitUntil time.Time
+	for {
+		o.mu.Lock()
+		if o.closed {
+			o.mu.Unlock()
+			return ErrClosed
+		}
+		select {
+		case o.queue <- msg:
+			o.mu.Unlock()
+			return nil
+		default:
+		}
+		o.mu.Unlock()
+		// Queue full: the writer (or the peer) has stalled. With a deadline
+		// configured, poll until it expires — full queues are exceptional, so
+		// a short sleep loop beats dedicated signalling machinery; without
+		// one, fail immediately as before.
+		d := time.Duration(o.deadline.Load())
+		if d <= 0 {
+			return fmt.Errorf("mpi: tcp send queue %d->%d full", o.rank, o.peer)
+		}
+		now := time.Now()
+		if waitUntil.IsZero() {
+			waitUntil = now.Add(d)
+		} else if now.After(waitUntil) {
+			return &TimeoutError{Op: "send", Rank: o.rank, Peer: o.peer, After: d}
+		}
+		time.Sleep(200 * time.Microsecond)
 	}
 }
 
 func (o *tcpConnOut) close() {
-	close(o.queue)
+	o.mu.Lock()
+	already := o.closed
+	o.closed = true
+	if !already {
+		close(o.queue)
+	}
+	o.mu.Unlock()
 	<-o.done
 	o.conn.Close()
 }
 
 // tcpConnIn reads messages from one directed edge. recv is only ever called
 // by the owning rank's goroutine, so the raw byte scratch is reused across
-// messages; the decoded []float64 is freshly allocated because the Recv
-// contract hands ownership to the caller.
+// messages (header included — it occupies the first 8 bytes before the
+// payload read reuses the buffer); the decoded []float64 is freshly
+// allocated because the Recv contract hands ownership to the caller.
 type tcpConnIn struct {
-	conn net.Conn
-	br   *bufio.Reader
-	raw  []byte
+	conn          net.Conn
+	rank, peer    int
+	deadline      *atomic.Int64 // shared with the owning endpoint
+	deadlineArmed bool          // a socket deadline is currently set
+	br            *bufio.Reader
+	raw           []byte
 }
 
-func newTCPConnIn(conn net.Conn) *tcpConnIn {
-	return &tcpConnIn{conn: conn, br: bufio.NewReader(conn)}
+func newTCPConnIn(conn net.Conn, rank, peer int, deadline *atomic.Int64) *tcpConnIn {
+	return &tcpConnIn{conn: conn, rank: rank, peer: peer, deadline: deadline, br: bufio.NewReader(conn)}
+}
+
+// armReadDeadline applies the per-op deadline (or clears a stale one) before
+// the header read. One arm covers both reads of the frame: the deadline
+// bounds the whole operation, not each syscall.
+func (in *tcpConnIn) armReadDeadline() time.Duration {
+	d := time.Duration(in.deadline.Load())
+	if d > 0 {
+		in.conn.SetReadDeadline(time.Now().Add(d))
+		in.deadlineArmed = true
+	} else if in.deadlineArmed {
+		in.conn.SetReadDeadline(time.Time{})
+		in.deadlineArmed = false
+	}
+	return d
+}
+
+// recvError converts a socket read timeout into the typed *TimeoutError. A
+// timeout may abandon a partially read frame, desynchronizing the stream —
+// timeouts are fail-stop, the edge must not be reused.
+func (in *tcpConnIn) recvError(err error, after time.Duration) error {
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		return &TimeoutError{Op: "recv", Rank: in.rank, Peer: in.peer, After: after}
+	}
+	return err
 }
 
 func (in *tcpConnIn) recv() (int, []float64, error) {
-	hdr := make([]byte, 8)
+	d := in.armReadDeadline()
+	if cap(in.raw) < 8 {
+		in.raw = make([]byte, 64)
+	}
+	hdr := in.raw[:8]
 	if _, err := io.ReadFull(in.br, hdr); err != nil {
-		return 0, nil, err
+		return 0, nil, in.recvError(err, d)
 	}
 	tag := int(binary.LittleEndian.Uint32(hdr[0:4]))
 	count := binary.LittleEndian.Uint32(hdr[4:8])
@@ -316,7 +412,7 @@ func (in *tcpConnIn) recv() (int, []float64, error) {
 	}
 	raw := in.raw[:8*count]
 	if _, err := io.ReadFull(in.br, raw); err != nil {
-		return 0, nil, fmt.Errorf("mpi: truncated tcp frame: %w", err)
+		return 0, nil, fmt.Errorf("mpi: truncated tcp frame: %w", in.recvError(err, d))
 	}
 	data := make([]float64, count)
 	for i := range data {
@@ -326,15 +422,21 @@ func (in *tcpConnIn) recv() (int, []float64, error) {
 }
 
 type tcpEndpoint struct {
-	rank   int
-	p      int
-	out    []*tcpConnOut
-	in     []*tcpConnIn
-	closed atomic.Bool
+	rank       int
+	p          int
+	out        []*tcpConnOut
+	in         []*tcpConnIn
+	closed     atomic.Bool
+	opDeadline atomic.Int64 // nanoseconds; <= 0 disables
 }
 
 func (e *tcpEndpoint) Rank() int { return e.rank }
 func (e *tcpEndpoint) Size() int { return e.p }
+
+// SetOpDeadline implements DeadlineTransport: each Send/Recv must complete
+// within d or fail with *TimeoutError. The value is shared with every edge
+// through a single atomic, so it may be changed at any time.
+func (e *tcpEndpoint) SetOpDeadline(d time.Duration) { e.opDeadline.Store(int64(d)) }
 
 func (e *tcpEndpoint) Send(dst, tag int, data []float64) error {
 	if e.closed.Load() {
@@ -382,6 +484,12 @@ func (e *tcpEndpoint) Close() error {
 
 // RunTCP is Run over real loopback TCP sockets.
 func RunTCP(p int, fn func(c *Comm) error) error {
+	return RunTCPWith(p, RunConfig{}, fn)
+}
+
+// RunTCPWith is RunTCP with explicit transport options: collective
+// algorithm, per-operation deadline, and send retry policy.
+func RunTCPWith(p int, cfg RunConfig, fn func(c *Comm) error) error {
 	g, err := NewTCPGroup(p)
 	if err != nil {
 		return err
@@ -389,11 +497,17 @@ func RunTCP(p int, fn func(c *Comm) error) error {
 	defer g.Close()
 	errs := make([]error, p)
 	var wg sync.WaitGroup
+	var launchErr error
 	for r := 0; r < p; r++ {
 		ep, err := g.Endpoint(r)
 		if err != nil {
-			return err
+			// Already-launched ranks would block on their dead peers; close
+			// the group so they observe EOF, then join before returning.
+			launchErr = err
+			break
 		}
+		comm := NewComm(cfg.wrap(ep))
+		comm.SetAllreduceAlgo(cfg.Algo)
 		wg.Add(1)
 		go func(rank int, c *Comm) {
 			defer wg.Done()
@@ -403,7 +517,12 @@ func RunTCP(p int, fn func(c *Comm) error) error {
 				}
 			}()
 			errs[rank] = fn(c)
-		}(r, NewComm(ep))
+		}(r, comm)
+	}
+	if launchErr != nil {
+		g.Close()
+		wg.Wait()
+		return launchErr
 	}
 	wg.Wait()
 	for r, e := range errs {

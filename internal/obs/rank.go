@@ -30,6 +30,8 @@ const (
 	MetricSentValues    = "mpi.sent_values"
 	MetricCollSteps     = "mpi.steps"
 	MetricPayloadBytes  = "mpi.payload_bytes"
+	MetricRetries       = "mpi.send_retries"
+	MetricTimeouts      = "mpi.timeouts"
 )
 
 // Rank records one rank's run. It implements the three observability hook
@@ -52,6 +54,7 @@ type Rank struct {
 	cCycles, cReductions, cReducedValues *Counter
 	cWts, cParams, cApprox               *Counter
 	cOps, cComputeSec, cCommSec, cWait   *Counter
+	cRetries, cTimeouts                  *Counter
 	gLogPost, gDelta, gClasses           *Gauge
 	hCycleSeconds, hPayloadBytes         *Histogram
 	collCount, collSteps, collValues     map[string]*Counter
@@ -92,6 +95,8 @@ func newRank(run *Run, rank int) *Rank {
 	r.cComputeSec = r.reg.Counter(MetricComputeSec)
 	r.cCommSec = r.reg.Counter(MetricCommSec)
 	r.cWait = r.reg.Counter(MetricWaitSec)
+	r.cRetries = r.reg.Counter(MetricRetries)
+	r.cTimeouts = r.reg.Counter(MetricTimeouts)
 	r.gLogPost = r.reg.Gauge(MetricLogPost)
 	r.gDelta = r.reg.Gauge(MetricDelta)
 	r.gClasses = r.reg.Gauge(MetricClasses)
@@ -161,6 +166,25 @@ func (r *Rank) ObserveCollective(name string, steps, sentValues int) {
 	r.hPayloadBytes.Observe(float64(8 * sentValues))
 	r.pendingColl = name
 	r.pendingValues = sentValues
+}
+
+// ObserveRetry implements mpi.FaultObserver: count transient-send retries.
+// Unlike collectives, retries may fire from the transport's own goroutines,
+// but the counter is atomic.
+func (r *Rank) ObserveRetry(op string, attempt int) {
+	if r == nil {
+		return
+	}
+	r.cRetries.Add(1)
+}
+
+// ObserveTimeout implements mpi.FaultObserver: count operations that hit
+// their per-op deadline.
+func (r *Rank) ObserveTimeout(op string) {
+	if r == nil {
+		return
+	}
+	r.cTimeouts.Add(1)
 }
 
 // ObserveOps implements simnet.ClockObserver: accumulate modeled compute
@@ -352,5 +376,6 @@ func (r *Run) Aggregate() *Registry {
 }
 
 var _ mpi.CollectiveObserver = (*Rank)(nil)
+var _ mpi.FaultObserver = (*Rank)(nil)
 var _ simnet.ClockObserver = (*Rank)(nil)
 var _ autoclass.CycleObserver = (*Rank)(nil)

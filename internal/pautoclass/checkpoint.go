@@ -1,0 +1,393 @@
+package pautoclass
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+
+	"repro/internal/autoclass"
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// The distributed checkpoint protocol leans on the package's SPMD
+// invariant: every rank holds the identical classification and search state
+// at every cycle boundary, because all decisions are driven by globally
+// reduced quantities. A group-consistent snapshot therefore needs no state
+// gathering — the ranks agree on the cycle via a collective, and rank 0
+// serializes its own (identical) copy. On resume the state file is read by
+// rank 0 and broadcast, so every rank restores from the same bytes even if
+// only rank 0's filesystem holds the checkpoint, and the restored search
+// re-enters the trajectory bitwise — with any rank count, since the
+// trajectory never depended on the partitioning.
+
+// Checkpoint configures distributed checkpointing of a parallel search.
+type Checkpoint struct {
+	// Path is the search state file. Rank 0 writes it; on resume rank 0
+	// reads it and broadcasts, so only rank 0's filesystem needs it.
+	Path string
+	// Every takes a mid-try snapshot after that many cycles within a try
+	// (<= 0 checkpoints only at try boundaries).
+	Every int
+}
+
+// parSearchStateV1 is the serialized parallel search progress — the
+// sequential searchStateV1 plus an optional mid-try engine checkpoint.
+type parSearchStateV1 struct {
+	Version int `json:"version"`
+	// Config fingerprint — a resume against a different search is refused.
+	StartJList []int  `json:"start_j_list"`
+	Tries      int    `json:"tries"`
+	Seed       uint64 `json:"seed"`
+	N          int    `json:"n"`
+	// Completed tries in execution order.
+	Completed []autoclass.TryResult `json:"completed"`
+	// Best is the best-so-far classification checkpoint, empty until a
+	// non-duplicate try completes; BestTry is its try record.
+	Best    json.RawMessage     `json:"best,omitempty"`
+	BestTry autoclass.TryResult `json:"best_try"`
+	// Totals accumulates phase statistics over completed tries.
+	Totals autoclass.EMResult `json:"totals"`
+	// InTry is a mid-try snapshot (SaveCheckpointSearch output) when the
+	// last checkpoint was taken inside a try, nil at try boundaries.
+	InTry json.RawMessage `json:"in_try,omitempty"`
+}
+
+func (st *parSearchStateV1) matches(cfg autoclass.SearchConfig, n int) bool {
+	if st.Tries != cfg.Tries || st.Seed != cfg.Seed || st.N != n ||
+		len(st.StartJList) != len(cfg.StartJList) {
+		return false
+	}
+	for i, j := range st.StartJList {
+		if cfg.StartJList[i] != j {
+			return false
+		}
+	}
+	return true
+}
+
+// writeParState persists the state atomically (write temp, rename), so a
+// crash mid-write leaves the previous checkpoint intact.
+func writeParState(path string, st *parSearchStateV1) error {
+	raw, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// bcastBytes broadcasts a byte slice from root to every rank: length first,
+// then the bytes packed eight per float64 through their bit patterns (the
+// same trick BcastUint64 uses), then an FNV checksum each rank verifies
+// against its unpacked copy — a corrupted broadcast must fail loudly, not
+// let ranks restore divergent state.
+func bcastBytes(comm *mpi.Comm, root int, b []byte) ([]byte, error) {
+	n64, err := comm.BcastUint64(root, uint64(len(b)))
+	if err != nil {
+		return nil, err
+	}
+	n := int(n64)
+	if n == 0 {
+		return nil, nil
+	}
+	words := make([]float64, (n+7)/8)
+	if comm.Rank() == root {
+		var chunk [8]byte
+		for i := range words {
+			copy(chunk[:], b[i*8:min(n, i*8+8)])
+			words[i] = math.Float64frombits(leUint64(chunk))
+		}
+	}
+	if err := comm.Bcast(root, words); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	for i, w := range words {
+		chunk := leBytes(math.Float64bits(w))
+		copy(out[i*8:min(n, i*8+8)], chunk[:])
+	}
+	h := fnv.New64a()
+	h.Write(out)
+	want, err := comm.BcastUint64(root, h.Sum64())
+	if err != nil {
+		return nil, err
+	}
+	if want != h.Sum64() {
+		return nil, fmt.Errorf("pautoclass: rank %d checkpoint broadcast checksum mismatch", comm.Rank())
+	}
+	return out, nil
+}
+
+func leUint64(b [8]byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func leBytes(v uint64) [8]byte {
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+	return b
+}
+
+// SearchCheckpointed is Search with distributed checkpoint/restart: the
+// search persists its progress to ck.Path (completed tries after every try,
+// plus a mid-try engine snapshot every ck.Every cycles) and, when ck.Path
+// already holds the progress of an identical search over the same dataset,
+// resumes where it stopped. A resumed search produces the bitwise-identical
+// SearchResult to an uninterrupted one. Only the Full strategy is
+// supported.
+func SearchCheckpointed(comm *mpi.Comm, ds *dataset.Dataset, spec model.Spec,
+	cfg autoclass.SearchConfig, opts Options, ck Checkpoint) (*autoclass.SearchResult, error) {
+	if ds.N() == 0 {
+		return nil, errors.New("pautoclass: empty dataset")
+	}
+	if ck.Path == "" {
+		return nil, errors.New("pautoclass: empty checkpoint path")
+	}
+	if opts.Strategy != Full {
+		return nil, fmt.Errorf("pautoclass: checkpointing supports only the %v strategy", Full)
+	}
+	if len(cfg.StartJList) == 0 || cfg.Tries < 1 {
+		return nil, errors.New("pautoclass: empty search schedule")
+	}
+	view, err := PartitionView(comm, ds)
+	if err != nil {
+		return nil, err
+	}
+	opts.install(comm)
+	pr, err := ParallelPriors(comm, view, &opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Rank 0 reads the state file (missing file → fresh search) and
+	// broadcasts it so every rank restores from identical bytes.
+	var raw []byte
+	if comm.Rank() == 0 {
+		r, err := os.ReadFile(ck.Path)
+		if err != nil && !os.IsNotExist(err) {
+			return nil, err
+		}
+		raw = r
+	}
+	raw, err = bcastBytes(comm, 0, raw)
+	if err != nil {
+		return nil, fmt.Errorf("pautoclass: broadcasting checkpoint state: %w", err)
+	}
+	state := &parSearchStateV1{
+		Version:    1,
+		StartJList: append([]int(nil), cfg.StartJList...),
+		Tries:      cfg.Tries,
+		Seed:       cfg.Seed,
+		N:          ds.N(),
+	}
+	if len(raw) > 0 {
+		var prev parSearchStateV1
+		if err := json.Unmarshal(raw, &prev); err != nil {
+			return nil, fmt.Errorf("pautoclass: corrupt search state %s: %w", ck.Path, err)
+		}
+		if prev.Version != 1 {
+			return nil, fmt.Errorf("pautoclass: unsupported search state version %d", prev.Version)
+		}
+		if !prev.matches(cfg, ds.N()) {
+			return nil, fmt.Errorf("pautoclass: state file %s belongs to a different search", ck.Path)
+		}
+		state = &prev
+	}
+
+	res := &autoclass.SearchResult{
+		Tries:  append([]autoclass.TryResult(nil), state.Completed...),
+		Totals: state.Totals,
+	}
+	if len(state.Best) > 0 {
+		best, err := autoclass.LoadCheckpoint(bytes.NewReader(state.Best), ds)
+		if err != nil {
+			return nil, fmt.Errorf("pautoclass: restoring best classification: %w", err)
+		}
+		res.Best = best
+		res.BestTry = state.BestTry
+	}
+
+	var charger autoclass.Charger
+	if opts.Clock != nil {
+		charger = opts.Clock
+		opts.Clock.SetParallelism(opts.EM.EffectiveParallelism())
+	}
+	comm.SetAllreduceAlgo(opts.AllreduceAlgo)
+	reducer := &allreduceReducer{comm: comm, clock: opts.Clock, algo: opts.AllreduceAlgo}
+
+	// Deterministic seed chain, identical to SearchWith's: one draw per
+	// scheduled try, consumed even for tries that are skipped on resume, so
+	// the stream position always matches the try index.
+	seeds := rng.New(cfg.Seed)
+	tryIndex := 0
+	for _, startJ := range cfg.StartJList {
+		for try := 0; try < cfg.Tries; try++ {
+			trySeed := seeds.Uint64()
+			if tryIndex < len(state.Completed) {
+				if got := state.Completed[tryIndex].Seed; got != trySeed {
+					return nil, fmt.Errorf("pautoclass: try %d seed mismatch (state %d, derived %d)", tryIndex, got, trySeed)
+				}
+				tryIndex++
+				continue
+			}
+
+			// Mid-try resume: the state file ended inside this try.
+			var cls *autoclass.Classification
+			var eng *autoclass.Engine
+			startCycle := 0
+			if len(state.InTry) > 0 {
+				c, sp, err := autoclass.LoadCheckpointSearch(bytes.NewReader(state.InTry), ds)
+				if err != nil {
+					return nil, fmt.Errorf("pautoclass: restoring mid-try checkpoint: %w", err)
+				}
+				switch {
+				case sp == nil:
+					return nil, errors.New("pautoclass: mid-try checkpoint lacks a search point")
+				case sp.TryIndex != tryIndex:
+					return nil, fmt.Errorf("pautoclass: mid-try checkpoint is for try %d, resume reached try %d", sp.TryIndex, tryIndex)
+				case sp.TrySeed != trySeed || sp.SearchSeed != cfg.Seed:
+					return nil, fmt.Errorf("pautoclass: mid-try checkpoint seed mismatch (rerun with -seed %d)", sp.SearchSeed)
+				case sp.StartJ != startJ:
+					return nil, fmt.Errorf("pautoclass: mid-try checkpoint startJ %d, schedule has %d", sp.StartJ, startJ)
+				}
+				cls = c
+				eng, err = autoclass.NewEngine(view, cls, opts.EM, reducer, charger)
+				if err != nil {
+					return nil, err
+				}
+				eng.Restore(autoclass.EngineState{
+					Cycles:   cls.Cycles,
+					BelowTol: sp.BelowTol,
+					LastPost: sp.LastPost,
+				})
+				startCycle = sp.CycleInTry
+			} else {
+				cls, err = autoclass.NewClassification(ds, spec, pr, startJ)
+				if err != nil {
+					return nil, err
+				}
+				eng, err = autoclass.NewEngine(view, cls, opts.EM, reducer, charger)
+				if err != nil {
+					return nil, err
+				}
+				if err := eng.InitRandom(trySeed); err != nil {
+					return nil, err
+				}
+			}
+			state.InTry = nil
+			eng.SetProfile(opts.Profile)
+			if opts.Obs != nil {
+				eng.SetCycleObserver(opts.Obs)
+			}
+			if ck.Every > 0 {
+				ti, sj, tn, ts := tryIndex, startJ, try, trySeed
+				eng.SetCycleHook(func(cycle int, converged bool) error {
+					// The final cycle's state is persisted at the try
+					// boundary below; no mid-try snapshot needed.
+					if converged || (cycle+1)%ck.Every != 0 {
+						return nil
+					}
+					// Group-consistent snapshot: every rank proposes its
+					// cycle; agreement is the SPMD invariant holding. A
+					// mismatch means the trajectory has already diverged —
+					// refuse to write a checkpoint that lies about it.
+					agreed, err := comm.AllreduceFloat64(mpi.Min, float64(cycle))
+					if err != nil {
+						return fmt.Errorf("pautoclass: checkpoint agreement: %w", err)
+					}
+					if int(agreed) != cycle {
+						return fmt.Errorf("pautoclass: rank %d at cycle %d but group minimum is %v (SPMD divergence)", comm.Rank(), cycle, agreed)
+					}
+					if comm.Rank() != 0 {
+						return nil
+					}
+					st := eng.State()
+					sp := &autoclass.SearchPoint{
+						TryIndex:   ti,
+						StartJ:     sj,
+						Try:        tn,
+						TrySeed:    ts,
+						CycleInTry: cycle + 1,
+						BelowTol:   st.BelowTol,
+						LastPost:   st.LastPost,
+						SearchSeed: cfg.Seed,
+					}
+					var buf bytes.Buffer
+					if err := autoclass.SaveCheckpointSearch(&buf, cls, sp); err != nil {
+						return err
+					}
+					state.InTry = buf.Bytes()
+					return writeParState(ck.Path, state)
+				})
+			}
+			em, err := eng.RunFrom(startCycle)
+			if err != nil {
+				return nil, err
+			}
+			tr := autoclass.TryResult{
+				StartJ: startJ, FinalJ: cls.J(), Try: try, Seed: trySeed,
+				// startCycle cycles ran before the interruption; em counts
+				// only the cycles since resume.
+				Cycles: startCycle + em.Cycles, Converged: em.Converged,
+				LogLik: cls.LogLik, LogPost: cls.LogPost, Score: cls.Score(),
+			}
+			tryIndex++
+			res.Totals.Cycles += em.Cycles
+			res.Totals.WtsSeconds += em.WtsSeconds
+			res.Totals.ParamsSeconds += em.ParamsSeconds
+			res.Totals.ApproxSeconds += em.ApproxSeconds
+			res.Totals.InitSeconds += em.InitSeconds
+			res.Totals.ReducedValues += em.ReducedValues
+			res.Totals.Reductions += em.Reductions
+			for _, prev := range res.Tries {
+				if !prev.Duplicate && prev.FinalJ == tr.FinalJ &&
+					stats.RelDiff(prev.Score, tr.Score) < cfg.DupScoreTol {
+					tr.Duplicate = true
+					break
+				}
+			}
+			res.Tries = append(res.Tries, tr)
+			if !tr.Duplicate && (res.Best == nil || tr.Score > res.BestTry.Score) {
+				res.Best = cls
+				res.BestTry = tr
+			}
+			// Try boundary: persist completed progress (rank 0 only — every
+			// rank holds the identical state, no agreement needed because the
+			// try just finished through globally reduced quantities).
+			state.InTry = nil
+			state.Completed = res.Tries
+			state.Totals = res.Totals
+			state.BestTry = res.BestTry
+			if res.Best != nil {
+				var buf bytes.Buffer
+				if err := autoclass.SaveCheckpoint(&buf, res.Best); err != nil {
+					return nil, err
+				}
+				state.Best = buf.Bytes()
+			}
+			if comm.Rank() == 0 {
+				if err := writeParState(ck.Path, state); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if res.Best == nil {
+		return nil, errors.New("pautoclass: search produced no classification")
+	}
+	return res, nil
+}

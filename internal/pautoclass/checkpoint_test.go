@@ -1,0 +1,148 @@
+package pautoclass
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/autoclass"
+	"repro/internal/model"
+	"repro/internal/mpi"
+)
+
+// clsBytes serializes a classification; bitwise-equal outputs mean
+// bitwise-equal classifications (JSON float64 encoding round-trips
+// exactly).
+func clsBytes(t *testing.T, cls *autoclass.Classification) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := autoclass.SaveCheckpoint(&buf, cls); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCheckpointingDoesNotPerturbSearch: the checkpoint hook communicates
+// (the agreement collective) and writes files, but must not change the
+// search trajectory at all.
+func TestCheckpointingDoesNotPerturbSearch(t *testing.T) {
+	ds := paperDS(t, 240)
+	cfg := quickSearchConfig()
+	plain := runParallelSearch(t, ds, 3, cfg, DefaultOptions())
+
+	path := filepath.Join(t.TempDir(), "search.ckpt")
+	var ckRes *autoclass.SearchResult
+	err := mpi.Run(3, func(c *mpi.Comm) error {
+		res, err := SearchCheckpointed(c, ds, model.DefaultSpec(ds), cfg, DefaultOptions(),
+			Checkpoint{Path: path, Every: 2})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			ckRes = res
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(clsBytes(t, plain.Best), clsBytes(t, ckRes.Best)) {
+		t.Error("checkpointed search found a different best classification")
+	}
+	if !reflect.DeepEqual(plain.Tries, ckRes.Tries) {
+		t.Errorf("checkpointed search tries diverged:\nplain: %+v\nckpt:  %+v", plain.Tries, ckRes.Tries)
+	}
+	// A finished search re-launched against its own state file returns
+	// immediately with the identical result.
+	err = mpi.Run(3, func(c *mpi.Comm) error {
+		res, err := SearchCheckpointed(c, ds, model.DefaultSpec(ds), cfg, DefaultOptions(),
+			Checkpoint{Path: path, Every: 2})
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(clsBytes(t, res.Best), clsBytes(t, ckRes.Best)) {
+			t.Error("re-launched finished search returned a different best")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKillAndResumeBitwiseIdentical is the acceptance test for distributed
+// checkpoint/restart: a parallel run killed mid-search (a victim rank's
+// transport fails persistently, crashing the group) and resumed from its
+// last checkpoint must produce the bitwise-identical final classification
+// to an uninterrupted run — over both the in-process and the TCP
+// transport.
+func TestKillAndResumeBitwiseIdentical(t *testing.T) {
+	const (
+		p      = 4
+		victim = 1
+	)
+	ds := paperDS(t, 240)
+	cfg := quickSearchConfig()
+
+	// The uninterrupted reference trajectory.
+	ref := runParallelSearch(t, ds, p, cfg, DefaultOptions())
+	refBest := clsBytes(t, ref.Best)
+
+	runners := []struct {
+		name    string
+		kill    func(p int, rcfg mpi.RunConfig, plans map[int]mpi.FaultPlan, fn func(c *mpi.Comm) error) ([]error, error)
+		healthy func(p int, rcfg mpi.RunConfig, fn func(c *mpi.Comm) error) error
+	}{
+		{"mem", mpi.RunFaultyMem, mpi.RunWith},
+		{"tcp", mpi.RunFaultyTCP, mpi.RunTCPWith},
+	}
+	for _, rn := range runners {
+		rn := rn
+		t.Run(rn.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "search.ckpt")
+			ck := Checkpoint{Path: path, Every: 2}
+			rcfg := mpi.RunConfig{OpDeadline: 10 * time.Second}
+
+			// Kill: the victim's transport fails persistently after a send
+			// budget, several cycles into the first try — a crashed node.
+			plans := map[int]mpi.FaultPlan{
+				victim: {Faults: []mpi.Fault{{Op: "send", Peer: -1, After: 150}}},
+			}
+			errs, err := rn.kill(p, rcfg, plans, func(c *mpi.Comm) error {
+				_, err := SearchCheckpointed(c, ds, model.DefaultSpec(ds), cfg, DefaultOptions(), ck)
+				return err
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if errs[victim] == nil {
+				t.Fatal("victim completed the search; fault budget too large to interrupt it")
+			}
+			if _, err := os.Stat(path); err != nil {
+				t.Fatalf("no checkpoint was written before the crash: %v", err)
+			}
+
+			// Resume on healthy transports; must complete and match the
+			// uninterrupted run bit for bit.
+			err = rn.healthy(p, rcfg, func(c *mpi.Comm) error {
+				res, err := SearchCheckpointed(c, ds, model.DefaultSpec(ds), cfg, DefaultOptions(), ck)
+				if err != nil {
+					return err
+				}
+				if got := clsBytes(t, res.Best); !bytes.Equal(got, refBest) {
+					t.Errorf("rank %d: resumed best classification differs from uninterrupted run", c.Rank())
+				}
+				if !reflect.DeepEqual(res.Tries, ref.Tries) {
+					t.Errorf("rank %d: resumed tries diverged:\nref:    %+v\nresume: %+v", c.Rank(), ref.Tries, res.Tries)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
