@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench check trace-smoke faults
+.PHONY: build test vet race bench bench-kernels check trace-smoke faults
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,14 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Blocked-vs-reference kernel comparison on the paper's two-real-attribute
+# dataset at J=8, emitted as BENCH_kernels.json (raw lines stay
+# benchstat-comparable: jq -r '.raw_lines[]' BENCH_kernels.json).
+bench-kernels:
+	$(GO) test -run '^$$' -bench 'BenchmarkUpdateWts|BenchmarkBaseCycle' \
+		-benchmem -count 1 ./internal/autoclass \
+		| tee /dev/stderr | $(GO) run ./cmd/benchkernels -o BENCH_kernels.json
 
 # Local equivalent of the CI trace-smoke job: a traced 4-rank Meiko run
 # whose Chrome trace, events and metrics land in /tmp for inspection.

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/autoclass
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkUpdateWts/kernels=blocked-8         	     735	   1505954 ns/op	       0 B/op	       0 allocs/op
+BenchmarkUpdateWts/kernels=reference-8       	     306	   4004261 ns/op	       0 B/op	       0 allocs/op
+BenchmarkBaseCycle/kernels=blocked-8         	     669	   1856208 ns/op	      64 B/op	       1 allocs/op
+BenchmarkBaseCycle/kernels=reference-8       	     190	   5491481 ns/op	      64 B/op	       1 allocs/op
+PASS
+ok  	repro/internal/autoclass	6.077s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.CPU == "" {
+		t.Fatalf("header not captured: %+v", rep)
+	}
+	if len(rep.Results) != 4 || len(rep.RawLines) != 4 {
+		t.Fatalf("want 4 results and raw lines, got %d/%d", len(rep.Results), len(rep.RawLines))
+	}
+	r0 := rep.Results[0]
+	if r0.Name != "BenchmarkUpdateWts/kernels=blocked" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", r0.Name)
+	}
+	if r0.Iterations != 735 || r0.NsPerOp != 1505954 {
+		t.Fatalf("ns/op not parsed: %+v", r0)
+	}
+	if r0.BytesPerOp == nil || *r0.BytesPerOp != 0 || r0.AllocsPerOp == nil || *r0.AllocsPerOp != 0 {
+		t.Fatalf("-benchmem columns not parsed: %+v", r0)
+	}
+	r2 := rep.Results[2]
+	if r2.BytesPerOp == nil || *r2.BytesPerOp != 64 || r2.AllocsPerOp == nil || *r2.AllocsPerOp != 1 {
+		t.Fatalf("-benchmem columns not parsed: %+v", r2)
+	}
+	if len(rep.Speedups) != 2 {
+		t.Fatalf("want 2 speedup pairs, got %+v", rep.Speedups)
+	}
+	// sorted by family name: BaseCycle first
+	bc := rep.Speedups[0]
+	if bc.Benchmark != "BenchmarkBaseCycle" {
+		t.Fatalf("unexpected order: %+v", rep.Speedups)
+	}
+	if want := 5491481.0 / 1856208.0; bc.Speedup != want {
+		t.Fatalf("speedup %v, want %v", bc.Speedup, want)
+	}
+	if !bc.BytesNotIncreased {
+		t.Fatalf("64 B/op vs 64 B/op must count as not increased")
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("want error on input with no benchmark lines")
+	}
+}

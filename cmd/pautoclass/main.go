@@ -47,6 +47,7 @@ func run(args []string, w io.Writer) error {
 	seed := fs.Uint64("seed", 1, "search seed")
 	strategy := fs.String("strategy", "full", "parallel strategy: full or wtsonly")
 	granularity := fs.String("granularity", "perterm", "statistics exchange: perterm or packed")
+	kernels := fs.String("kernels", "blocked", "term evaluation path: blocked (columnar kernels) or reference (per-row bitwise oracle)")
 	machine := fs.String("machine", "none", "virtual machine model: none, meiko or pentium")
 	correlated := fs.Bool("correlated", false, "model real attributes with a joint covariance term")
 	models := fs.Bool("models", false, "run the model-level search over every applicable model form (sequential only)")
@@ -103,6 +104,14 @@ func run(args []string, w io.Writer) error {
 		opts.EM.Granularity = autoclass.Packed
 	default:
 		return fmt.Errorf("unknown granularity %q", *granularity)
+	}
+	switch *kernels {
+	case "blocked":
+		opts.EM.Kernels = autoclass.Blocked
+	case "reference":
+		opts.EM.Kernels = autoclass.Reference
+	default:
+		return fmt.Errorf("unknown kernels %q", *kernels)
 	}
 	cfg.EM = opts.EM
 	var mach *simnet.Machine

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/model"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -85,6 +86,11 @@ type Config struct {
 	// changing the worker count never changes the search trajectory. See
 	// parallel.go for the determinism invariant.
 	Parallelism int
+	// Kernels selects the term-evaluation path of the two data-parallel
+	// phases. The zero value is Blocked (the fast columnar kernels), so
+	// zero-valued Configs get the fast path; set Reference for the per-row
+	// path that is bitwise identical to the seed engine. See kernels.go.
+	Kernels KernelMode
 }
 
 // DefaultConfig returns the engine defaults.
@@ -108,6 +114,9 @@ func (c Config) validate() error {
 	}
 	if c.ConvergeWindow < 1 {
 		return errors.New("autoclass: ConvergeWindow < 1")
+	}
+	if c.Kernels != Blocked && c.Kernels != Reference {
+		return fmt.Errorf("autoclass: unknown kernel mode %d", int(c.Kernels))
 	}
 	return nil
 }
@@ -200,6 +209,16 @@ type Engine struct {
 	scratch  shardScratch // per-shard accumulators, reused across cycles
 	statsBuf []float64    // merged statistics buffer, reused across cycles
 	logps    [][]float64  // per-worker log-membership scratch
+	wtsOut   []float64    // E-step result buffer {w_j..., logLik}, reused
+	offs     []int        // (class, term) statistics offsets, reused
+
+	// Blocked-kernel state (see kernels.go): the view's column-major
+	// mirror, one kernel per (class, term) with the term-identity snapshot
+	// that detects structural change, and per-worker block scratch.
+	cols      *dataset.Columns
+	kerns     [][]model.Kernel
+	kernTerms [][]model.Term
+	blockScr  []*blockScratch
 }
 
 // NewEngine validates inputs and builds an engine.
@@ -346,18 +365,38 @@ func (e *Engine) updateWts() ([]float64, error) {
 	if len(e.wts) != n*j {
 		e.wts = make([]float64, n*j)
 	}
-	out := make([]float64, j+1)
+	if cap(e.wtsOut) < j+1 {
+		e.wtsOut = make([]float64, j+1)
+	}
+	out := e.wtsOut[:j+1]
+	for i := range out {
+		out[i] = 0
+	}
+	blocked := e.cfg.Kernels == Blocked
+	if blocked {
+		e.prepareKernels()
+	}
 	if shards := NumRowShards(n); e.cfg.Parallelism != 0 && shards > 0 {
 		workers := e.cfg.Workers(shards)
 		bufs := e.scratch.get(shards, j+1)
-		logps := e.workerLogps(workers, j)
-		ParallelFor(workers, shards, func(worker, s int) {
-			lo, hi := RowShardRange(s, n)
-			e.wtsRows(lo, hi, bufs[s], logps[worker][:j])
-		})
+		if blocked {
+			scr := e.workerBlockScratch(workers, j)
+			ParallelFor(workers, shards, func(worker, s int) {
+				lo, hi := RowShardRange(s, n)
+				e.wtsRowsBlocked(lo, hi, bufs[s], scr[worker])
+			})
+		} else {
+			logps := e.workerLogps(workers, j)
+			ParallelFor(workers, shards, func(worker, s int) {
+				lo, hi := RowShardRange(s, n)
+				e.wtsRows(lo, hi, bufs[s], logps[worker][:j])
+			})
+		}
 		mergeShards(out, bufs)
+	} else if blocked {
+		e.wtsRowsBlocked(0, n, out, e.workerBlockScratch(1, j)[0])
 	} else {
-		e.wtsRows(0, n, out, make([]float64, j))
+		e.wtsRows(0, n, out, e.workerLogps(1, j)[0][:j])
 	}
 	a := float64(e.cls.NumAttrColumns())
 	e.charge(float64(n) * float64(j) * (a + 1))
@@ -414,8 +453,10 @@ func (e *Engine) updateParameters() (reducedValues, reductions int, err error) {
 	// Accumulate every (class, term) statistic in one row-major pass. Each
 	// slot's additions still happen in ascending row order, so the totals
 	// are bitwise the ones the per-term loops would produce, and the single
-	// pass over the rows is kinder to the cache and shardable.
-	offs := make([]int, 0, j*len(e.cls.Classes[0].Terms)+1)
+	// pass over the rows is kinder to the cache and shardable. The offset
+	// table lives on the engine and is rebuilt in place each cycle (class
+	// pruning can shrink it), allocating only when it grows.
+	offs := e.offs[:0]
 	total := 0
 	for _, cl := range e.cls.Classes {
 		for _, term := range cl.Terms {
@@ -424,6 +465,7 @@ func (e *Engine) updateParameters() (reducedValues, reductions int, err error) {
 		}
 	}
 	offs = append(offs, total)
+	e.offs = offs
 	if cap(e.statsBuf) < total {
 		e.statsBuf = make([]float64, total)
 	}
@@ -431,14 +473,28 @@ func (e *Engine) updateParameters() (reducedValues, reductions int, err error) {
 	for i := range buf {
 		buf[i] = 0
 	}
+	blocked := e.cfg.Kernels == Blocked
+	if blocked {
+		e.prepareKernels()
+	}
 	if shards := NumRowShards(n); e.cfg.Parallelism != 0 && shards > 0 {
 		workers := e.cfg.Workers(shards)
 		bufs := e.scratch.get(shards, total)
-		ParallelFor(workers, shards, func(_, s int) {
-			lo, hi := RowShardRange(s, n)
-			e.statsRows(lo, hi, bufs[s], offs)
-		})
+		if blocked {
+			scr := e.workerBlockScratch(workers, j)
+			ParallelFor(workers, shards, func(worker, s int) {
+				lo, hi := RowShardRange(s, n)
+				e.statsRowsBlocked(lo, hi, bufs[s], offs, scr[worker])
+			})
+		} else {
+			ParallelFor(workers, shards, func(_, s int) {
+				lo, hi := RowShardRange(s, n)
+				e.statsRows(lo, hi, bufs[s], offs)
+			})
+		}
 		mergeShards(buf, bufs)
+	} else if blocked {
+		e.statsRowsBlocked(0, n, buf, offs, e.workerBlockScratch(1, j)[0])
 	} else {
 		e.statsRows(0, n, buf, offs)
 	}

@@ -1,0 +1,76 @@
+package dataset
+
+// Columns is a column-major mirror of a View's rows: one contiguous
+// float64 slice per attribute plus a missing-value mask per column. It is
+// the data layout behind the engine's blocked kernels — evaluating one
+// (class, term) over a block of rows walks a single contiguous column
+// instead of striding through row-major storage, and the per-column mask
+// lets kernels test missingness without re-deriving it per term.
+//
+// The mirror is immutable after construction and indexed by *view-local*
+// row: Col(k)[i] equals View.Value(i, k). Missing values keep their NaN
+// encoding in the column so kernels may use either the mask or the NaN
+// self-test (x != x), whichever is cheaper for their access pattern.
+type Columns struct {
+	n    int
+	cols [][]float64
+	// missing[k] is nil when column k has no missing values — the common
+	// case, which lets kernels skip the mask entirely.
+	missing [][]bool
+}
+
+// N returns the number of rows mirrored.
+func (c *Columns) N() int { return c.n }
+
+// NumAttrs returns the number of columns.
+func (c *Columns) NumAttrs() int { return len(c.cols) }
+
+// Col returns attribute k as a contiguous slice of length N(), indexed by
+// view-local row. Callers must treat it as read-only.
+func (c *Columns) Col(k int) []float64 { return c.cols[k] }
+
+// Missing returns the missing mask of attribute k, or nil when the column
+// has no missing values. Callers must treat it as read-only.
+func (c *Columns) Missing(k int) []bool { return c.missing[k] }
+
+// HasMissing reports whether attribute k has any missing value.
+func (c *Columns) HasMissing(k int) bool { return c.missing[k] != nil }
+
+// buildColumns transposes rows [start, start+count) of ds into a fresh
+// column-major mirror.
+func buildColumns(ds *Dataset, start, count int) *Columns {
+	na := len(ds.attrs)
+	c := &Columns{
+		n:       count,
+		cols:    make([][]float64, na),
+		missing: make([][]bool, na),
+	}
+	// One flat backing array keeps the columns attribute-contiguous.
+	flat := make([]float64, count*na)
+	for k := 0; k < na; k++ {
+		c.cols[k] = flat[k*count : (k+1)*count]
+	}
+	for i := 0; i < count; i++ {
+		row := ds.Row(start + i)
+		for k, v := range row {
+			c.cols[k][i] = v
+			if IsMissing(v) {
+				if c.missing[k] == nil {
+					c.missing[k] = make([]bool, count)
+				}
+				c.missing[k][i] = true
+			}
+		}
+	}
+	return c
+}
+
+// Columns returns the view's column-major mirror, building it on first use.
+// The mirror is cached on the view — repeated calls (one per engine phase)
+// return the same instance — and safe for concurrent readers once built.
+func (v *View) Columns() *Columns {
+	v.colsOnce.Do(func() {
+		v.cols = buildColumns(v.ds, v.start, v.count)
+	})
+	return v.cols
+}

@@ -1,0 +1,103 @@
+package dataset
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func columnsTestDS(t *testing.T) *Dataset {
+	t.Helper()
+	ds := MustNew("cols", []Attribute{
+		{Name: "x", Type: Real},
+		{Name: "c", Type: Discrete, Levels: []string{"a", "b", "c"}},
+		{Name: "y", Type: Real},
+	})
+	rows := [][]float64{
+		{1.5, 0, -2},
+		{Missing, 1, 0.25},
+		{3.25, 2, Missing},
+		{-0.5, Missing, 7},
+		{2, 0, 8.5},
+	}
+	for _, r := range rows {
+		if err := ds.AppendRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ds
+}
+
+// TestColumnsMirrorsView checks the defining property of the mirror:
+// Col(k)[i] equals View.Value(i, k) for every cell (NaN-aware), with the
+// missing masks matching exactly and nil for fully known columns.
+func TestColumnsMirrorsView(t *testing.T) {
+	ds := columnsTestDS(t)
+	for _, win := range []struct{ start, count int }{
+		{0, ds.N()}, {1, 3}, {2, 0}, {4, 1},
+	} {
+		v, err := ds.View(win.start, win.count)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := v.Columns()
+		if c.N() != win.count || c.NumAttrs() != ds.NumAttrs() {
+			t.Fatalf("view [%d,%d): mirror is %d×%d", win.start, win.start+win.count, c.N(), c.NumAttrs())
+		}
+		for k := 0; k < ds.NumAttrs(); k++ {
+			col := c.Col(k)
+			if len(col) != win.count {
+				t.Fatalf("col %d has %d rows, want %d", k, len(col), win.count)
+			}
+			anyMissing := false
+			for i := 0; i < win.count; i++ {
+				want := v.Value(i, k)
+				got := col[i]
+				if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+					t.Fatalf("col %d row %d: %v != %v", k, i, got, want)
+				}
+				isMiss := IsMissing(want)
+				anyMissing = anyMissing || isMiss
+				if mask := c.Missing(k); (mask != nil && mask[i]) != isMiss {
+					t.Fatalf("col %d row %d: mask disagrees with value %v", k, i, want)
+				}
+			}
+			if c.HasMissing(k) != anyMissing {
+				t.Fatalf("col %d: HasMissing=%v, values say %v", k, c.HasMissing(k), anyMissing)
+			}
+			if !anyMissing && c.Missing(k) != nil {
+				t.Fatalf("col %d: non-nil mask for fully known column", k)
+			}
+		}
+	}
+}
+
+// TestColumnsCachedPerView checks that the mirror is built once per view —
+// repeated and concurrent calls return the same instance.
+func TestColumnsCachedPerView(t *testing.T) {
+	ds := columnsTestDS(t)
+	v := ds.All()
+	first := v.Columns()
+	if v.Columns() != first {
+		t.Fatal("second Columns() call rebuilt the mirror")
+	}
+	var wg sync.WaitGroup
+	got := make([]*Columns, 8)
+	for g := range got {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got[g] = v.Columns()
+		}(g)
+	}
+	wg.Wait()
+	for g, c := range got {
+		if c != first {
+			t.Fatalf("goroutine %d saw a different mirror", g)
+		}
+	}
+	// Distinct views build distinct mirrors.
+	if ds.All().Columns() == first {
+		t.Fatal("distinct views share a mirror")
+	}
+}

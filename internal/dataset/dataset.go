@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/stats"
 )
@@ -203,11 +204,17 @@ func (d *Dataset) All() *View {
 }
 
 // View is a contiguous, zero-copy window over a dataset's rows. The
-// parallel engine gives each rank a View of its local partition.
+// parallel engine gives each rank a View of its local partition. Views are
+// created by View/All and passed by pointer; the lazily built column-major
+// mirror (see Columns) is cached on the view, which makes the struct
+// non-copyable once Columns has been called.
 type View struct {
 	ds    *Dataset
 	start int
 	count int
+
+	colsOnce sync.Once
+	cols     *Columns
 }
 
 // N returns the number of rows in the view.

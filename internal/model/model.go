@@ -67,6 +67,9 @@ type Term interface {
 	// returns an error otherwise. Used by the report's class-separation
 	// diagnostics.
 	KLTo(other Term) (float64, error)
+	// Kernel returns a new blocked evaluation kernel aliasing this term,
+	// already Refreshed against the current parameters.
+	Kernel() Kernel
 }
 
 // TermKind identifies a term implementation.

@@ -127,6 +127,52 @@ func (t *multinomialTerm) Describe(ds *dataset.Dataset) string {
 	return fmt.Sprintf("%s ~ Multinomial(%s)", a.Name, strings.Join(parts, ", "))
 }
 
+// multinomialKernel is the blocked path of multinomialTerm. The per-cycle
+// invariant is the log-probability table itself, which Update and SetParams
+// rewrite in place on the term — so the kernel just reads t.logp and
+// Refresh has nothing to do. The x == x check rejects NaN (missing) before
+// the int conversion, whose result for NaN is unspecified.
+type multinomialKernel struct {
+	t *multinomialTerm
+}
+
+func (t *multinomialTerm) Kernel() Kernel {
+	return &multinomialKernel{t: t}
+}
+
+func (k *multinomialKernel) Refresh() {}
+
+func (k *multinomialKernel) BlockLogProb(cols *dataset.Columns, lo, hi int, out []float64) {
+	col := cols.Col(k.t.attr)[lo:hi]
+	logp := k.t.logp
+	if !cols.HasMissing(k.t.attr) {
+		for i, x := range col {
+			out[i] += logp[int(x)]
+		}
+		return
+	}
+	for i, x := range col {
+		if x == x {
+			out[i] += logp[int(x)]
+		}
+	}
+}
+
+func (k *multinomialKernel) BlockAccumulateStats(cols *dataset.Columns, wts []float64, lo, hi int, st []float64) {
+	col := cols.Col(k.t.attr)[lo:hi]
+	if !cols.HasMissing(k.t.attr) {
+		for i, x := range col {
+			st[int(x)] += wts[i]
+		}
+		return
+	}
+	for i, x := range col {
+		if x == x {
+			st[int(x)] += wts[i]
+		}
+	}
+}
+
 // KLTo implements Term: Σ p·ln(p/q) over the levels.
 func (t *multinomialTerm) KLTo(other Term) (float64, error) {
 	o, ok := other.(*multinomialTerm)

@@ -139,12 +139,25 @@ func (t *multiNormalTerm) LogProb(row []float64) float64 {
 		for _, v := range y {
 			q += v * v
 		}
-		return -0.5*q - 0.5*t.ldet - 0.5*float64(d)*math.Log(2*math.Pi)
+		return -0.5*q - 0.5*t.ldet - float64(d)*stats.HalfLog2Pi
 	}
 	// Marginal over the known columns.
-	idx := make([]int, 0, known)
+	vals := make([]float64, d)
 	for i, k := range t.attrs {
-		if !dataset.IsMissing(row[k]) {
+		vals[i] = row[k]
+	}
+	return t.marginalLogProb(vals)
+}
+
+// marginalLogProb scores a partially known block under the exact Gaussian
+// marginal of its known columns. vals is in block-local order (vals[i] is
+// the value of attrs[i]); NaN entries are missing. Shared by the per-row
+// reference path and the blocked kernel; it allocates, which is acceptable
+// because partially known blocks are a small minority of cases.
+func (t *multiNormalTerm) marginalLogProb(vals []float64) float64 {
+	idx := make([]int, 0, t.d)
+	for i, v := range vals {
+		if !dataset.IsMissing(v) {
 			idx = append(idx, i)
 		}
 	}
@@ -152,7 +165,7 @@ func (t *multiNormalTerm) LogProb(row []float64) float64 {
 	sub := make([]float64, m*m)
 	diff := make([]float64, m)
 	for a, ia := range idx {
-		diff[a] = row[t.attrs[ia]] - t.mean[ia]
+		diff[a] = vals[ia] - t.mean[ia]
 		for b, ib := range idx {
 			sub[a*m+b] = t.cov[ia*t.d+ib]
 		}
@@ -164,7 +177,7 @@ func (t *multiNormalTerm) LogProb(row []float64) float64 {
 		lp := 0.0
 		for _, ia := range idx {
 			sigma := math.Sqrt(t.cov[ia*t.d+ia])
-			lp += stats.LogNormalPDF(row[t.attrs[ia]], t.mean[ia], sigma)
+			lp += stats.LogNormalPDF(vals[ia], t.mean[ia], sigma)
 		}
 		return lp
 	}
@@ -174,7 +187,7 @@ func (t *multiNormalTerm) LogProb(row []float64) float64 {
 		q += y[i] * y[i]
 		ldet += 2 * math.Log(chol[i*m+i])
 	}
-	return -0.5*q - 0.5*ldet - 0.5*float64(m)*math.Log(2*math.Pi)
+	return -0.5*q - 0.5*ldet - float64(m)*stats.HalfLog2Pi
 }
 
 func (t *multiNormalTerm) StatsSize() int { return 1 + t.d + t.d*(t.d+1)/2 }
@@ -391,6 +404,138 @@ func (t *multiNormalTerm) KLTo(other Term) (float64, error) {
 		kl = 0
 	}
 	return kl, nil
+}
+
+// multiNormalKernel is the blocked path of multiNormalTerm. Refresh
+// precomputes the full-block normalizer c = −½log|Σ| − d/2·log 2π; the
+// Cholesky factor itself is the term's (refactor rewrites t.chol, which the
+// kernel reads through its term pointer). Fully known rows run through a
+// scratch forward-solve with no allocation; partially known rows fall back
+// to the shared exact-marginal path.
+type multiNormalKernel struct {
+	t *multiNormalTerm
+	c float64
+	// scratch, sized d once at construction
+	diff []float64
+	y    []float64
+	vals []float64
+	cref [][]float64 // column slices gathered per block call
+}
+
+func (t *multiNormalTerm) Kernel() Kernel {
+	k := &multiNormalKernel{
+		t:    t,
+		diff: make([]float64, t.d),
+		y:    make([]float64, t.d),
+		vals: make([]float64, t.d),
+		cref: make([][]float64, t.d),
+	}
+	k.Refresh()
+	return k
+}
+
+func (k *multiNormalKernel) Refresh() {
+	k.c = -0.5*k.t.ldet - float64(k.t.d)*stats.HalfLog2Pi
+}
+
+// gather fills k.cref with the term's column slices for rows [lo, hi) and
+// reports whether any of them can contain a missing value.
+func (k *multiNormalKernel) gather(cols *dataset.Columns, lo, hi int) bool {
+	anyMissing := false
+	for i, a := range k.t.attrs {
+		k.cref[i] = cols.Col(a)[lo:hi]
+		if cols.HasMissing(a) {
+			anyMissing = true
+		}
+	}
+	return anyMissing
+}
+
+func (k *multiNormalKernel) BlockLogProb(cols *dataset.Columns, lo, hi int, out []float64) {
+	t := k.t
+	d := t.d
+	anyMissing := k.gather(cols, lo, hi)
+	n := hi - lo
+	for r := 0; r < n; r++ {
+		full := true
+		if anyMissing {
+			for i := 0; i < d; i++ {
+				if v := k.cref[i][r]; v != v {
+					full = false
+					break
+				}
+			}
+		}
+		if full {
+			for i := 0; i < d; i++ {
+				k.diff[i] = k.cref[i][r] - t.mean[i]
+			}
+			forwardSolveInto(k.y, t.chol, k.diff, d)
+			q := 0.0
+			for _, v := range k.y {
+				q += v * v
+			}
+			out[r] += -0.5*q + k.c
+			continue
+		}
+		known := 0
+		for i := 0; i < d; i++ {
+			k.vals[i] = k.cref[i][r]
+			if v := k.vals[i]; v == v {
+				known++
+			}
+		}
+		if known == 0 {
+			continue
+		}
+		out[r] += t.marginalLogProb(k.vals)
+	}
+}
+
+func (k *multiNormalKernel) BlockAccumulateStats(cols *dataset.Columns, wts []float64, lo, hi int, st []float64) {
+	t := k.t
+	d := t.d
+	anyMissing := k.gather(cols, lo, hi)
+	n := hi - lo
+	for r := 0; r < n; r++ {
+		if anyMissing {
+			// Like the reference path, statistics use only fully known
+			// blocks.
+			miss := false
+			for i := 0; i < d; i++ {
+				if v := k.cref[i][r]; v != v {
+					miss = true
+					break
+				}
+			}
+			if miss {
+				continue
+			}
+		}
+		w := wts[r]
+		st[0] += w
+		pos := 1 + d
+		for a := 0; a < d; a++ {
+			xa := k.cref[a][r]
+			st[1+a] += w * xa
+			for b := a; b < d; b++ {
+				st[pos] += w * xa * k.cref[b][r]
+				pos++
+			}
+		}
+	}
+}
+
+// forwardSolveInto is forwardSolve writing into caller-provided y, for the
+// allocation-free kernel path.
+func forwardSolveInto(y, l, b []float64, d int) {
+	for i := 0; i < d; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i*d+k] * y[k]
+		}
+		y[i] = sum / l[i*d+i]
+	}
 }
 
 // backwardSolve solves Lᵀ·x = b for lower-triangular L.

@@ -1,0 +1,48 @@
+package pautoclass
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/autoclass"
+	"repro/internal/stats"
+)
+
+// TestKernelModesAgreeAcrossGranularities is the parallel leg of the
+// kernel trajectory guarantee: on a 2-rank run, under both statistics
+// granularities, a search with Blocked kernels and one with Reference
+// kernels must discover the same class count and assign every case to the
+// same class. It closes the ISSUE-4 matrix (kernel mode × granularity ×
+// Parallelism) together with the sequential trajectory test in
+// internal/autoclass.
+func TestKernelModesAgreeAcrossGranularities(t *testing.T) {
+	ds := paperDS(t, 800)
+	for _, gran := range []autoclass.Granularity{autoclass.PerTerm, autoclass.Packed} {
+		t.Run(fmt.Sprint(gran), func(t *testing.T) {
+			run := func(mode autoclass.KernelMode) *autoclass.SearchResult {
+				cfg := quickSearchConfig()
+				cfg.EM.Granularity = gran
+				cfg.EM.Kernels = mode
+				opts := DefaultOptions()
+				opts.EM = cfg.EM
+				return runParallelSearch(t, ds, 2, cfg, opts)
+			}
+			blocked := run(autoclass.Blocked)
+			reference := run(autoclass.Reference)
+			if blocked.Best.J() != reference.Best.J() {
+				t.Fatalf("class counts diverged: blocked J=%d, reference J=%d",
+					blocked.Best.J(), reference.Best.J())
+			}
+			if !stats.AlmostEqual(blocked.Best.LogPost, reference.Best.LogPost, 1e-6) {
+				t.Fatalf("posteriors diverged: blocked %v, reference %v",
+					blocked.Best.LogPost, reference.Best.LogPost)
+			}
+			for i := 0; i < ds.N(); i++ {
+				row := ds.Row(i)
+				if b, r := blocked.Best.HardAssign(row), reference.Best.HardAssign(row); b != r {
+					t.Fatalf("case %d assigned to class %d under blocked, %d under reference", i, b, r)
+				}
+			}
+		})
+	}
+}

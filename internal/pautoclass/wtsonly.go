@@ -28,7 +28,10 @@ import (
 //
 // It is also a deliberately independent second implementation of the EM
 // cycle: the differential tests require wtsOnly and Full to converge to the
-// same classification, each checking the other.
+// same classification, each checking the other. For the same reason it
+// ignores Config.Kernels and always evaluates terms through the per-row
+// reference path — a second blocked implementation would weaken the
+// cross-check.
 type wtsOnlyEngine struct {
 	comm  *mpi.Comm
 	view  *dataset.View

@@ -177,10 +177,17 @@ func (m *Moments) Variance() float64 {
 // StdDev returns the weighted population standard deviation.
 func (m *Moments) StdDev() float64 { return math.Sqrt(m.Variance()) }
 
+// HalfLog2Pi is 0.5·log(2π), the Gaussian normalization constant. It is a
+// package variable computed once at init rather than an untyped constant so
+// that it is bitwise identical to the 0.5*math.Log(2*math.Pi) the reference
+// density used to evaluate per case — hoisting it must not change a single
+// bit of any trajectory.
+var HalfLog2Pi = 0.5 * math.Log(2*math.Pi)
+
 // LogNormalPDF returns log N(x | mean, sigma). Sigma must be positive.
 func LogNormalPDF(x, mean, sigma float64) float64 {
 	z := (x - mean) / sigma
-	return -0.5*z*z - math.Log(sigma) - 0.5*math.Log(2*math.Pi)
+	return -0.5*z*z - math.Log(sigma) - HalfLog2Pi
 }
 
 // LgammaPlus returns log Γ(x) for x > 0 (sign dropped; callers in this
