@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-kernels check trace-smoke faults
+.PHONY: build test vet race bench bench-kernels bench-predict check trace-smoke faults api apicheck serve-smoke
 
 build:
 	$(GO) build ./...
@@ -45,4 +45,29 @@ faults:
 		-run 'Fault|Flaky|Timeout|Deadline|Retry|Race|Checkpoint|Resume|KillAndResume' \
 		./internal/mpi ./internal/autoclass ./internal/pautoclass ./cmd/pautoclass
 
-check: vet build test race
+# Batch-scoring comparison on the serving hot path: 10k held-out rows at
+# J=8 under the blocked kernels vs the per-row reference oracle, emitted
+# as BENCH_predict.json (same schema and tooling as BENCH_kernels.json).
+bench-predict:
+	$(GO) test -run '^$$' -bench 'BenchmarkPredict' -benchmem -count 1 \
+		./internal/autoclass \
+		| tee /dev/stderr | $(GO) run ./cmd/benchkernels -o BENCH_predict.json
+
+# api.txt is the committed exported surface of the facade package; `make
+# api` regenerates it after an intentional API change, `make apicheck`
+# fails when the surface drifted without the golden file being updated.
+api:
+	$(GO) run ./cmd/apidump -o api.txt .
+
+apicheck:
+	$(GO) run ./cmd/apidump . | diff -u api.txt - \
+		|| { echo "facade API surface changed; run 'make api' and commit api.txt" >&2; exit 1; }
+
+# Local equivalent of the CI daemon-smoke job: start pautoclassd, submit a
+# training job over HTTP, poll it to completion, batch-score the training
+# rows against the fitted model and scrape /metrics.
+serve-smoke:
+	$(GO) build -o /tmp/pautoclassd ./cmd/pautoclassd
+	./scripts/serve_smoke.sh /tmp/pautoclassd
+
+check: vet build test race apicheck

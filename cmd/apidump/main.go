@@ -1,0 +1,127 @@
+// Command apidump prints the exported API surface of a package as a
+// stable, diffable text file — the input to `make apicheck`, which fails
+// CI whenever the facade surface changes without the committed api.txt
+// being regenerated (`make api`).
+//
+// It drives `go doc -all` and keeps only the structural lines:
+//
+//   - column-0 lines (package clause, func/type/var/const declarations,
+//     closing braces),
+//   - tab-indented member lines (struct fields, interface methods,
+//     grouped const/var names), minus comment-only lines.
+//
+// Doc prose (indented four spaces) and blank lines are dropped, so godoc
+// edits never invalidate the golden file — only real signature changes do.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+func main() {
+	out := flag.String("o", "-", "output path (- for stdout)")
+	flag.Parse()
+	pkg := "."
+	if flag.NArg() > 0 {
+		pkg = flag.Arg(0)
+	}
+	surface, err := dump(pkg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apidump:", err)
+		os.Exit(1)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apidump:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := w.Write(surface); err != nil {
+		fmt.Fprintln(os.Stderr, "apidump:", err)
+		os.Exit(1)
+	}
+}
+
+func dump(pkg string) ([]byte, error) {
+	cmd := exec.Command("go", "doc", "-all", pkg)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go doc -all %s: %v\n%s", pkg, err, stderr.String())
+	}
+	return filter(raw)
+}
+
+// filter keeps the structural lines of `go doc -all` output: declarations
+// at column 0 and tab-indented members, dropping doc prose (4-space
+// indent), comments and blank lines.
+func filter(raw []byte) ([]byte, error) {
+	var out bytes.Buffer
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "    "):
+			// Doc prose (including CONSTANTS/FUNCTIONS/TYPES section
+			// headers' surrounding text blocks).
+			continue
+		case strings.HasPrefix(line, "\t"):
+			if t := strings.TrimSpace(line); t == "" || strings.HasPrefix(t, "//") {
+				continue
+			}
+			// Strip trailing field/method comments so doc tweaks inside
+			// declarations don't churn the surface file.
+			if i := strings.Index(line, "//"); i > 0 {
+				line = strings.TrimRight(line[:i], " \t")
+				if strings.TrimSpace(line) == "" {
+					continue
+				}
+			}
+			out.WriteString(line)
+			out.WriteByte('\n')
+		default:
+			// Column 0 carries both declarations and the package comment
+			// (which `go doc` prints unindented); keep only declaration
+			// shapes so doc edits never churn the surface file.
+			if !isDecl(line) {
+				continue
+			}
+			out.WriteString(line)
+			out.WriteByte('\n')
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if out.Len() == 0 {
+		return nil, fmt.Errorf("empty API surface")
+	}
+	return out.Bytes(), nil
+}
+
+// isDecl reports whether a column-0 line of `go doc -all` output is part
+// of a declaration rather than package-comment prose.
+func isDecl(line string) bool {
+	for _, p := range []string{"package ", "func ", "type ", "var ", "const "} {
+		if strings.HasPrefix(line, p) {
+			return true
+		}
+	}
+	// Closers of grouped const/var blocks and struct/interface bodies.
+	return line == ")" || line == "}"
+}

@@ -3,6 +3,10 @@
 // sequentially or across P in-process ranks connected by the message-
 // passing substrate, optionally under the simulated Meiko CS-2 clock.
 //
+// The command is a pure consumer of the repro facade: every capability is
+// reached through repro.Run's options (and repro.LoadCheckpoint /
+// repro.Predict for the no-search classify path).
+//
 // Usage:
 //
 //	pautoclass -data data.txt -procs 8 -start-j 2,4,8 -report
@@ -19,14 +23,7 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/autoclass"
-	"repro/internal/dataset"
-	"repro/internal/model"
-	"repro/internal/mpi"
-	"repro/internal/obs"
-	"repro/internal/pautoclass"
-	"repro/internal/simnet"
-	"repro/internal/trace"
+	"repro"
 )
 
 func main() {
@@ -70,11 +67,11 @@ func run(args []string, w io.Writer) error {
 	if *dataPath == "" {
 		return fmt.Errorf("-data is required")
 	}
-	ds, err := dataset.LoadFile(*dataPath)
+	ds, err := repro.LoadDataset(*dataPath)
 	if err != nil {
 		return err
 	}
-	cfg := autoclass.DefaultSearchConfig()
+	cfg := repro.DefaultSearchConfig()
 	cfg.Seed = *seed
 	cfg.Tries = *tries
 	cfg.EM.MaxCycles = *maxCycles
@@ -87,48 +84,42 @@ func run(args []string, w io.Writer) error {
 		}
 		cfg.StartJList = append(cfg.StartJList, v)
 	}
-	opts := pautoclass.DefaultOptions()
-	opts.EM = cfg.EM
+	var strat repro.Strategy
 	switch *strategy {
 	case "full":
-		opts.Strategy = pautoclass.Full
+		strat = repro.Full
 	case "wtsonly":
-		opts.Strategy = pautoclass.WtsOnly
+		strat = repro.WtsOnly
 	default:
 		return fmt.Errorf("unknown strategy %q", *strategy)
 	}
 	switch *granularity {
 	case "perterm":
-		opts.EM.Granularity = autoclass.PerTerm
+		cfg.EM.Granularity = repro.PerTerm
 	case "packed":
-		opts.EM.Granularity = autoclass.Packed
+		cfg.EM.Granularity = repro.Packed
 	default:
 		return fmt.Errorf("unknown granularity %q", *granularity)
 	}
 	switch *kernels {
 	case "blocked":
-		opts.EM.Kernels = autoclass.Blocked
+		cfg.EM.Kernels = repro.Blocked
 	case "reference":
-		opts.EM.Kernels = autoclass.Reference
+		cfg.EM.Kernels = repro.Reference
 	default:
 		return fmt.Errorf("unknown kernels %q", *kernels)
 	}
-	cfg.EM = opts.EM
-	var mach *simnet.Machine
+	var mach *repro.Machine
 	switch *machine {
 	case "none":
 	case "meiko":
-		m := simnet.MeikoCS2()
+		m := repro.MeikoCS2()
 		mach = &m
 	case "pentium":
-		m := simnet.PentiumPC()
+		m := repro.PentiumPC()
 		mach = &m
 	default:
 		return fmt.Errorf("unknown machine %q", *machine)
-	}
-	spec := model.DefaultSpec(ds)
-	if *correlated {
-		spec = model.CorrelatedSpec(ds)
 	}
 
 	if *pprofPrefix != "" {
@@ -161,80 +152,70 @@ func run(args []string, w io.Writer) error {
 	if *models {
 		return runModelSearch(w, ds, cfg, *report, *checkpoint)
 	}
+	if *correlated {
+		if *procs > 1 {
+			return fmt.Errorf("-correlated runs on the sequential engine; drop -procs")
+		}
+		if mach != nil {
+			return fmt.Errorf("-correlated runs on the sequential engine; drop -machine")
+		}
+	}
 	if *resume != "" && *procs == 1 {
-		return runResumable(w, ds, spec, cfg, *resume, *report, *checkpoint, *cases)
+		return runResumable(w, ds, cfg, *correlated, *resume, *report, *checkpoint, *cases)
 	}
 
 	fmt.Fprintf(w, "dataset %s: %d tuples, %d attributes\n", ds.Name, ds.N(), ds.NumAttrs())
 	fmt.Fprintf(w, "search: start_j_list=%v tries=%d procs=%d strategy=%s\n",
-		cfg.StartJList, cfg.Tries, *procs, opts.Strategy)
+		cfg.StartJList, cfg.Tries, *procs, strat)
 	if *resume != "" {
 		fmt.Fprintf(w, "resumable parallel search: state in %s, snapshot every %d cycles\n", *resume, *checkpointEvery)
 	}
 
-	// One observability session covers every in-process rank; rank i records
-	// through obsRun.Rank(i). Created only when an output was requested so
-	// the default path stays on the nil (no-op) hooks.
-	var obsRun *obs.Run
+	// One observability session covers every in-process rank. Created only
+	// when an output was requested so the default path stays on the nil
+	// (no-op) hooks.
+	var obsRun *repro.RunObserver
 	if *traceOut != "" || *eventsOut != "" || *metricsOut != "" {
-		obsRun = obs.NewRun(*procs)
+		obsRun = repro.NewRunObserver(*procs)
 		if mach != nil {
 			obsRun.SetMachineLabel(mach.Name)
 		}
 	}
-	var profile *trace.Profile
+	var profile *repro.Profile
 	if *phaseProfile {
-		profile = trace.New()
+		profile = repro.NewProfile()
 	}
 
-	var best *autoclass.SearchResult
-	var virtual float64
-	start := time.Now()
-	rcfg := mpi.RunConfig{
-		OpDeadline: *opTimeout,
-		Retry:      mpi.RetryPolicy{MaxAttempts: *sendRetries},
+	opts := []repro.Option{repro.WithSearchConfig(cfg)}
+	if *correlated {
+		// Sequential engine (validated above); everything else still wires
+		// through the same options.
+		opts = append(opts, repro.WithCorrelated())
+	} else {
+		opts = append(opts, repro.WithParallel(repro.ParallelConfig{
+			Procs:       *procs,
+			Strategy:    strat,
+			Machine:     mach,
+			OpDeadline:  *opTimeout,
+			SendRetries: *sendRetries,
+		}))
 	}
-	err = mpi.RunWith(*procs, rcfg, func(c *mpi.Comm) error {
-		o := opts
-		if mach != nil {
-			clk, err := simnet.NewClock(*mach)
-			if err != nil {
-				return err
-			}
-			o.Clock = clk
-		}
-		o.Obs = obsRun.Rank(c.Rank())
-		if o.Obs != nil {
-			// Transport retries/timeouts land in the same per-rank metrics.
-			c.SetObserver(o.Obs)
-		}
-		if c.Rank() == 0 {
-			// The §3.1 phase table reports one rank's wall time; the phases
-			// are symmetric across ranks, so rank 0 stands for all.
-			o.Profile = profile
-		}
-		var res *autoclass.SearchResult
-		var err error
-		if *resume != "" {
-			res, err = pautoclass.SearchCheckpointed(c, ds, spec, cfg, o,
-				pautoclass.Checkpoint{Path: *resume, Every: *checkpointEvery})
-		} else {
-			res, err = pautoclass.Search(c, ds, spec, cfg, o)
-		}
-		if err != nil {
-			return err
-		}
-		if c.Rank() == 0 {
-			best = res
-			if o.Clock != nil {
-				virtual = o.Clock.Elapsed()
-			}
-		}
-		return nil
-	})
+	if obsRun != nil {
+		opts = append(opts, repro.WithObserver(obsRun))
+	}
+	if profile != nil {
+		opts = append(opts, repro.WithProfile(profile))
+	}
+	if *resume != "" {
+		opts = append(opts, repro.WithCheckpoint(*resume, *checkpointEvery))
+	}
+
+	start := time.Now()
+	r, err := repro.Run(ds, opts...)
 	if err != nil {
 		return err
 	}
+	best := r.Search
 	wall := time.Since(start).Seconds()
 
 	fmt.Fprintf(w, "\nbest classification: %d classes (start J %d, seed %d)\n",
@@ -250,7 +231,7 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "tries: %d total, %d duplicates eliminated\n", len(best.Tries), dups)
 	fmt.Fprintf(w, "wall time: %.2fs", wall)
 	if mach != nil {
-		fmt.Fprintf(w, "  virtual time on %s: %s", mach.Name, simnet.FormatHMS(virtual))
+		fmt.Fprintf(w, "  virtual time on %s: %s", mach.Name, repro.FormatHMS(r.Stats.VirtualSeconds))
 	}
 	fmt.Fprintln(w)
 	if profile != nil {
@@ -282,12 +263,12 @@ func run(args []string, w io.Writer) error {
 	}
 	if *report {
 		fmt.Fprintln(w)
-		if _, err := autoclass.BuildReport(best.Best, ds).WriteTo(w); err != nil {
+		if _, err := repro.BuildReport(best.Best, ds).WriteTo(w); err != nil {
 			return err
 		}
 	}
 	if *checkpoint != "" {
-		if err := autoclass.SaveCheckpointFile(*checkpoint, best.Best); err != nil {
+		if err := repro.SaveCheckpoint(*checkpoint, best.Best); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "checkpoint written to %s\n", *checkpoint)
@@ -315,29 +296,29 @@ func writeTo(path string, write func(io.Writer) error) error {
 }
 
 // writeCasesFile writes the case assignments of cls over ds to path.
-func writeCasesFile(path string, cls *autoclass.Classification, ds *dataset.Dataset) error {
+func writeCasesFile(path string, cls *repro.Classification, ds *repro.Dataset) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := autoclass.WriteCases(f, cls, ds.All(), 0.1); err != nil {
+	if err := repro.WriteCases(f, cls, ds, 0.1); err != nil {
 		return err
 	}
 	return f.Close()
 }
 
 // runClassify loads a checkpoint and classifies the dataset without
-// searching.
-func runClassify(w io.Writer, ds *dataset.Dataset, checkpointPath, casesPath string) error {
-	cls, err := autoclass.LoadCheckpointFile(checkpointPath, ds)
+// searching — the batch inference path.
+func runClassify(w io.Writer, ds *repro.Dataset, checkpointPath, casesPath string) error {
+	cls, err := repro.LoadCheckpoint(checkpointPath, ds)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "classifying %d tuples with %d classes from %s\n", ds.N(), cls.J(), checkpointPath)
-	sizes := autoclass.ClassSizes(cls, ds.All())
+	sizes := repro.ClassSizes(cls, ds)
 	fmt.Fprintf(w, "class sizes: %v\n", sizes)
-	fmt.Fprintf(w, "mean max membership: %.4f\n", autoclass.MeanMaxMembership(cls, ds.All()))
+	fmt.Fprintf(w, "mean max membership: %.4f\n", repro.MeanMaxMembership(cls, ds))
 	if casesPath != "" {
 		if err := writeCasesFile(casesPath, cls, ds); err != nil {
 			return err
@@ -345,26 +326,31 @@ func runClassify(w io.Writer, ds *dataset.Dataset, checkpointPath, casesPath str
 		fmt.Fprintf(w, "case assignments written to %s\n", casesPath)
 		return nil
 	}
-	return autoclass.WriteCases(w, cls, ds.All(), 0.1)
+	return repro.WriteCases(w, cls, ds, 0.1)
 }
 
 // runResumable runs the checkpointed/resumable sequential search.
-func runResumable(w io.Writer, ds *dataset.Dataset, spec model.Spec, cfg autoclass.SearchConfig,
+func runResumable(w io.Writer, ds *repro.Dataset, cfg repro.SearchConfig, correlated bool,
 	statePath string, report bool, checkpoint, casesPath string) error {
 	fmt.Fprintf(w, "dataset %s: %d tuples — resumable search, state in %s\n", ds.Name, ds.N(), statePath)
-	res, err := autoclass.SearchWithCheckpointFile(ds, spec, cfg, nil, statePath)
+	opts := []repro.Option{repro.WithSearchConfig(cfg), repro.WithCheckpoint(statePath, 0)}
+	if correlated {
+		opts = append(opts, repro.WithCorrelated())
+	}
+	r, err := repro.Run(ds, opts...)
 	if err != nil {
 		return err
 	}
+	res := r.Search
 	fmt.Fprintf(w, "best classification: %d classes, score %.4f (%d tries recorded)\n",
 		res.Best.J(), res.Best.Score(), len(res.Tries))
 	if report {
-		if _, err := autoclass.BuildReport(res.Best, ds).WriteTo(w); err != nil {
+		if _, err := repro.BuildReport(res.Best, ds).WriteTo(w); err != nil {
 			return err
 		}
 	}
 	if checkpoint != "" {
-		if err := autoclass.SaveCheckpointFile(checkpoint, res.Best); err != nil {
+		if err := repro.SaveCheckpoint(checkpoint, res.Best); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "checkpoint written to %s\n", checkpoint)
@@ -380,14 +366,14 @@ func runResumable(w io.Writer, ds *dataset.Dataset, spec model.Spec, cfg autocla
 
 // runModelSearch executes the two-level search (model forms × class counts)
 // and reports every form's outcome plus the overall best.
-func runModelSearch(w io.Writer, ds *dataset.Dataset, cfg autoclass.SearchConfig, report bool, checkpoint string) error {
+func runModelSearch(w io.Writer, ds *repro.Dataset, cfg repro.SearchConfig, report bool, checkpoint string) error {
 	fmt.Fprintf(w, "dataset %s: %d tuples, %d attributes\n", ds.Name, ds.N(), ds.NumAttrs())
-	cands := autoclass.StandardSpecCandidates(ds, ds.Summarize())
-	fmt.Fprintf(w, "model-level search over %d model forms, start_j_list=%v\n\n", len(cands), cfg.StartJList)
-	res, err := autoclass.SearchModels(ds, cands, cfg, nil)
+	fmt.Fprintf(w, "model-level search over the standard model forms, start_j_list=%v\n\n", cfg.StartJList)
+	r, err := repro.Run(ds, repro.WithSearchConfig(cfg), repro.WithModelSearch())
 	if err != nil {
 		return err
 	}
+	res := r.Models
 	for _, ps := range res.PerSpec {
 		fmt.Fprintf(w, "model %-12s: %2d classes  score %.4f  logpost %.4f\n",
 			ps.Name, ps.Result.Best.J(), ps.Result.Best.Score(), ps.Result.Best.LogPost)
@@ -395,12 +381,12 @@ func runModelSearch(w io.Writer, ds *dataset.Dataset, cfg autoclass.SearchConfig
 	fmt.Fprintf(w, "\nbest model form: %s (%d classes)\n", res.BestSpec, res.Best.J())
 	if report {
 		fmt.Fprintln(w)
-		if _, err := autoclass.BuildReport(res.Best, ds).WriteTo(w); err != nil {
+		if _, err := repro.BuildReport(res.Best, ds).WriteTo(w); err != nil {
 			return err
 		}
 	}
 	if checkpoint != "" {
-		if err := autoclass.SaveCheckpointFile(checkpoint, res.Best); err != nil {
+		if err := repro.SaveCheckpoint(checkpoint, res.Best); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "checkpoint written to %s\n", checkpoint)

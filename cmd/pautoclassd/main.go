@@ -1,0 +1,87 @@
+// Command pautoclassd serves P-AutoClass over HTTP: asynchronous training
+// jobs on the distributed checkpointed search, a fitted-model registry with
+// batch prediction, and the run observability endpoints.
+//
+//	pautoclassd -addr :8080 -dir ./pautoclassd-data -procs 4
+//
+// Endpoints:
+//
+//	POST /v1/jobs                   submit a training job (async)
+//	GET  /v1/jobs                   list jobs
+//	GET  /v1/jobs/{id}              poll a job
+//	POST /v1/models/{id}/predict    batch-score new rows against a model
+//	GET  /metrics                   server + last-run metrics (JSON)
+//	GET  /debug/trace               Chrome trace of the last training run
+//	GET  /healthz                   liveness
+//
+// On SIGINT/SIGTERM a running search is stopped cooperatively: the rank
+// group agrees on a stop cycle, persists a resumable snapshot, and the job
+// returns to the queue — a restarted daemon resumes it bitwise where it
+// stopped.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dir := flag.String("dir", "pautoclassd-data", "state directory (jobs, checkpoints, models)")
+	procs := flag.Int("procs", 2, "default ranks per training run")
+	every := flag.Int("every", 4, "mid-try checkpoint cadence in cycles")
+	flag.Parse()
+
+	if err := run(*addr, *dir, *procs, *every); err != nil {
+		fmt.Fprintln(os.Stderr, "pautoclassd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dir string, procs, every int) error {
+	srv, err := serve.New(serve.Config{Dir: dir, Procs: procs, Every: every})
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Addr: addr, Handler: srv}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("pautoclassd listening on %s (state: %s, procs: %d)", addr, dir, procs)
+		errc <- hs.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("pautoclassd: %s: draining (running job checkpoints and requeues)", sig)
+	case err := <-errc:
+		srv.Close()
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("pautoclassd: http shutdown: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Print("pautoclassd: stopped")
+	return nil
+}

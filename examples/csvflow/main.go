@@ -56,10 +56,11 @@ func main() {
 	cfg := repro.DefaultSearchConfig()
 	cfg.StartJList = []int{2, 4, 8}
 	cfg.Tries = 2
-	res, err := repro.ClusterModels(train, cfg)
+	r, err := repro.Run(train, repro.WithSearchConfig(cfg), repro.WithModelSearch())
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := r.Models
 	fmt.Printf("\nmodel-level search:\n")
 	for _, ps := range res.PerSpec {
 		fmt.Printf("  %-12s %2d classes  score %.1f\n",
@@ -67,9 +68,12 @@ func main() {
 	}
 	fmt.Printf("selected: %s with %d classes\n", res.BestSpec, res.Best.J())
 
-	// 4. Validate on the held-out rows.
-	ll := repro.HeldoutLogLik(res.Best, test)
-	fmt.Printf("\nheld-out log-likelihood: %.1f (%.3f per row)\n", ll, ll/float64(test.N()))
+	// 4. Validate on the held-out rows with the batch inference path.
+	pred, err := repro.Predict(res.Best, test, repro.PredictConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nheld-out log-likelihood: %.1f (%.3f per row)\n", pred.LogLik, pred.LogLik/float64(test.N()))
 	fmt.Printf("held-out sharpness: %.3f mean max membership\n", repro.MeanMaxMembership(res.Best, test))
 
 	// 5. Report and case assignments.

@@ -24,19 +24,24 @@ func main() {
 	cfg.Tries = 1
 
 	// In-process channel mesh.
-	mem, memStats, err := repro.ClusterParallel(ds, cfg, repro.ParallelConfig{Procs: 6})
+	memRun, err := repro.Run(ds,
+		repro.WithSearchConfig(cfg),
+		repro.WithParallel(repro.ParallelConfig{Procs: 6}))
 	if err != nil {
 		log.Fatal(err)
 	}
 	// The identical run over loopback TCP sockets.
-	tcp, tcpStats, err := repro.ClusterParallel(ds, cfg, repro.ParallelConfig{Procs: 6, UseTCP: true})
+	tcpRun, err := repro.Run(ds,
+		repro.WithSearchConfig(cfg),
+		repro.WithParallel(repro.ParallelConfig{Procs: 6, UseTCP: true}))
 	if err != nil {
 		log.Fatal(err)
 	}
+	mem, tcp := memRun.Search, tcpRun.Search
 	fmt.Printf("channel mesh: %d classes, log posterior %.4f (%.2fs)\n",
-		mem.Best.J(), mem.Best.LogPost, memStats.WallSeconds)
+		mem.Best.J(), mem.Best.LogPost, memRun.Stats.WallSeconds)
 	fmt.Printf("TCP sockets:  %d classes, log posterior %.4f (%.2fs)\n",
-		tcp.Best.J(), tcp.Best.LogPost, tcpStats.WallSeconds)
+		tcp.Best.J(), tcp.Best.LogPost, tcpRun.Stats.WallSeconds)
 	if tcp.Best.LogPost == mem.Best.LogPost {
 		fmt.Println("bit-identical across transports — the reduction order, not the wire, defines the result")
 	} else {

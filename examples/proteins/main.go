@@ -33,10 +33,13 @@ func main() {
 	cfg.StartJList = []int{2, 4, 8}
 	cfg.Tries = 2
 
-	res, _, err := repro.ClusterParallel(ds, cfg, repro.ParallelConfig{Procs: 6})
+	r, err := repro.Run(ds,
+		repro.WithSearchConfig(cfg),
+		repro.WithParallel(repro.ParallelConfig{Procs: 6}))
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := r.Search
 	fmt.Printf("discovered %d protein families (score %.1f, %d of %d tries were duplicates)\n\n",
 		res.Best.J(), res.Best.Score(), countDuplicates(res), len(res.Tries))
 

@@ -24,28 +24,30 @@ func main() {
 	cfg.Tries = 1
 
 	// Sequential AutoClass.
-	seq, err := repro.Cluster(ds, cfg)
+	seq, err := repro.Run(ds, repro.WithSearchConfig(cfg))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("sequential AutoClass: %d classes, log posterior %.2f\n",
-		seq.Best.J(), seq.Best.LogPost)
+		seq.Search.Best.J(), seq.Search.Best.LogPost)
 
 	// P-AutoClass across 4 ranks: same search, same semantics.
-	par, stats, err := repro.ClusterParallel(ds, cfg, repro.ParallelConfig{Procs: 4})
+	par, err := repro.Run(ds,
+		repro.WithSearchConfig(cfg),
+		repro.WithParallel(repro.ParallelConfig{Procs: 4}))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("P-AutoClass (4 ranks):  %d classes, log posterior %.2f (wall %.2fs)\n\n",
-		par.Best.J(), par.Best.LogPost, stats.WallSeconds)
+		par.Best().J(), par.Best().LogPost, par.Stats.WallSeconds)
 
 	// The full AutoClass-style report: class weights, parameters and
 	// per-attribute influence values.
-	fmt.Println(repro.BuildReport(par.Best, ds))
+	fmt.Println(repro.BuildReport(par.Best(), ds))
 
 	// Classify a new instance.
 	probe := []float64{8.0, 2.0} // near the second planted cluster
-	probs := par.Best.Predict(probe)
+	probs := par.Best().Predict(probe)
 	fmt.Printf("membership of instance %v:\n", probe)
 	for j, p := range probs {
 		fmt.Printf("  class %d: %.4f\n", j, p)

@@ -28,13 +28,16 @@ func main() {
 	// Cluster in parallel on 8 ranks under the simulated Meiko CS-2 so the
 	// run also reports what it would have cost on the paper's hardware.
 	machine := repro.MeikoCS2()
-	res, stats, err := repro.ClusterParallel(ds, cfg, repro.ParallelConfig{
-		Procs:   8,
-		Machine: &machine,
-	})
+	r, err := repro.Run(ds,
+		repro.WithSearchConfig(cfg),
+		repro.WithParallel(repro.ParallelConfig{
+			Procs:   8,
+			Machine: &machine,
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
+	res, stats := r.Search, r.Stats
 	fmt.Printf("found %d cover classes (log posterior %.1f)\n", res.Best.J(), res.Best.LogPost)
 	fmt.Printf("wall time %.2fs; on the Meiko CS-2 with 8 processors this run models as %s (%.0f%% communication)\n\n",
 		stats.WallSeconds, repro.FormatHMS(stats.VirtualSeconds),

@@ -29,13 +29,16 @@ func main() {
 	fmt.Printf("%5s  %12s  %8s  %6s\n", "procs", "elapsed", "speedup", "comm%")
 	var t1 float64
 	for p := 1; p <= 10; p++ {
-		_, stats, err := repro.ClusterParallel(ds, cfg, repro.ParallelConfig{
-			Procs:   p,
-			Machine: &machine,
-		})
+		r, err := repro.Run(ds,
+			repro.WithSearchConfig(cfg),
+			repro.WithParallel(repro.ParallelConfig{
+				Procs:   p,
+				Machine: &machine,
+			}))
 		if err != nil {
 			log.Fatal(err)
 		}
+		stats := r.Stats
 		if p == 1 {
 			t1 = stats.VirtualSeconds
 		}
@@ -53,13 +56,16 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		_, stats, err := repro.ClusterParallel(dsP, cfg, repro.ParallelConfig{
-			Procs:   p,
-			Machine: &machine,
-		})
+		r, err := repro.Run(dsP,
+			repro.WithSearchConfig(cfg),
+			repro.WithParallel(repro.ParallelConfig{
+				Procs:   p,
+				Machine: &machine,
+			}))
 		if err != nil {
 			log.Fatal(err)
 		}
+		stats := r.Stats
 		if p == 1 {
 			base = stats.VirtualSeconds
 		}

@@ -15,7 +15,111 @@ import (
 // AutoClass C checkpoints long classification runs so they can resume after
 // interruption; this file provides the equivalent: a JSON snapshot of a
 // classification's structure and parameters that can be reloaded against
-// the same dataset.
+// the same dataset. The Checkpoint type is the one entry point — it
+// round-trips both plain classification snapshots and mid-search state;
+// the historical Save/Load function pairs remain as thin wrappers.
+
+// Checkpoint is a versioned snapshot of a fitted (or mid-run)
+// classification, optionally pinned to its position in a BIG_LOOP search.
+// Save writes the JSON form; Load reconstructs it against the dataset the
+// run used. A Checkpoint with a nil Search is a plain classification
+// snapshot; with a non-nil Search it resumes the search trajectory
+// bitwise (see SearchPoint).
+type Checkpoint struct {
+	Classification *Classification
+	// Search is the mid-search position, nil for plain snapshots.
+	Search *SearchPoint
+}
+
+// Save serializes the checkpoint to w. A mid-search snapshot (Search
+// non-nil) is only legal after at least one completed cycle: before that
+// LastPost is -Inf, which JSON cannot encode.
+func (c *Checkpoint) Save(w io.Writer) error {
+	if c == nil || c.Classification == nil {
+		return errors.New("autoclass: nil classification")
+	}
+	ck, err := buildCheckpoint(c.Classification)
+	if err != nil {
+		return err
+	}
+	if sp := c.Search; sp != nil {
+		if math.IsInf(sp.LastPost, 0) || math.IsNaN(sp.LastPost) {
+			return fmt.Errorf("autoclass: search checkpoint before first cycle (last_post %v)", sp.LastPost)
+		}
+		ck.Search = &ckptSearchV1{
+			TryIndex:   sp.TryIndex,
+			StartJ:     sp.StartJ,
+			Try:        sp.Try,
+			TrySeed:    sp.TrySeed,
+			CycleInTry: sp.CycleInTry,
+			BelowTol:   sp.BelowTol,
+			LastPost:   sp.LastPost,
+			SearchSeed: sp.SearchSeed,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&ck)
+}
+
+// Load fills the checkpoint from r, validating the stored spec against the
+// dataset's schema and rejecting unknown versions. Search stays nil when
+// the stream holds a plain snapshot.
+func (c *Checkpoint) Load(r io.Reader, ds *dataset.Dataset) error {
+	var ck checkpointV1
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&ck); err != nil {
+		return fmt.Errorf("autoclass: decode checkpoint: %w", err)
+	}
+	if ck.Version != 1 {
+		return fmt.Errorf("autoclass: unsupported checkpoint version %d", ck.Version)
+	}
+	if len(ck.Classes) == 0 {
+		return errors.New("autoclass: checkpoint has no classes")
+	}
+	cls, err := restoreClassification(&ck, ds)
+	if err != nil {
+		return err
+	}
+	c.Classification = cls
+	c.Search = nil
+	if ck.Search != nil {
+		c.Search = &SearchPoint{
+			TryIndex:   ck.Search.TryIndex,
+			StartJ:     ck.Search.StartJ,
+			Try:        ck.Search.Try,
+			TrySeed:    ck.Search.TrySeed,
+			CycleInTry: ck.Search.CycleInTry,
+			BelowTol:   ck.Search.BelowTol,
+			LastPost:   ck.Search.LastPost,
+			SearchSeed: ck.Search.SearchSeed,
+		}
+	}
+	return nil
+}
+
+// SaveFile writes the checkpoint to path.
+func (c *Checkpoint) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := c.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile fills the checkpoint from the file at path.
+func (c *Checkpoint) LoadFile(path string, ds *dataset.Dataset) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return c.Load(f, ds)
+}
 
 // checkpointV1 is the serialized form.
 type checkpointV1 struct {
@@ -114,81 +218,42 @@ func buildCheckpoint(cls *Classification) (checkpointV1, error) {
 }
 
 // SaveCheckpoint serializes the classification to w.
+//
+// Deprecated: use (&Checkpoint{Classification: cls}).Save(w).
 func SaveCheckpoint(w io.Writer, cls *Classification) error {
-	return SaveCheckpointSearch(w, cls, nil)
+	return (&Checkpoint{Classification: cls}).Save(w)
 }
 
 // SaveCheckpointSearch serializes the classification plus, when sp is
-// non-nil, its mid-search position. A mid-search snapshot is only legal
-// after at least one completed cycle: before that LastPost is -Inf, which
-// JSON cannot encode.
+// non-nil, its mid-search position.
+//
+// Deprecated: use (&Checkpoint{Classification: cls, Search: sp}).Save(w).
 func SaveCheckpointSearch(w io.Writer, cls *Classification, sp *SearchPoint) error {
-	if cls == nil {
-		return errors.New("autoclass: nil classification")
-	}
-	ck, err := buildCheckpoint(cls)
-	if err != nil {
-		return err
-	}
-	if sp != nil {
-		if math.IsInf(sp.LastPost, 0) || math.IsNaN(sp.LastPost) {
-			return fmt.Errorf("autoclass: search checkpoint before first cycle (last_post %v)", sp.LastPost)
-		}
-		ck.Search = &ckptSearchV1{
-			TryIndex:   sp.TryIndex,
-			StartJ:     sp.StartJ,
-			Try:        sp.Try,
-			TrySeed:    sp.TrySeed,
-			CycleInTry: sp.CycleInTry,
-			BelowTol:   sp.BelowTol,
-			LastPost:   sp.LastPost,
-			SearchSeed: sp.SearchSeed,
-		}
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	return enc.Encode(&ck)
+	return (&Checkpoint{Classification: cls, Search: sp}).Save(w)
 }
 
 // LoadCheckpoint reconstructs a classification from r, validating it
 // against the dataset's schema.
+//
+// Deprecated: use Checkpoint.Load.
 func LoadCheckpoint(r io.Reader, ds *dataset.Dataset) (*Classification, error) {
-	cls, _, err := LoadCheckpointSearch(r, ds)
-	return cls, err
+	var ck Checkpoint
+	if err := ck.Load(r, ds); err != nil {
+		return nil, err
+	}
+	return ck.Classification, nil
 }
 
 // LoadCheckpointSearch is LoadCheckpoint that also returns the mid-search
 // position when the checkpoint carries one (nil otherwise).
+//
+// Deprecated: use Checkpoint.Load.
 func LoadCheckpointSearch(r io.Reader, ds *dataset.Dataset) (*Classification, *SearchPoint, error) {
-	var ck checkpointV1
-	dec := json.NewDecoder(r)
-	if err := dec.Decode(&ck); err != nil {
-		return nil, nil, fmt.Errorf("autoclass: decode checkpoint: %w", err)
-	}
-	if ck.Version != 1 {
-		return nil, nil, fmt.Errorf("autoclass: unsupported checkpoint version %d", ck.Version)
-	}
-	if len(ck.Classes) == 0 {
-		return nil, nil, errors.New("autoclass: checkpoint has no classes")
-	}
-	cls, err := restoreClassification(&ck, ds)
-	if err != nil {
+	var ck Checkpoint
+	if err := ck.Load(r, ds); err != nil {
 		return nil, nil, err
 	}
-	var sp *SearchPoint
-	if ck.Search != nil {
-		sp = &SearchPoint{
-			TryIndex:   ck.Search.TryIndex,
-			StartJ:     ck.Search.StartJ,
-			Try:        ck.Search.Try,
-			TrySeed:    ck.Search.TrySeed,
-			CycleInTry: ck.Search.CycleInTry,
-			BelowTol:   ck.Search.BelowTol,
-			LastPost:   ck.Search.LastPost,
-			SearchSeed: ck.Search.SearchSeed,
-		}
-	}
-	return cls, sp, nil
+	return ck.Classification, ck.Search, nil
 }
 
 // restoreClassification rebuilds the in-memory classification from its
@@ -232,24 +297,19 @@ func restoreClassification(ck *checkpointV1, ds *dataset.Dataset) (*Classificati
 }
 
 // SaveCheckpointFile writes a checkpoint to path.
+//
+// Deprecated: use Checkpoint.SaveFile.
 func SaveCheckpointFile(path string, cls *Classification) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := SaveCheckpoint(f, cls); err != nil {
-		return err
-	}
-	return f.Close()
+	return (&Checkpoint{Classification: cls}).SaveFile(path)
 }
 
 // LoadCheckpointFile reads a checkpoint from path.
+//
+// Deprecated: use Checkpoint.LoadFile.
 func LoadCheckpointFile(path string, ds *dataset.Dataset) (*Classification, error) {
-	f, err := os.Open(path)
-	if err != nil {
+	var ck Checkpoint
+	if err := ck.LoadFile(path, ds); err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return LoadCheckpoint(f, ds)
+	return ck.Classification, nil
 }

@@ -175,3 +175,66 @@ func TestCheckpointErrors(t *testing.T) {
 		t.Error("schema mismatch accepted")
 	}
 }
+
+// TestCheckpointTypeRoundTrip covers the unified Checkpoint type directly:
+// one Save/Load pair must round-trip both a plain classification snapshot
+// (Search nil in, nil out) and a mid-search snapshot (SearchPoint preserved
+// field-for-field), through both the stream and the file forms. The legacy
+// function wrappers are byte-compatible with it by construction.
+func TestCheckpointTypeRoundTrip(t *testing.T) {
+	cls, ds := convergedClassification(t, 600)
+
+	var plain bytes.Buffer
+	if err := (&Checkpoint{Classification: cls}).Save(&plain); err != nil {
+		t.Fatal(err)
+	}
+	var legacy bytes.Buffer
+	if err := SaveCheckpoint(&legacy, cls); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), legacy.Bytes()) {
+		t.Fatal("Checkpoint.Save and SaveCheckpoint produced different bytes")
+	}
+	var got Checkpoint
+	if err := got.Load(bytes.NewReader(plain.Bytes()), ds); err != nil {
+		t.Fatal(err)
+	}
+	if got.Search != nil {
+		t.Fatal("plain snapshot loaded a SearchPoint")
+	}
+	if got.Classification.J() != cls.J() || got.Classification.LogPost != cls.LogPost {
+		t.Fatalf("classification mismatch: %+v", got.Classification)
+	}
+
+	sp := &SearchPoint{TryIndex: 3, StartJ: 5, Try: 1, TrySeed: 99, CycleInTry: 7, BelowTol: 2, LastPost: cls.LogPost, SearchSeed: 42}
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := (&Checkpoint{Classification: cls, Search: sp}).SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Loading into a previously-used Checkpoint must fully overwrite it.
+	if err := got.LoadFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	if got.Search == nil || *got.Search != *sp {
+		t.Fatalf("SearchPoint did not round-trip: %+v", got.Search)
+	}
+	if got.Classification.LogPost != cls.LogPost {
+		t.Fatalf("classification mismatch after search round-trip")
+	}
+
+	// And the reverse: loading a plain snapshot must clear a stale Search.
+	if err := got.Load(bytes.NewReader(plain.Bytes()), ds); err != nil {
+		t.Fatal(err)
+	}
+	if got.Search != nil {
+		t.Fatal("stale SearchPoint survived a plain load")
+	}
+
+	if err := (&Checkpoint{}).Save(&plain); err == nil {
+		t.Fatal("nil classification accepted")
+	}
+	bad := &Checkpoint{Classification: cls, Search: &SearchPoint{LastPost: math.Inf(-1)}}
+	if err := bad.Save(&plain); err == nil || !strings.Contains(err.Error(), "before first cycle") {
+		t.Fatalf("pre-first-cycle search snapshot accepted: %v", err)
+	}
+}

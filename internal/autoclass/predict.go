@@ -1,0 +1,281 @@
+package autoclass
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// Batch inference: applying a fitted Classification to new cases at scale.
+//
+// Training amortizes one model over many EM cycles; serving inverts the
+// ratio — one fitted model is applied to an unbounded stream of fresh rows,
+// so the per-row cost of the E-step dominates everything. The batch scorer
+// therefore reuses the engine's blocked machinery (dataset.Columns mirror,
+// model.Kernel per (class, term), fused per-block normalization) for a hot
+// path with zero interface calls per row, and the per-row Term path as the
+// reference oracle the blocked results are tested against.
+//
+// Determinism mirrors the training engine's invariant: the shard and block
+// grids depend only on the row count, per-shard log-likelihood partial sums
+// are merged in ascending shard order, and per-row outputs are written to
+// disjoint slices — so results are bitwise identical for every
+// Parallelism >= 1 within a kernel mode.
+
+// PredictConfig controls the batch scorer. The zero value is the fast path:
+// blocked kernels on a single worker.
+type PredictConfig struct {
+	// Parallelism selects the worker count, with the same encoding as
+	// Config.Parallelism: 0 or 1 one worker, >1 that many worker
+	// goroutines, <0 runtime.GOMAXPROCS(0). Results are bitwise identical
+	// for every value within a kernel mode.
+	Parallelism int
+	// Kernels selects Blocked (columnar kernels, the default) or Reference
+	// (the per-row Term oracle).
+	Kernels KernelMode
+}
+
+// Prediction is the batch scoring result over n cases.
+type Prediction struct {
+	// J is the class count of the scoring classification.
+	J int
+	// Memberships holds the normalized posterior class memberships, n×J
+	// row-major: Memberships[i*J+j] = P(class j | case i). Missing
+	// attributes contribute no evidence, so a fully-missing row falls back
+	// to the prior mixing weights; a row scoring -Inf in every class (not
+	// reachable for in-support data) gets the uniform 1/J membership,
+	// matching the training engine's convention.
+	Memberships []float64
+	// MAP[i] is case i's maximum-a-posteriori class: the first class
+	// attaining the row's maximum membership.
+	MAP []int
+	// LogLik is the total held-out log-likelihood Σ_i log Σ_j π_j·p(x_i|j).
+	// All-missing rows contribute nothing, matching HeldoutLogLik.
+	LogLik float64
+}
+
+// N returns the number of scored cases.
+func (p *Prediction) N() int {
+	if p.J == 0 {
+		return 0
+	}
+	return len(p.Memberships) / p.J
+}
+
+// Membership returns case i's posterior membership vector (a read-only
+// alias into Memberships).
+func (p *Prediction) Membership(i int) []float64 {
+	return p.Memberships[i*p.J : (i+1)*p.J]
+}
+
+// Predict scores every row of ds under the fitted classification — the
+// batch inference entry point. See PredictView for scoring a window.
+func Predict(cls *Classification, ds *dataset.Dataset, cfg PredictConfig) (*Prediction, error) {
+	if ds == nil {
+		return nil, errors.New("autoclass: nil dataset")
+	}
+	return PredictView(cls, ds.All(), cfg)
+}
+
+// PredictView scores every row of the view under the fitted classification:
+// per-case posterior memberships, the MAP class, and the total held-out
+// log-likelihood. The view's dataset must be schema-compatible with the
+// classification's spec; the rows themselves are new data the search never
+// saw. Safe for concurrent calls on the same classification (the scorer
+// never mutates it).
+func PredictView(cls *Classification, view *dataset.View, cfg PredictConfig) (*Prediction, error) {
+	if cls == nil || view == nil {
+		return nil, errors.New("autoclass: nil classification or view")
+	}
+	if cfg.Kernels != Blocked && cfg.Kernels != Reference {
+		return nil, errors.New("autoclass: unknown kernel mode")
+	}
+	if err := cls.Spec.Validate(view.Dataset()); err != nil {
+		return nil, err
+	}
+	n := view.N()
+	j := cls.J()
+	p := &Prediction{
+		J:           j,
+		Memberships: make([]float64, n*j),
+		MAP:         make([]int, n),
+	}
+	if n == 0 {
+		return p, nil
+	}
+	// Unlike the training engine, there is no seed-sequential legacy mode to
+	// preserve: the scorer always runs on the fixed shard grid, so every
+	// Parallelism value — including 0 — accumulates the log-likelihood in
+	// the same per-shard grouping and the result is bitwise identical.
+	sc := newPredictScorer(cls, view, cfg.Kernels)
+	shards := NumRowShards(n)
+	workers := sc.prepare(Config{Parallelism: cfg.Parallelism}.Workers(shards))
+	lls := make([]float64, shards)
+	ParallelFor(len(workers), shards, func(worker, s int) {
+		lo, hi := RowShardRange(s, n)
+		lls[s] = sc.scoreRows(lo, hi, p, workers[worker])
+	})
+	// Ascending-shard merge keeps the total bitwise identical for every
+	// worker count.
+	for _, ll := range lls {
+		p.LogLik += ll
+	}
+	return p, nil
+}
+
+// predictScorer holds the per-call scoring state: the view's column mirror
+// and one kernel per (class, term) for the blocked path, or nothing beyond
+// the classification for the reference path. Kernels are built fresh per
+// call (they alias the classification's terms read-only), so concurrent
+// predictions over one model never share mutable state.
+type predictScorer struct {
+	cls   *Classification
+	view  *dataset.View
+	mode  KernelMode
+	cols  *dataset.Columns
+	kerns [][]model.Kernel
+}
+
+// predictScratch is one worker's scratch: per-class log-probability block
+// vectors (blocked) or a single per-row log-membership vector (reference).
+type predictScratch struct {
+	lp   [][]float64
+	logp []float64
+}
+
+func newPredictScorer(cls *Classification, view *dataset.View, mode KernelMode) *predictScorer {
+	sc := &predictScorer{cls: cls, view: view, mode: mode}
+	if mode == Blocked {
+		sc.cols = view.Columns()
+		sc.kerns = make([][]model.Kernel, len(cls.Classes))
+		for cj, cl := range cls.Classes {
+			sc.kerns[cj] = make([]model.Kernel, len(cl.Terms))
+			for bi, t := range cl.Terms {
+				sc.kerns[cj][bi] = t.Kernel()
+			}
+		}
+	}
+	return sc
+}
+
+// prepare returns `workers` scratch instances.
+func (sc *predictScorer) prepare(workers int) []*predictScratch {
+	j := sc.cls.J()
+	out := make([]*predictScratch, workers)
+	for w := range out {
+		ps := &predictScratch{}
+		if sc.mode == Blocked {
+			ps.lp = make([][]float64, j)
+			for cj := range ps.lp {
+				ps.lp[cj] = make([]float64, KernelBlockRows)
+			}
+		} else {
+			ps.logp = make([]float64, j)
+		}
+		out[w] = ps
+	}
+	return out
+}
+
+// scoreRows scores rows [lo, hi) into p and returns their log-likelihood
+// contribution. Disjoint row ranges may run concurrently: every write goes
+// to a per-row slice of p or the local scratch.
+func (sc *predictScorer) scoreRows(lo, hi int, p *Prediction, ps *predictScratch) float64 {
+	if sc.mode == Blocked {
+		return sc.scoreRowsBlocked(lo, hi, p, ps)
+	}
+	return sc.scoreRowsReference(lo, hi, p, ps)
+}
+
+// scoreRowsReference is the per-row oracle: Term.LogProb through
+// LogMembership, then NormalizeLog — the exact code path of
+// Classification.Predict, row by row.
+func (sc *predictScorer) scoreRowsReference(lo, hi int, p *Prediction, ps *predictScratch) float64 {
+	j := p.J
+	ll := 0.0
+	for i := lo; i < hi; i++ {
+		sc.cls.LogMembership(sc.view.Row(i), ps.logp)
+		z := stats.NormalizeLog(ps.logp)
+		mem := p.Memberships[i*j : (i+1)*j]
+		copy(mem, ps.logp)
+		p.MAP[i] = argmax(mem)
+		if !math.IsInf(z, -1) {
+			ll += z
+		}
+	}
+	return ll
+}
+
+// scoreRowsBlocked is the blocked hot path: per KernelBlockRows block, every
+// class's log-membership vector is produced by the kernels (LogPi broadcast
+// plus one BlockLogProb per term), then normalization, the membership
+// write-back, the MAP argmax and the log-likelihood accumulation are fused
+// in a second pass — no interface call and no allocation per row. Blocks
+// never straddle shard boundaries (KernelBlockRows divides RowShardSize),
+// so the block grid — and therefore every float64 — is identical for every
+// Parallelism setting.
+func (sc *predictScorer) scoreRowsBlocked(lo, hi int, p *Prediction, ps *predictScratch) float64 {
+	j := p.J
+	ll := 0.0
+	for blo := lo; blo < hi; blo += KernelBlockRows {
+		bhi := blo + KernelBlockRows
+		if bhi > hi {
+			bhi = hi
+		}
+		m := bhi - blo
+		for cj, cl := range sc.cls.Classes {
+			lp := ps.lp[cj][:m]
+			logPi := cl.LogPi
+			for r := range lp {
+				lp[r] = logPi
+			}
+			for _, k := range sc.kerns[cj] {
+				k.BlockLogProb(sc.cols, blo, bhi, lp)
+			}
+		}
+		for r := 0; r < m; r++ {
+			maxv := math.Inf(-1)
+			for cj := 0; cj < j; cj++ {
+				if v := ps.lp[cj][r]; v > maxv {
+					maxv = v
+				}
+			}
+			mem := p.Memberships[(blo+r)*j : (blo+r+1)*j]
+			if math.IsInf(maxv, -1) {
+				u := 1 / float64(j)
+				for cj := range mem {
+					mem[cj] = u
+				}
+				p.MAP[blo+r] = 0
+				continue
+			}
+			sum := 0.0
+			for cj := 0; cj < j; cj++ {
+				ev := math.Exp(ps.lp[cj][r] - maxv)
+				mem[cj] = ev
+				sum += ev
+			}
+			inv := 1 / sum
+			for cj := range mem {
+				mem[cj] *= inv
+			}
+			p.MAP[blo+r] = argmax(mem)
+			ll += maxv + math.Log(sum)
+		}
+	}
+	return ll
+}
+
+// argmax returns the index of the first maximum of xs.
+func argmax(xs []float64) int {
+	best := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

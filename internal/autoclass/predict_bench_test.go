@@ -1,0 +1,44 @@
+package autoclass
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// BenchmarkPredict measures batch scoring of 10k held-out rows at J=8 —
+// the serving hot path — under the blocked kernels vs the per-row
+// reference oracle. The ISSUE-5 acceptance requires blocked ≥2×.
+func BenchmarkPredict(b *testing.B) {
+	fit := paperDS(b, 10000)
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 5
+	cfg.PruneClasses = false
+	cls := mustClassification(b, fit, 8)
+	eng := mustEngine(b, fit, cls, cfg)
+	if err := eng.InitRandom(1); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+	heldout, err := datagen.Paper(10000, 33)
+	if err != nil {
+		b.Fatal(err)
+	}
+	view := heldout.All()
+	view.Columns() // the lazy mirror is built once, outside the timer
+	// The kernels= variant naming pairs with cmd/benchkernels, which
+	// computes the blocked-vs-reference speedup for BENCH_predict.json.
+	for _, mode := range []KernelMode{Blocked, Reference} {
+		b.Run("kernels="+mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := PredictView(cls, view, PredictConfig{Kernels: mode}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

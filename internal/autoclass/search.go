@@ -9,6 +9,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // PaperStartJList is the start_j_list the paper's experiments use (§4).
@@ -162,6 +163,16 @@ func SearchWith(run TrialRunner, cfg SearchConfig) (*SearchResult, error) {
 // Search runs the sequential BIG_LOOP over a whole dataset, deriving priors
 // from its summary. charger may be nil.
 func Search(ds *dataset.Dataset, spec model.Spec, cfg SearchConfig, charger Charger) (*SearchResult, error) {
+	return SearchObserved(ds, spec, cfg, charger, nil, nil)
+}
+
+// SearchObserved is Search with per-try engine instrumentation: the phase
+// profile and cycle observer, when non-nil, are installed on every try's
+// engine — the same wiring the parallel path applies through
+// pautoclass.Options. Instrumentation never perturbs the trajectory: the
+// result is bitwise identical to Search's.
+func SearchObserved(ds *dataset.Dataset, spec model.Spec, cfg SearchConfig,
+	charger Charger, profile *trace.Profile, co CycleObserver) (*SearchResult, error) {
 	if ds.N() == 0 {
 		return nil, errors.New("autoclass: empty dataset")
 	}
@@ -174,6 +185,10 @@ func Search(ds *dataset.Dataset, spec model.Spec, cfg SearchConfig, charger Char
 		eng, err := NewEngine(ds.All(), cls, cfg.EM, nil, charger)
 		if err != nil {
 			return nil, EMResult{}, err
+		}
+		eng.SetProfile(profile)
+		if co != nil {
+			eng.SetCycleObserver(co)
 		}
 		if err := eng.InitRandom(seed); err != nil {
 			return nil, EMResult{}, err

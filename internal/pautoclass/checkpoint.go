@@ -36,7 +36,24 @@ type Checkpoint struct {
 	// Every takes a mid-try snapshot after that many cycles within a try
 	// (<= 0 checkpoints only at try boundaries).
 	Every int
+	// Interrupt, when non-nil, is polled at every cycle boundary (and
+	// between tries) for a cooperative stop request — the serving daemon's
+	// shutdown path. Because each rank polls its own copy and a stop must
+	// be group-consistent, the polled values are combined with an
+	// Allreduce(Max): the search stops as soon as ANY rank has seen the
+	// request, and every rank stops at the same cycle. On an agreed stop
+	// the search persists a resumable snapshot to Path and returns
+	// ErrInterrupted. Polling costs one extra collective per cycle; leave
+	// nil when cooperative shutdown is not needed.
+	Interrupt func() bool
 }
+
+// ErrInterrupted is returned by SearchCheckpointed when Checkpoint.Interrupt
+// requested a stop. The state file then holds a resumable snapshot: calling
+// SearchCheckpointed again with the same arguments continues the search
+// bitwise-identically. mpi.RunWith wraps rank errors with %w, so callers can
+// errors.Is through it.
+var ErrInterrupted = errors.New("pautoclass: search interrupted")
 
 // parSearchStateV1 is the serialized parallel search progress — the
 // sequential searchStateV1 plus an optional mid-try engine checkpoint.
@@ -127,6 +144,21 @@ func bcastBytes(comm *mpi.Comm, root int, b []byte) ([]byte, error) {
 		return nil, fmt.Errorf("pautoclass: rank %d checkpoint broadcast checksum mismatch", comm.Rank())
 	}
 	return out, nil
+}
+
+// agreeInterrupt combines the ranks' local interrupt polls into a
+// group-consistent stop decision. The Allreduce doubles as a barrier, so no
+// rank can race ahead into the next cycle while another decides to stop.
+func agreeInterrupt(comm *mpi.Comm, poll func() bool) (bool, error) {
+	v := 0.0
+	if poll() {
+		v = 1
+	}
+	agreed, err := comm.AllreduceFloat64(mpi.Max, v)
+	if err != nil {
+		return false, fmt.Errorf("pautoclass: interrupt agreement: %w", err)
+	}
+	return agreed > 0, nil
 }
 
 func leUint64(b [8]byte) uint64 {
@@ -245,6 +277,18 @@ func SearchCheckpointed(comm *mpi.Comm, ds *dataset.Dataset, spec model.Spec,
 				continue
 			}
 
+			// Try boundary: an agreed stop needs no snapshot — the state
+			// file already holds every completed try.
+			if ck.Interrupt != nil {
+				stop, err := agreeInterrupt(comm, ck.Interrupt)
+				if err != nil {
+					return nil, err
+				}
+				if stop {
+					return nil, ErrInterrupted
+				}
+			}
+
 			// Mid-try resume: the state file ended inside this try.
 			var cls *autoclass.Classification
 			var eng *autoclass.Engine
@@ -293,12 +337,23 @@ func SearchCheckpointed(comm *mpi.Comm, ds *dataset.Dataset, spec model.Spec,
 			if opts.Obs != nil {
 				eng.SetCycleObserver(opts.Obs)
 			}
-			if ck.Every > 0 {
+			if ck.Every > 0 || ck.Interrupt != nil {
 				ti, sj, tn, ts := tryIndex, startJ, try, trySeed
 				eng.SetCycleHook(func(cycle int, converged bool) error {
+					stop := false
+					if ck.Interrupt != nil {
+						s, err := agreeInterrupt(comm, ck.Interrupt)
+						if err != nil {
+							return err
+						}
+						stop = s
+					}
 					// The final cycle's state is persisted at the try
-					// boundary below; no mid-try snapshot needed.
-					if converged || (cycle+1)%ck.Every != 0 {
+					// boundary below; no mid-try snapshot needed. A stop
+					// request racing with convergence lets the try finish —
+					// the between-tries poll catches it.
+					snap := ck.Every > 0 && (cycle+1)%ck.Every == 0
+					if converged || (!snap && !stop) {
 						return nil
 					}
 					// Group-consistent snapshot: every rank proposes its
@@ -312,26 +367,31 @@ func SearchCheckpointed(comm *mpi.Comm, ds *dataset.Dataset, spec model.Spec,
 					if int(agreed) != cycle {
 						return fmt.Errorf("pautoclass: rank %d at cycle %d but group minimum is %v (SPMD divergence)", comm.Rank(), cycle, agreed)
 					}
-					if comm.Rank() != 0 {
-						return nil
+					if comm.Rank() == 0 {
+						st := eng.State()
+						sp := &autoclass.SearchPoint{
+							TryIndex:   ti,
+							StartJ:     sj,
+							Try:        tn,
+							TrySeed:    ts,
+							CycleInTry: cycle + 1,
+							BelowTol:   st.BelowTol,
+							LastPost:   st.LastPost,
+							SearchSeed: cfg.Seed,
+						}
+						var buf bytes.Buffer
+						if err := autoclass.SaveCheckpointSearch(&buf, cls, sp); err != nil {
+							return err
+						}
+						state.InTry = buf.Bytes()
+						if err := writeParState(ck.Path, state); err != nil {
+							return err
+						}
 					}
-					st := eng.State()
-					sp := &autoclass.SearchPoint{
-						TryIndex:   ti,
-						StartJ:     sj,
-						Try:        tn,
-						TrySeed:    ts,
-						CycleInTry: cycle + 1,
-						BelowTol:   st.BelowTol,
-						LastPost:   st.LastPost,
-						SearchSeed: cfg.Seed,
+					if stop {
+						return ErrInterrupted
 					}
-					var buf bytes.Buffer
-					if err := autoclass.SaveCheckpointSearch(&buf, cls, sp); err != nil {
-						return err
-					}
-					state.InTry = buf.Bytes()
-					return writeParState(ck.Path, state)
+					return nil
 				})
 			}
 			em, err := eng.RunFrom(startCycle)

@@ -2,9 +2,12 @@ package pautoclass
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -144,5 +147,141 @@ func TestKillAndResumeBitwiseIdentical(t *testing.T) {
 				t.Fatal(err)
 			}
 		})
+	}
+}
+
+// TestInterruptAndResumeBitwiseIdentical covers the cooperative stop path
+// the serving daemon uses: an in-flight search whose Checkpoint.Interrupt
+// flips mid-run must return ErrInterrupted on every rank after persisting a
+// resumable snapshot, and the resumed search must reproduce the
+// uninterrupted trajectory bit for bit. The interrupt is raised on a
+// non-zero rank only, so the test also proves the Allreduce(Max) agreement
+// propagates a stop seen by a single rank to the whole group.
+func TestInterruptAndResumeBitwiseIdentical(t *testing.T) {
+	const p = 3
+	ds := paperDS(t, 240)
+	cfg := quickSearchConfig()
+
+	ref := runParallelSearch(t, ds, p, cfg, DefaultOptions())
+	refBest := clsBytes(t, ref.Best)
+
+	path := filepath.Join(t.TempDir(), "search.ckpt")
+	var stopped atomic.Bool
+	err := mpi.Run(p, func(c *mpi.Comm) error {
+		cycles := 0
+		ck := Checkpoint{
+			Path: path,
+			Interrupt: func() bool {
+				// Only rank 1 ever requests the stop, a few cycles in.
+				if c.Rank() != 1 {
+					return false
+				}
+				cycles++
+				return cycles > 3
+			},
+		}
+		_, err := SearchCheckpointed(c, ds, model.DefaultSpec(ds), cfg, DefaultOptions(), ck)
+		if errors.Is(err, ErrInterrupted) {
+			stopped.Store(true)
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		return errors.New("search completed; interrupt was ignored")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stopped.Load() {
+		t.Fatal("no rank reported ErrInterrupted")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no snapshot was written at the interrupt: %v", err)
+	}
+
+	// Resume without an interrupt; the result must match the uninterrupted
+	// reference bitwise.
+	err = mpi.Run(p, func(c *mpi.Comm) error {
+		res, err := SearchCheckpointed(c, ds, model.DefaultSpec(ds), cfg, DefaultOptions(),
+			Checkpoint{Path: path})
+		if err != nil {
+			return err
+		}
+		if got := clsBytes(t, res.Best); !bytes.Equal(got, refBest) {
+			t.Errorf("rank %d: resumed best classification differs from uninterrupted run", c.Rank())
+		}
+		if !reflect.DeepEqual(res.Tries, ref.Tries) {
+			t.Errorf("rank %d: resumed tries diverged:\nref:    %+v\nresume: %+v", c.Rank(), ref.Tries, res.Tries)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInterruptBetweenTries: a stop requested while a try is completing is
+// honored at the try boundary — the state file holds the finished try and
+// resume continues with the next one, never re-running a completed try.
+func TestInterruptBetweenTries(t *testing.T) {
+	const p = 2
+	ds := paperDS(t, 240)
+	cfg := quickSearchConfig()
+
+	ref := runParallelSearch(t, ds, p, cfg, DefaultOptions())
+
+	path := filepath.Join(t.TempDir(), "search.ckpt")
+	err := mpi.Run(p, func(c *mpi.Comm) error {
+		// The interrupt is permanently on: the search must stop at the very
+		// first poll (the first try's first cycle boundary) having run at
+		// most one cycle — and with Every unset, the boundary poll is the
+		// only snapshot writer exercised.
+		ck := Checkpoint{Path: path, Interrupt: func() bool { return true }}
+		_, err := SearchCheckpointed(c, ds, model.DefaultSpec(ds), cfg, DefaultOptions(), ck)
+		if !errors.Is(err, ErrInterrupted) {
+			return fmt.Errorf("want ErrInterrupted, got %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Repeatedly resuming with a flaky interrupt that allows a bounded
+	// number of cycles per attempt must still converge to the reference
+	// result — the daemon's restart-until-done loop.
+	var final *autoclass.SearchResult
+	for attempt := 0; attempt < 100 && final == nil; attempt++ {
+		err := mpi.Run(p, func(c *mpi.Comm) error {
+			cycles := 0
+			ck := Checkpoint{Path: path, Interrupt: func() bool {
+				cycles++
+				return cycles > 5
+			}}
+			res, err := SearchCheckpointed(c, ds, model.DefaultSpec(ds), cfg, DefaultOptions(), ck)
+			if errors.Is(err, ErrInterrupted) {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				final = res
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if final == nil {
+		t.Fatal("search never completed across 100 interrupted attempts")
+	}
+	if !bytes.Equal(clsBytes(t, final.Best), clsBytes(t, ref.Best)) {
+		t.Error("interrupt-riddled search found a different best classification")
+	}
+	if !reflect.DeepEqual(final.Tries, ref.Tries) {
+		t.Errorf("interrupt-riddled search tries diverged:\nref:   %+v\ngot:   %+v", ref.Tries, final.Tries)
 	}
 }

@@ -1,0 +1,332 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/autoclass"
+	"repro/internal/dataset"
+	"repro/internal/obs"
+)
+
+// AttrSpec describes one dataset column on the wire.
+type AttrSpec struct {
+	Name string `json:"name"`
+	// Type is "real" or "discrete".
+	Type string `json:"type"`
+	// Levels names a discrete attribute's categories; empty for real.
+	Levels []string `json:"levels,omitempty"`
+}
+
+// SearchSpec overrides the paper-default search settings per job. Zero
+// fields keep the defaults.
+type SearchSpec struct {
+	StartJList []int   `json:"start_j_list,omitempty"`
+	Tries      int     `json:"tries,omitempty"`
+	Seed       *uint64 `json:"seed,omitempty"`
+	MaxCycles  int     `json:"max_cycles,omitempty"`
+	RelDelta   float64 `json:"rel_delta,omitempty"`
+	// Parallelism is the intra-rank worker count of each rank's engine
+	// (see autoclass.Config.Parallelism).
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// JobRequest is the POST /v1/jobs body: the training data inline (null
+// encodes a missing value — JSON has no NaN) plus optional search and
+// machine-shape overrides.
+type JobRequest struct {
+	Name  string       `json:"name"`
+	Attrs []AttrSpec   `json:"attrs"`
+	Rows  [][]*float64 `json:"rows"`
+	// Search overrides the default BIG_LOOP configuration.
+	Search *SearchSpec `json:"search,omitempty"`
+	// Procs overrides the server's default rank count for this job.
+	Procs int `json:"procs,omitempty"`
+}
+
+// JobStatus is the GET /v1/jobs/{id} body.
+type JobStatus struct {
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Error   string `json:"error,omitempty"`
+	ModelID string `json:"model_id,omitempty"`
+	// Fitted-model summary, present once done.
+	J         int     `json:"j,omitempty"`
+	Score     float64 `json:"score,omitempty"`
+	Cycles    int     `json:"cycles,omitempty"`
+	Converged bool    `json:"converged,omitempty"`
+	Created   time.Time `json:"created"`
+	Updated   time.Time `json:"updated"`
+}
+
+// PredictRequest is the POST /v1/models/{id}/predict body. Rows follow the
+// model's training schema; null encodes a missing value.
+type PredictRequest struct {
+	Rows [][]*float64 `json:"rows"`
+	// Parallelism shards the batch over that many goroutines (0 = one).
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// PredictResponse mirrors autoclass.Prediction.
+type PredictResponse struct {
+	N           int         `json:"n"`
+	J           int         `json:"j"`
+	MAP         []int       `json:"map"`
+	LogLik      float64     `json:"loglik"`
+	Memberships [][]float64 `json:"memberships"`
+}
+
+func (s *Server) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("POST /v1/models/{id}/predict", s.handlePredict)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/trace", s.handleTrace)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeBody(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if err := validateJob(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st, err := s.submit(req)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	writeBody(w, http.StatusAccepted, st)
+}
+
+// validateJob rejects requests the runner could only fail on, so bad input
+// surfaces synchronously instead of as a failed job.
+func validateJob(req *JobRequest) error {
+	if req.Name == "" {
+		req.Name = "job"
+	}
+	if len(req.Rows) == 0 {
+		return errors.New("no rows")
+	}
+	if req.Procs < 0 || req.Procs > maxProcs {
+		return fmt.Errorf("procs %d out of range [1,%d]", req.Procs, maxProcs)
+	}
+	if _, err := searchConfig(req.Search); err != nil {
+		return err
+	}
+	// Building the dataset validates the schema and every value (discrete
+	// levels in range, row lengths, at least one attribute).
+	_, err := buildDataset(req.Name, req.Attrs, req.Rows)
+	return err
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	list := make([]JobStatus, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		list = append(list, j.Status)
+	}
+	s.mu.Unlock()
+	sort.Slice(list, func(a, b int) bool {
+		na, _ := strconv.Atoi(list[a].ID)
+		nb, _ := strconv.Atoi(list[b].ID)
+		return na < nb
+	})
+	writeBody(w, http.StatusOK, map[string]any{"jobs": list})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.status(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeBody(w, http.StatusOK, st)
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	m, err := s.model(id)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	var req PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if len(req.Rows) == 0 {
+		httpError(w, http.StatusBadRequest, "no rows")
+		return
+	}
+	ds, err := buildDataset("predict", m.attrs, req.Rows)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p, err := autoclass.Predict(m.cls, ds, autoclass.PredictConfig{Parallelism: req.Parallelism})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.cPredicts.Add(1)
+	s.cPredictRows.Add(float64(p.N()))
+	resp := PredictResponse{
+		N:           p.N(),
+		J:           p.J,
+		MAP:         p.MAP,
+		LogLik:      p.LogLik,
+		Memberships: make([][]float64, p.N()),
+	}
+	for i := 0; i < p.N(); i++ {
+		resp.Memberships[i] = p.Membership(i)
+	}
+	writeBody(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	run := s.lastRun
+	s.mu.Unlock()
+	body := struct {
+		Server obs.Snapshot  `json:"server"`
+		Run    *obs.Snapshot `json:"run,omitempty"`
+	}{Server: s.reg.Snapshot()}
+	if run != nil {
+		// Counters aggregate through atomics, so snapshotting a live
+		// run's registry is safe.
+		snap := run.Aggregate().Snapshot()
+		body.Run = &snap
+	}
+	writeBody(w, http.StatusOK, body)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	run := s.lastRun
+	busy := s.running != ""
+	s.mu.Unlock()
+	if run == nil {
+		httpError(w, http.StatusNotFound, "no training run has executed yet")
+		return
+	}
+	if busy {
+		// The tracer's event tracks are append-only without locks; export
+		// only between runs.
+		httpError(w, http.StatusConflict, "a job is running; retry when it finishes")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	run.WriteChromeTrace(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := len(s.jobs)
+	running := s.running
+	s.mu.Unlock()
+	writeBody(w, http.StatusOK, map[string]any{"status": "ok", "jobs": n, "running": running})
+}
+
+// buildDataset materializes a wire-format table as an engine dataset. A nil
+// rows slice builds a schema-only dataset (model restore needs no rows).
+func buildDataset(name string, specs []AttrSpec, rows [][]*float64) (*dataset.Dataset, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("no attributes")
+	}
+	attrs := make([]dataset.Attribute, len(specs))
+	for k, a := range specs {
+		attr := dataset.Attribute{Name: a.Name, Levels: a.Levels}
+		switch a.Type {
+		case "real":
+			attr.Type = dataset.Real
+		case "discrete":
+			attr.Type = dataset.Discrete
+		default:
+			return nil, fmt.Errorf("attribute %d (%q): unknown type %q (want \"real\" or \"discrete\")", k, a.Name, a.Type)
+		}
+		attrs[k] = attr
+	}
+	ds, err := dataset.New(name, attrs)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]float64, len(attrs))
+	for i, row := range rows {
+		if len(row) != len(attrs) {
+			return nil, fmt.Errorf("row %d has %d values, schema has %d attributes", i, len(row), len(attrs))
+		}
+		for k, v := range row {
+			if v == nil {
+				buf[k] = dataset.Missing
+			} else {
+				buf[k] = *v
+			}
+		}
+		if err := ds.AppendRow(buf); err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+	}
+	return ds, nil
+}
+
+// searchConfig maps the wire overrides onto the paper-default search
+// configuration.
+func searchConfig(sp *SearchSpec) (autoclass.SearchConfig, error) {
+	cfg := autoclass.DefaultSearchConfig()
+	if sp == nil {
+		return cfg, nil
+	}
+	if len(sp.StartJList) > 0 {
+		cfg.StartJList = append([]int(nil), sp.StartJList...)
+	}
+	if sp.Tries > 0 {
+		cfg.Tries = sp.Tries
+	}
+	if sp.Seed != nil {
+		cfg.Seed = *sp.Seed
+	}
+	if sp.MaxCycles > 0 {
+		cfg.EM.MaxCycles = sp.MaxCycles
+	}
+	if sp.RelDelta > 0 {
+		cfg.EM.RelDelta = sp.RelDelta
+	}
+	if sp.Parallelism != 0 {
+		cfg.EM.Parallelism = sp.Parallelism
+	}
+	for _, j := range cfg.StartJList {
+		if j < 1 {
+			return cfg, fmt.Errorf("start_j_list entry %d < 1", j)
+		}
+	}
+	if sp.Tries < 0 || sp.MaxCycles < 0 || sp.RelDelta < 0 {
+		return cfg, errors.New("negative search setting")
+	}
+	return cfg, nil
+}

@@ -8,16 +8,39 @@
 // simulated-multicomputer mode that reports elapsed times under the
 // paper's Meiko CS-2 machine model.
 //
-// Quick start:
+// Quick start — fit, then score new data:
 //
 //	ds, _ := repro.LoadDataset("data.txt")
-//	res, _ := repro.Cluster(ds, repro.DefaultSearchConfig())
-//	fmt.Println(repro.BuildReport(res.Best, ds))
+//	res, _ := repro.Run(ds)
+//	fmt.Println(repro.BuildReport(res.Best(), ds))
 //
-// Parallel, on 8 in-process ranks:
+//	pred, _ := repro.Predict(res.Best(), newData, repro.PredictConfig{})
+//	fmt.Println(pred.MAP[0], pred.Membership(0), pred.LogLik)
 //
-//	res, stats, _ := repro.ClusterParallel(ds, repro.DefaultSearchConfig(),
-//	    repro.ParallelConfig{Procs: 8})
+// Run is the single entry point; options select everything else:
+//
+//	// P-AutoClass on 8 in-process ranks
+//	res, _ := repro.Run(ds, repro.WithParallel(repro.ParallelConfig{Procs: 8}))
+//	fmt.Println(res.Stats.WallSeconds)
+//
+//	// full-covariance Gaussians over the real attributes
+//	res, _ := repro.Run(ds, repro.WithCorrelated())
+//
+//	// the two-level search over model forms
+//	res, _ := repro.Run(ds, repro.WithModelSearch())
+//
+//	// resumable: re-running after an interruption continues bitwise
+//	res, _ := repro.Run(ds, repro.WithCheckpoint("search.ckpt", 8),
+//	    repro.WithParallel(repro.ParallelConfig{Procs: 4}))
+//
+//	// instrumented: metrics, Chrome trace, phase profile
+//	o := repro.NewRunObserver(1)
+//	res, _ := repro.Run(ds, repro.WithObserver(o))
+//
+// The legacy Cluster / ClusterCorrelated / ClusterModels / ClusterParallel
+// functions remain as deprecated wrappers over Run. A long-running serving
+// front-end (async training jobs + batch prediction over HTTP) ships as
+// cmd/pautoclassd.
 //
 // The heavy lifting lives in the internal packages (see DESIGN.md for the
 // system inventory); this package is the stable facade.
@@ -33,8 +56,6 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/dataset"
 	"repro/internal/eval"
-	"repro/internal/model"
-	"repro/internal/mpi"
 	"repro/internal/pautoclass"
 	"repro/internal/simnet"
 )
@@ -97,20 +118,26 @@ func PentiumPC() Machine { return simnet.PentiumPC() }
 
 // Cluster runs the sequential AutoClass search over the dataset with the
 // independent-attribute model.
+//
+// Deprecated: use Run(ds, WithSearchConfig(cfg)).
 func Cluster(ds *Dataset, cfg SearchConfig) (*SearchResult, error) {
-	if ds == nil {
-		return nil, errors.New("repro: nil dataset")
+	r, err := Run(ds, WithSearchConfig(cfg))
+	if err != nil {
+		return nil, err
 	}
-	return autoclass.Search(ds, model.DefaultSpec(ds), cfg, nil)
+	return r.Search, nil
 }
 
 // ClusterCorrelated is Cluster with all real attributes modeled jointly by
 // a full-covariance Gaussian per class (AutoClass multi_normal_cn).
+//
+// Deprecated: use Run(ds, WithSearchConfig(cfg), WithCorrelated()).
 func ClusterCorrelated(ds *Dataset, cfg SearchConfig) (*SearchResult, error) {
-	if ds == nil {
-		return nil, errors.New("repro: nil dataset")
+	r, err := Run(ds, WithSearchConfig(cfg), WithCorrelated())
+	if err != nil {
+		return nil, err
 	}
-	return autoclass.Search(ds, model.CorrelatedSpec(ds), cfg, nil)
+	return r.Search, nil
 }
 
 // Strategy selects the parallelization variant.
@@ -124,7 +151,7 @@ const (
 	WtsOnly = pautoclass.WtsOnly
 )
 
-// ParallelConfig configures ClusterParallel.
+// ParallelConfig configures WithParallel.
 type ParallelConfig struct {
 	// Procs is the number of ranks (goroutines connected by the message-
 	// passing substrate). Must be >= 1.
@@ -137,6 +164,12 @@ type ParallelConfig struct {
 	// UseTCP routes every message over loopback TCP sockets instead of
 	// in-process channels, exercising the distributed deployment path.
 	UseTCP bool
+	// OpDeadline bounds every transport operation; a stalled rank errors
+	// out instead of hanging the group (0 = no deadline).
+	OpDeadline time.Duration
+	// SendRetries is the maximum attempts per send when the transport
+	// reports a transient fault (<= 1 = no retry).
+	SendRetries int
 }
 
 // ParallelStats reports timing of a parallel run.
@@ -150,54 +183,14 @@ type ParallelStats struct {
 
 // ClusterParallel runs the P-AutoClass search across pc.Procs ranks and
 // returns rank 0's result (all ranks produce the identical classification).
+//
+// Deprecated: use Run(ds, WithSearchConfig(cfg), WithParallel(pc)).
 func ClusterParallel(ds *Dataset, cfg SearchConfig, pc ParallelConfig) (*SearchResult, *ParallelStats, error) {
-	if ds == nil {
-		return nil, nil, errors.New("repro: nil dataset")
-	}
-	if pc.Procs < 1 {
-		return nil, nil, fmt.Errorf("repro: %d procs", pc.Procs)
-	}
-	var res *SearchResult
-	stats := &ParallelStats{}
-	start := time.Now()
-	body := func(c *mpi.Comm) error {
-		opts := pautoclass.Options{EM: cfg.EM, Strategy: pc.Strategy}
-		if pc.Machine != nil {
-			clk, err := simnet.NewClock(*pc.Machine)
-			if err != nil {
-				return err
-			}
-			opts.Clock = clk
-		}
-		r, err := pautoclass.Search(c, ds, model.DefaultSpec(ds), cfg, opts)
-		if err != nil {
-			return err
-		}
-		if opts.Clock != nil {
-			if err := opts.Clock.SyncBarrier(c); err != nil {
-				return err
-			}
-		}
-		if c.Rank() == 0 {
-			res = r
-			if opts.Clock != nil {
-				stats.VirtualSeconds = opts.Clock.Elapsed()
-				stats.VirtualCommSeconds = opts.Clock.CommSeconds()
-			}
-		}
-		return nil
-	}
-	var err error
-	if pc.UseTCP {
-		err = mpi.RunTCP(pc.Procs, body)
-	} else {
-		err = mpi.Run(pc.Procs, body)
-	}
+	r, err := Run(ds, WithSearchConfig(cfg), WithParallel(pc))
 	if err != nil {
 		return nil, nil, err
 	}
-	stats.WallSeconds = time.Since(start).Seconds()
-	return res, stats, nil
+	return r.Search, &r.Stats, nil
 }
 
 // BuildReport renders the classification as an AutoClass-style report.
@@ -206,14 +199,22 @@ func BuildReport(cls *Classification, ds *Dataset) *Report {
 }
 
 // SaveCheckpoint and LoadCheckpoint persist classifications as JSON.
+//
+// Deprecated: use Checkpoint.SaveFile.
 func SaveCheckpoint(path string, cls *Classification) error {
-	return autoclass.SaveCheckpointFile(path, cls)
+	return (&Checkpoint{Classification: cls}).SaveFile(path)
 }
 
 // LoadCheckpoint restores a classification saved by SaveCheckpoint,
 // validating it against the dataset's schema.
+//
+// Deprecated: use Checkpoint.LoadFile.
 func LoadCheckpoint(path string, ds *Dataset) (*Classification, error) {
-	return autoclass.LoadCheckpointFile(path, ds)
+	var ck Checkpoint
+	if err := ck.LoadFile(path, ds); err != nil {
+		return nil, err
+	}
+	return ck.Classification, nil
 }
 
 // PaperDataset generates n tuples of the paper's synthetic evaluation
@@ -237,12 +238,14 @@ type ModelSearchResult = autoclass.ModelSearchResult
 // applicable model form (independent attributes; correlated reals when the
 // dataset has two or more; log-normal reals when all are positive), the
 // complete BIG_LOOP — keeping the best classification across forms.
+//
+// Deprecated: use Run(ds, WithSearchConfig(cfg), WithModelSearch()).
 func ClusterModels(ds *Dataset, cfg SearchConfig) (*ModelSearchResult, error) {
-	if ds == nil {
-		return nil, errors.New("repro: nil dataset")
+	r, err := Run(ds, WithSearchConfig(cfg), WithModelSearch())
+	if err != nil {
+		return nil, err
 	}
-	sum := ds.Summarize()
-	return autoclass.SearchModels(ds, autoclass.StandardSpecCandidates(ds, sum), cfg, nil)
+	return r.Models, nil
 }
 
 // CaseAssignment is one instance's class-membership record.

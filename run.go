@@ -1,0 +1,350 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/autoclass"
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/obs"
+	"repro/internal/pautoclass"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// Run is the unified clustering entry point: every facade capability —
+// sequential or parallel execution, model-spec selection, the two-level
+// model search, checkpoint/resume, and instrumentation — is selected
+// through functional options on one call.
+//
+//	res, err := repro.Run(ds)                                  // sequential, defaults
+//	res, err := repro.Run(ds, repro.WithSearchConfig(cfg),
+//	    repro.WithParallel(repro.ParallelConfig{Procs: 8}))    // P-AutoClass
+//	res, err := repro.Run(ds, repro.WithModelSearch())         // two-level search
+//
+// Option combinations mirror the engine's real capabilities; impossible
+// ones (e.g. WithModelSearch with WithParallel) are rejected with an error
+// rather than silently ignored. The result is bitwise identical to the
+// legacy entry point each combination replaces.
+func Run(ds *Dataset, opts ...Option) (*Result, error) {
+	if ds == nil {
+		return nil, errors.New("repro: nil dataset")
+	}
+	rc := runConfig{search: DefaultSearchConfig()}
+	for _, opt := range opts {
+		opt(&rc)
+	}
+	if err := rc.validate(); err != nil {
+		return nil, err
+	}
+	if rc.models {
+		return runModels(ds, rc)
+	}
+	if rc.par != nil {
+		return runParallel(ds, rc)
+	}
+	return runSequential(ds, rc)
+}
+
+// Result is Run's outcome. Search is set unless WithModelSearch was given,
+// in which case Models is. Stats carries timing (virtual fields only under
+// a simulated Machine).
+type Result struct {
+	Search *SearchResult
+	Models *ModelSearchResult
+	Stats  ParallelStats
+}
+
+// Best returns the winning classification of whichever search ran.
+func (r *Result) Best() *Classification {
+	switch {
+	case r == nil:
+		return nil
+	case r.Models != nil:
+		return r.Models.Best
+	case r.Search != nil:
+		return r.Search.Best
+	}
+	return nil
+}
+
+// Option configures Run.
+type Option func(*runConfig)
+
+type runConfig struct {
+	search     SearchConfig
+	correlated bool
+	models     bool
+	par        *ParallelConfig
+	observer   *RunObserver
+	profile    *Profile
+	ckptPath   string
+	ckptEvery  int
+}
+
+// WithSearchConfig replaces the default BIG_LOOP settings.
+func WithSearchConfig(cfg SearchConfig) Option {
+	return func(rc *runConfig) { rc.search = cfg }
+}
+
+// WithCorrelated models all real attributes jointly with a full-covariance
+// Gaussian per class (AutoClass multi_normal_cn) instead of the default
+// independent-attribute model.
+func WithCorrelated() Option {
+	return func(rc *runConfig) { rc.correlated = true }
+}
+
+// WithModelSearch runs AutoClass's full two-level search — every applicable
+// model form × the BIG_LOOP — and reports the best across forms in
+// Result.Models. Incompatible with WithCorrelated (the form ladder already
+// includes the correlated spec), WithParallel and WithCheckpoint.
+func WithModelSearch() Option {
+	return func(rc *runConfig) { rc.models = true }
+}
+
+// WithParallel runs the search as P-AutoClass across pc.Procs SPMD ranks.
+// The result is identical to the sequential search of the same
+// SearchConfig up to the paper's parallel priors formulation; all ranks
+// produce the same classification and rank 0's is returned.
+func WithParallel(pc ParallelConfig) Option {
+	return func(rc *runConfig) { rc.par = &pc }
+}
+
+// WithObserver installs a RunObserver: per-rank metrics and trace events
+// for every phase and collective, exportable as Chrome traces, JSONL
+// events, or metrics JSON. The observer must have been created for the
+// run's rank count — NewRunObserver(1) for a sequential run,
+// NewRunObserver(pc.Procs) for a parallel one. Observation never perturbs
+// the search trajectory.
+func WithObserver(o *RunObserver) Option {
+	return func(rc *runConfig) { rc.observer = o }
+}
+
+// WithProfile accumulates per-phase wall time (update_wts /
+// update_parameters / update_approximations) into p. In a parallel run
+// only rank 0 reports, keeping phase totals comparable to a sequential
+// run's.
+func WithProfile(p *Profile) Option {
+	return func(rc *runConfig) { rc.profile = p }
+}
+
+// WithCheckpoint makes the search resumable: progress persists to path and
+// a rerun with identical arguments continues where it stopped, producing
+// the bitwise-identical result to an uninterrupted run. every sets the
+// cycles between mid-try snapshots in a parallel run (<= 0 snapshots only
+// at try boundaries); the sequential path checkpoints at try boundaries
+// regardless.
+func WithCheckpoint(path string, every int) Option {
+	return func(rc *runConfig) { rc.ckptPath = path; rc.ckptEvery = every }
+}
+
+func (rc *runConfig) validate() error {
+	if rc.models {
+		switch {
+		case rc.correlated:
+			return errors.New("repro: WithModelSearch already searches the correlated form; drop WithCorrelated")
+		case rc.par != nil:
+			return errors.New("repro: WithModelSearch does not support WithParallel")
+		case rc.ckptPath != "":
+			return errors.New("repro: WithModelSearch does not support WithCheckpoint")
+		case rc.observer != nil || rc.profile != nil:
+			return errors.New("repro: WithModelSearch does not support WithObserver/WithProfile")
+		}
+	}
+	if rc.par != nil {
+		if rc.par.Procs < 1 {
+			return fmt.Errorf("repro: %d procs", rc.par.Procs)
+		}
+		if rc.correlated {
+			return errors.New("repro: WithCorrelated is not supported with WithParallel")
+		}
+		if rc.ckptPath != "" && rc.par.Strategy != Full {
+			return errors.New("repro: parallel WithCheckpoint requires the Full strategy")
+		}
+	}
+	if rc.observer != nil {
+		want := 1
+		if rc.par != nil {
+			want = rc.par.Procs
+		}
+		if rc.observer.Ranks() != want {
+			return fmt.Errorf("repro: observer built for %d ranks, run has %d", rc.observer.Ranks(), want)
+		}
+	}
+	if rc.ckptPath == "" && rc.ckptEvery != 0 {
+		return errors.New("repro: WithCheckpoint needs a non-empty path")
+	}
+	return nil
+}
+
+func runModels(ds *Dataset, rc runConfig) (*Result, error) {
+	start := time.Now()
+	sum := ds.Summarize()
+	ms, err := autoclass.SearchModels(ds, autoclass.StandardSpecCandidates(ds, sum), rc.search, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Models: ms, Stats: ParallelStats{WallSeconds: time.Since(start).Seconds()}}, nil
+}
+
+func runSequential(ds *Dataset, rc runConfig) (*Result, error) {
+	start := time.Now()
+	spec := model.DefaultSpec(ds)
+	if rc.correlated {
+		spec = model.CorrelatedSpec(ds)
+	}
+	var res *SearchResult
+	var err error
+	if rc.ckptPath != "" {
+		if rc.observer != nil || rc.profile != nil {
+			return nil, errors.New("repro: sequential WithCheckpoint does not support WithObserver/WithProfile")
+		}
+		res, err = autoclass.SearchWithCheckpointFile(ds, spec, rc.search, nil, rc.ckptPath)
+	} else {
+		var co autoclass.CycleObserver
+		if rc.observer != nil {
+			co = rc.observer.Rank(0)
+		}
+		res, err = autoclass.SearchObserved(ds, spec, rc.search, nil, rc.profile, co)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Search: res, Stats: ParallelStats{WallSeconds: time.Since(start).Seconds()}}, nil
+}
+
+func runParallel(ds *Dataset, rc runConfig) (*Result, error) {
+	pc := *rc.par
+	var res *SearchResult
+	stats := &ParallelStats{}
+	start := time.Now()
+	body := func(c *mpi.Comm) error {
+		opts := pautoclass.Options{EM: rc.search.EM, Strategy: pc.Strategy}
+		if pc.Machine != nil {
+			clk, err := simnet.NewClock(*pc.Machine)
+			if err != nil {
+				return err
+			}
+			opts.Clock = clk
+		}
+		// The observer-wiring bugfix: the legacy ClusterParallel dropped
+		// Obs/Profile on the floor unless callers reached into
+		// internal/pautoclass. pautoclass.Search's install() binds the
+		// observer to the communicator and the virtual clock.
+		if rc.observer != nil {
+			opts.Obs = rc.observer.Rank(c.Rank())
+			if pc.Machine != nil && c.Rank() == 0 {
+				rc.observer.SetMachineLabel(pc.Machine.Name)
+			}
+		}
+		if rc.profile != nil && c.Rank() == 0 {
+			opts.Profile = rc.profile
+		}
+		var r *SearchResult
+		var err error
+		if rc.ckptPath != "" {
+			r, err = pautoclass.SearchCheckpointed(c, ds, model.DefaultSpec(ds), rc.search, opts,
+				pautoclass.Checkpoint{Path: rc.ckptPath, Every: rc.ckptEvery})
+		} else {
+			r, err = pautoclass.Search(c, ds, model.DefaultSpec(ds), rc.search, opts)
+		}
+		if err != nil {
+			return err
+		}
+		if opts.Clock != nil {
+			if err := opts.Clock.SyncBarrier(c); err != nil {
+				return err
+			}
+		}
+		if c.Rank() == 0 {
+			res = r
+			if opts.Clock != nil {
+				stats.VirtualSeconds = opts.Clock.Elapsed()
+				stats.VirtualCommSeconds = opts.Clock.CommSeconds()
+			}
+		}
+		return nil
+	}
+	rcfg := mpi.RunConfig{OpDeadline: pc.OpDeadline}
+	if pc.SendRetries > 0 {
+		rcfg.Retry = mpi.RetryPolicy{MaxAttempts: pc.SendRetries}
+	}
+	var err error
+	if pc.UseTCP {
+		err = mpi.RunTCPWith(pc.Procs, rcfg, body)
+	} else {
+		err = mpi.RunWith(pc.Procs, rcfg, body)
+	}
+	if err != nil {
+		return nil, err
+	}
+	stats.WallSeconds = time.Since(start).Seconds()
+	return &Result{Search: res, Stats: *stats}, nil
+}
+
+// RunObserver collects per-rank metrics and trace events of a Run (see
+// internal/obs): counters for cycles, collectives and bytes, phase-level
+// trace spans, Chrome trace / JSONL / metrics JSON export, and the
+// comm-vs-compute Breakdown.
+type RunObserver = obs.Run
+
+// NewRunObserver creates an observer for a run with the given rank count
+// (1 for a sequential run).
+func NewRunObserver(procs int) *RunObserver { return obs.NewRun(procs) }
+
+// Profile accumulates named phase wall times (use with WithProfile).
+type Profile = trace.Profile
+
+// NewProfile returns an empty phase profile.
+func NewProfile() *Profile { return trace.New() }
+
+// Checkpoint is the versioned classification snapshot: Save/Load round-trip
+// a fitted classification and, for mid-search snapshots, its SearchPoint.
+type Checkpoint = autoclass.Checkpoint
+
+// KernelMode selects the E/M-step implementation (SearchConfig.EM.Kernels).
+type KernelMode = autoclass.KernelMode
+
+// Kernel modes.
+const (
+	// Blocked runs the columnar blocked kernels (the default, fastest).
+	Blocked = autoclass.Blocked
+	// Reference runs the per-row oracle the blocked kernels are verified
+	// against.
+	Reference = autoclass.Reference
+)
+
+// Granularity selects how update_parameters exchanges statistics
+// (SearchConfig.EM.Granularity).
+type Granularity = autoclass.Granularity
+
+// Granularities.
+const (
+	// PerTerm reduces once per (class, term) pair — the paper's baseline.
+	PerTerm = autoclass.PerTerm
+	// Packed reduces every class's statistics in one buffer — the paper's
+	// §3.2 optimization.
+	Packed = autoclass.Packed
+)
+
+// Prediction is the batch scoring result of Predict: per-case posterior
+// memberships (row-major N×J), MAP classes, and the total held-out
+// log-likelihood.
+type Prediction = autoclass.Prediction
+
+// PredictConfig tunes Predict (zero value: blocked kernels, one worker).
+type PredictConfig = autoclass.PredictConfig
+
+// Predict scores every row of ds under a fitted classification — the batch
+// inference path. It runs on the blocked kernels by default, shards rows
+// across PredictConfig.Parallelism workers, and is safe for concurrent
+// calls on one classification; results are bitwise identical for every
+// Parallelism value.
+func Predict(cls *Classification, ds *Dataset, cfg PredictConfig) (*Prediction, error) {
+	if cls == nil || ds == nil {
+		return nil, errors.New("repro: nil classification or dataset")
+	}
+	return autoclass.Predict(cls, ds, cfg)
+}

@@ -1,0 +1,61 @@
+#!/bin/sh
+# serve_smoke.sh [path-to-pautoclassd] — end-to-end daemon smoke test.
+#
+# Starts pautoclassd on a scratch state directory, submits a training job
+# over HTTP, polls it to completion, batch-scores the training rows
+# against the fitted model, checks /metrics and /debug/trace, and shuts
+# the daemon down. Needs curl and jq.
+set -eu
+
+BIN="${1:-/tmp/pautoclassd}"
+ADDR="127.0.0.1:${SMOKE_PORT:-8931}"
+DIR="$(mktemp -d)"
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+"$BIN" -addr "$ADDR" -dir "$DIR/state" -procs 2 -every 2 &
+PID=$!
+
+# Wait for the daemon to come up.
+for i in $(seq 1 100); do
+    if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+    [ "$i" = 100 ] && { echo "daemon never became healthy" >&2; exit 1; }
+    sleep 0.1
+done
+
+# Two well-separated clusters over two real attributes.
+jq -n '{
+  name: "smoke",
+  attrs: [{name: "x", type: "real"}, {name: "y", type: "real"}],
+  rows: ([range(200)] | map([(. % 7 + (if . % 2 == 0 then 50 else 0 end)), (. % 11)])),
+  search: {start_j_list: [2, 3], tries: 1, max_cycles: 20, parallelism: 1}
+}' > "$DIR/job.json"
+
+ID=$(curl -sf -X POST --data-binary @"$DIR/job.json" "http://$ADDR/v1/jobs" | jq -r .id)
+[ -n "$ID" ] && [ "$ID" != null ] || { echo "job submission failed" >&2; exit 1; }
+
+for i in $(seq 1 300); do
+    STATE=$(curl -sf "http://$ADDR/v1/jobs/$ID" | jq -r .state)
+    case "$STATE" in
+        done) break ;;
+        failed) curl -s "http://$ADDR/v1/jobs/$ID" >&2; exit 1 ;;
+    esac
+    [ "$i" = 300 ] && { echo "job stuck in $STATE" >&2; exit 1; }
+    sleep 0.1
+done
+curl -sf "http://$ADDR/v1/jobs/$ID" | jq -e '.j >= 2 and .model_id == .id' >/dev/null
+
+jq '{rows: .rows, parallelism: 2}' "$DIR/job.json" > "$DIR/predict.json"
+curl -sf -X POST --data-binary @"$DIR/predict.json" \
+    "http://$ADDR/v1/models/$ID/predict" \
+    | jq -e '.n == 200 and (.map | length) == 200 and (.memberships[0] | add) > 0.999' >/dev/null
+
+curl -sf "http://$ADDR/metrics" \
+    | jq -e '.server.counters["serve.jobs.done"] >= 1
+         and .server.counters["serve.predict.rows"] == 200
+         and .run.counters["engine.cycles"] >= 1' >/dev/null
+
+curl -sf "http://$ADDR/debug/trace" | jq -e '.traceEvents | length > 0' >/dev/null
+
+kill "$PID"
+wait "$PID" 2>/dev/null || true
+echo "serve smoke OK (job $ID)"
