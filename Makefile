@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-kernels bench-predict check trace-smoke faults api apicheck serve-smoke
+.PHONY: build test vet race bench bench-kernels bench-predict bench-search check trace-smoke faults api apicheck serve-smoke
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,14 @@ bench-predict:
 	$(GO) test -run '^$$' -bench 'BenchmarkPredict' -benchmem -count 1 \
 		./internal/autoclass \
 		| tee /dev/stderr | $(GO) run ./cmd/benchkernels -o BENCH_predict.json
+
+# Variant-parallel BIG_LOOP baseline: per-try costs measured once, the
+# scheduler's promise-order claim replayed on 1/2/4/8-worker pools for the
+# modeled makespan speedup (the headline — CI hosts are single-core), and
+# every worker count actually executed and checked bitwise against the
+# sequential oracle. Emitted as BENCH_search.json.
+bench-search:
+	$(GO) run ./cmd/benchsearch -o BENCH_search.json
 
 # api.txt is the committed exported surface of the facade package; `make
 # api` regenerates it after an intentional API change, `make apicheck`

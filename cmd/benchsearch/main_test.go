@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/autoclass"
+)
+
+func TestBenchSearchReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-n", "300", "-start-j", "2,4,6", "-tries", "2",
+		"-max-cycles", "10", "-workers", "1,2,6", "-o", out,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.N != 300 || rep.HostCores < 1 || rep.SequentialWallSeconds <= 0 {
+		t.Fatalf("bad header: %+v", rep)
+	}
+	if len(rep.TrySeconds) != 6 {
+		t.Fatalf("%d try costs for 6 variants", len(rep.TrySeconds))
+	}
+	for _, c := range rep.TrySeconds {
+		if c <= 0 {
+			t.Fatalf("non-positive try cost in %v", rep.TrySeconds)
+		}
+	}
+	if len(rep.Workers) != 3 {
+		t.Fatalf("%d worker entries", len(rep.Workers))
+	}
+	for _, wr := range rep.Workers {
+		if !wr.BitwiseIdentical {
+			t.Errorf("workers=%d diverged from the sequential oracle", wr.Workers)
+		}
+		if wr.ModeledMakespanSeconds <= 0 || wr.ModeledSpeedup <= 0 {
+			t.Errorf("workers=%d: empty model %+v", wr.Workers, wr)
+		}
+	}
+	if rep.Workers[0].Workers != 1 || rep.Workers[0].ModeledSpeedup != 1 {
+		t.Errorf("1-worker speedup must be exactly 1: %+v", rep.Workers[0])
+	}
+	// With 6 equal-ish tries on 6 workers, the modeled makespan is the
+	// longest single try — strictly better than 2 workers.
+	if rep.Workers[2].ModeledSpeedup <= rep.Workers[1].ModeledSpeedup {
+		t.Errorf("speedup not increasing with workers: %+v", rep.Workers)
+	}
+}
+
+func TestMakespanModel(t *testing.T) {
+	costs := []float64{4, 1, 1, 1, 1}
+	order := []int{0, 1, 2, 3, 4}
+	if got := makespan(costs, order, 1); got != 8 {
+		t.Errorf("1 worker: %v", got)
+	}
+	// Two workers: w0 takes the 4s try, w1 drains the four 1s tries.
+	if got := makespan(costs, order, 2); got != 4 {
+		t.Errorf("2 workers: %v", got)
+	}
+	if got := makespan(costs, order, 8); got != 4 {
+		t.Errorf("8 workers: %v", got)
+	}
+}
+
+func TestClaimOrderPromiseHeuristic(t *testing.T) {
+	cfg := autoclass.DefaultSearchConfig()
+	cfg.StartJList = []int{8, 2, 4}
+	cfg.Tries = 2
+	vars := cfg.Variants()
+	var claimed []struct{ j, try int }
+	for _, idx := range claimOrder(cfg) {
+		claimed = append(claimed, struct{ j, try int }{vars[idx].StartJ, vars[idx].Try})
+	}
+	want := []struct{ j, try int }{{2, 0}, {2, 1}, {4, 0}, {4, 1}, {8, 0}, {8, 1}}
+	for i := range want {
+		if claimed[i] != want[i] {
+			t.Fatalf("claim order %v, want %v", claimed, want)
+		}
+	}
+}

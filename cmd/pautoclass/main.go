@@ -41,6 +41,7 @@ func run(args []string, w io.Writer) error {
 	tries := fs.Int("tries", 2, "random restarts per start J")
 	maxCycles := fs.Int("max-cycles", 200, "base_cycle cap per try")
 	parallelism := fs.Int("parallelism", 0, "intra-rank worker goroutines per base_cycle (0 = sequential, -1 = GOMAXPROCS)")
+	searchParallelism := fs.Int("search-parallelism", 0, "concurrent BIG_LOOP variants (0/1 = one try at a time, -1 = GOMAXPROCS); with -procs P the rank budget splits into this many groups (P must be divisible); bitwise identical to the sequential order for every value")
 	seed := fs.Uint64("seed", 1, "search seed")
 	strategy := fs.String("strategy", "full", "parallel strategy: full or wtsonly")
 	granularity := fs.String("granularity", "perterm", "statistics exchange: perterm or packed")
@@ -76,6 +77,7 @@ func run(args []string, w io.Writer) error {
 	cfg.Tries = *tries
 	cfg.EM.MaxCycles = *maxCycles
 	cfg.EM.Parallelism = *parallelism
+	cfg.SearchParallelism = *searchParallelism
 	cfg.StartJList = nil
 	for _, tok := range strings.Split(*startJ, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(tok))

@@ -58,6 +58,41 @@ func TestCLIParallelWithMachineAndReport(t *testing.T) {
 	}
 }
 
+// TestCLISearchParallelism: -search-parallelism splits the rank budget into
+// variant groups and the printed summary stays identical to the plain run.
+func TestCLISearchParallelism(t *testing.T) {
+	path := writeDataset(t, 500)
+	base := []string{"-data", path, "-start-j", "2,5", "-tries", "1", "-max-cycles", "30"}
+	var ref bytes.Buffer
+	if err := run(append([]string{}, base...), &ref); err != nil {
+		t.Fatal(err)
+	}
+	var par bytes.Buffer
+	if err := run(append([]string{"-procs", "2", "-search-parallelism", "2"}, base...), &par); err != nil {
+		t.Fatal(err)
+	}
+	want := bestLine(t, ref.String())
+	if got := bestLine(t, par.String()); got != want {
+		t.Fatalf("variant-parallel best %q, sequential best %q", got, want)
+	}
+	// An indivisible split is refused with the facade's error.
+	err := run(append([]string{"-procs", "3", "-search-parallelism", "2"}, base...), &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "divisible") {
+		t.Fatalf("indivisible budget: %v", err)
+	}
+}
+
+func bestLine(t *testing.T, out string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "best classification") {
+			return line
+		}
+	}
+	t.Fatalf("no best-classification line in:\n%s", out)
+	return ""
+}
+
 func TestCLIWtsOnlyAndPacked(t *testing.T) {
 	path := writeDataset(t, 300)
 	for _, args := range [][]string{

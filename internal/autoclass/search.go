@@ -3,12 +3,9 @@ package autoclass
 import (
 	"errors"
 	"fmt"
-	"math"
 
 	"repro/internal/dataset"
 	"repro/internal/model"
-	"repro/internal/rng"
-	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -32,6 +29,20 @@ type SearchConfig struct {
 	// converged tries with the same final J are considered duplicate
 	// solutions.
 	DupScoreTol float64
+	// SearchParallelism runs independent tries as concurrent variants over
+	// the shared dataset: 0 and 1 (the default) keep the historical
+	// sequential BIG_LOOP, >1 uses that many variant workers, <0 uses
+	// runtime.GOMAXPROCS(0). Variants commit in deterministic schedule
+	// order, so the result is bitwise identical for every value — see
+	// searchsched.go.
+	SearchParallelism int
+	// BasinEarlyStop cuts variants whose trajectory has flattened inside
+	// an already-committed (finalJ, score) basin, recording them as
+	// early-stopped duplicates. The decision depends on commit timing, so
+	// this is the one knob excluded from the bitwise-identity guarantee;
+	// it only takes effect with SearchParallelism > 1 on the native engine
+	// paths (Search/SearchObserved and the resumable search).
+	BasinEarlyStop bool
 }
 
 // DefaultSearchConfig returns the paper-equivalent search settings.
@@ -78,6 +89,9 @@ type TryResult struct {
 	LogLik, LogPost, Score float64
 	// Duplicate marks tries discarded by duplicate elimination.
 	Duplicate bool
+	// EarlyStopped marks tries cut by basin early termination
+	// (SearchConfig.BasinEarlyStop); such tries are always also Duplicate.
+	EarlyStopped bool
 }
 
 // SearchResult is the outcome of a BIG_LOOP search.
@@ -101,58 +115,22 @@ type SearchResult struct {
 // same decisions).
 type TrialRunner func(startJ int, seed uint64) (*Classification, EMResult, error)
 
-// SearchWith drives the BIG_LOOP over an arbitrary TrialRunner.
+// SearchWith drives the BIG_LOOP over an arbitrary TrialRunner. With
+// SearchParallelism > 1 the runner is invoked from several goroutines at
+// once and must be safe for concurrent use; each try's outcome must depend
+// only on its (startJ, seed) arguments for the deterministic-commit
+// guarantee to hold. The duplicate scan, totals fold and best tracking run
+// in schedule order inside the scheduler, so the result is bitwise
+// identical to the sequential BIG_LOOP at any worker count.
 func SearchWith(run TrialRunner, cfg SearchConfig) (*SearchResult, error) {
-	if err := cfg.validate(); err != nil {
+	workers := cfg.SearchWorkers()
+	sched, err := NewSearchScheduler(cfg, workers)
+	if err != nil {
 		return nil, err
 	}
-	seeds := rng.New(cfg.Seed)
-	res := &SearchResult{}
-	bestScore := math.Inf(-1)
-	for _, startJ := range cfg.StartJList {
-		for try := 0; try < cfg.Tries; try++ {
-			trySeed := seeds.Uint64()
-			cls, em, err := run(startJ, trySeed)
-			if err != nil {
-				return nil, fmt.Errorf("autoclass: try J=%d #%d: %w", startJ, try, err)
-			}
-			tr := TryResult{
-				StartJ:    startJ,
-				FinalJ:    cls.J(),
-				Try:       try,
-				Seed:      trySeed,
-				Cycles:    em.Cycles,
-				Converged: em.Converged,
-				LogLik:    cls.LogLik,
-				LogPost:   cls.LogPost,
-				Score:     cls.Score(),
-			}
-			res.Totals.Cycles += em.Cycles
-			res.Totals.WtsSeconds += em.WtsSeconds
-			res.Totals.ParamsSeconds += em.ParamsSeconds
-			res.Totals.ApproxSeconds += em.ApproxSeconds
-			res.Totals.InitSeconds += em.InitSeconds
-			res.Totals.ReducedValues += em.ReducedValues
-			res.Totals.Reductions += em.Reductions
-			// Duplicate elimination (paper Fig. 2): a converged try that
-			// lands on an already-seen (final J, score) point is the same
-			// local optimum rediscovered.
-			for _, prev := range res.Tries {
-				if prev.Duplicate || prev.FinalJ != tr.FinalJ {
-					continue
-				}
-				if stats.RelDiff(prev.Score, tr.Score) < cfg.DupScoreTol {
-					tr.Duplicate = true
-					break
-				}
-			}
-			res.Tries = append(res.Tries, tr)
-			if !tr.Duplicate && tr.Score > bestScore {
-				bestScore = tr.Score
-				res.Best = cls
-				res.BestTry = tr
-			}
-		}
+	res, err := sched.run(func(int) TrialRunner { return run }, workers)
+	if err != nil {
+		return nil, err
 	}
 	if res.Best == nil {
 		return nil, errors.New("autoclass: search produced no classification")
@@ -176,28 +154,85 @@ func SearchObserved(ds *dataset.Dataset, spec model.Spec, cfg SearchConfig,
 	if ds.N() == 0 {
 		return nil, errors.New("autoclass: empty dataset")
 	}
-	pr := model.NewPriors(ds, ds.Summarize())
-	runner := func(startJ int, seed uint64) (*Classification, EMResult, error) {
-		cls, err := NewClassification(ds, spec, pr, startJ)
-		if err != nil {
-			return nil, EMResult{}, err
-		}
-		eng, err := NewEngine(ds.All(), cls, cfg.EM, nil, charger)
-		if err != nil {
-			return nil, EMResult{}, err
-		}
-		eng.SetProfile(profile)
-		if co != nil {
-			eng.SetCycleObserver(co)
-		}
-		if err := eng.InitRandom(seed); err != nil {
-			return nil, EMResult{}, err
-		}
-		em, err := eng.Run()
-		if err != nil {
-			return nil, EMResult{}, err
-		}
-		return cls, em, nil
+	workers := searchWorkersFor(cfg, charger)
+	sched, err := NewSearchScheduler(cfg, workers)
+	if err != nil {
+		return nil, err
 	}
-	return SearchWith(runner, cfg)
+	pr := model.NewPriors(ds, ds.Summarize())
+	makeRunner := nativeRunnerFactory(ds, spec, pr, cfg, charger, profile, co, sched, workers)
+	res, err := sched.run(makeRunner, workers)
+	if err != nil {
+		return nil, err
+	}
+	if res.Best == nil {
+		return nil, errors.New("autoclass: search produced no classification")
+	}
+	return res, nil
+}
+
+// searchWorkersFor resolves the variant worker count for the native engine
+// paths. A charger (the simulated-network clock) is not safe for
+// concurrent use, so charged runs stay sequential regardless of
+// SearchParallelism.
+func searchWorkersFor(cfg SearchConfig, charger Charger) int {
+	if charger != nil {
+		return 1
+	}
+	return cfg.SearchWorkers()
+}
+
+// nativeRunnerFactory builds the per-slot TrialRunner of the sequential
+// engine paths (Search, SearchObserved and the resumable search). With
+// several workers the variants share one dataset view — and through it one
+// columnar mirror — and a shared cycle observer is serialized behind a
+// lock. Passing a nil scheduler disables basin early termination (used
+// when regenerating a lost best, which must never be cut short).
+func nativeRunnerFactory(ds *dataset.Dataset, spec model.Spec, pr *model.Priors, cfg SearchConfig,
+	charger Charger, profile *trace.Profile, co CycleObserver,
+	sched *SearchScheduler, workers int) func(slot int) TrialRunner {
+	if workers > 1 && co != nil {
+		co = &lockedCycleObserver{o: co}
+	}
+	var sharedView *dataset.View
+	if workers > 1 {
+		sharedView = ds.All()
+	}
+	return func(slot int) TrialRunner {
+		return func(startJ int, seed uint64) (*Classification, EMResult, error) {
+			view := sharedView
+			if view == nil {
+				view = ds.All()
+			}
+			cls, err := NewClassification(ds, spec, pr, startJ)
+			if err != nil {
+				return nil, EMResult{}, err
+			}
+			eng, err := NewEngine(view, cls, cfg.EM, nil, charger)
+			if err != nil {
+				return nil, EMResult{}, err
+			}
+			eng.SetProfile(profile)
+			if co != nil {
+				eng.SetCycleObserver(co)
+			}
+			if cfg.BasinEarlyStop && workers > 1 && sched != nil {
+				installBasinStop(eng, cls, sched, cfg.EM)
+			}
+			if err := eng.InitRandom(seed); err != nil {
+				return nil, EMResult{}, err
+			}
+			em, err := eng.Run()
+			if err != nil {
+				if errors.Is(err, errBasinStop) {
+					// Keep the partial classification and stats: the
+					// scheduler commits the try as an early-stopped
+					// duplicate.
+					return cls, em, err
+				}
+				return nil, EMResult{}, err
+			}
+			return cls, em, nil
+		}
+	}
 }

@@ -6,28 +6,96 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/dataset"
 	"repro/internal/model"
-	"repro/internal/rng"
-	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // AutoClass C checkpoints its search so that multi-day classification runs
 // survive interruption (the paper's motivating runs took 130–400 hours).
 // This file provides the BIG_LOOP-level equivalent: the search driver
-// persists each completed try and the best classification so far; an
+// persists each committed try and the best classification so far; an
 // interrupted search re-launched with the same configuration skips the
 // completed tries — the try seeds are derived deterministically, so the
-// resumed search is indistinguishable from an uninterrupted one.
+// resumed search is indistinguishable from an uninterrupted one. Tries
+// commit (and therefore persist) in schedule order even under variant
+// parallelism, so the state file is always a consistent prefix of the
+// sequential schedule.
+
+// SearchFingerprint pins every configuration knob that shapes a search
+// trajectory. Resuming a state file recorded under a different fingerprint
+// would silently mix tries from two incompatible searches, so both the
+// sequential and the parallel (pautoclass) resume paths embed it in their
+// state files and refuse mismatches. Worker counts (SearchParallelism,
+// EM.Parallelism) are deliberately excluded: both are bitwise-invariant
+// (see parallel.go and searchsched.go), so a search may be resumed under a
+// different degree of parallelism.
+type SearchFingerprint struct {
+	DupScoreTol    float64     `json:"dup_score_tol"`
+	MaxCycles      int         `json:"max_cycles"`
+	RelDelta       float64     `json:"rel_delta"`
+	ConvergeWindow int         `json:"converge_window"`
+	MinClassWeight float64     `json:"min_class_weight"`
+	PruneClasses   bool        `json:"prune_classes"`
+	Granularity    Granularity `json:"granularity"`
+	Kernels        KernelMode  `json:"kernels"`
+}
+
+// Fingerprint extracts the trajectory-shaping knobs of a configuration.
+func (c SearchConfig) Fingerprint() SearchFingerprint {
+	return SearchFingerprint{
+		DupScoreTol:    c.DupScoreTol,
+		MaxCycles:      c.EM.MaxCycles,
+		RelDelta:       c.EM.RelDelta,
+		ConvergeWindow: c.EM.ConvergeWindow,
+		MinClassWeight: c.EM.MinClassWeight,
+		PruneClasses:   c.EM.PruneClasses,
+		Granularity:    c.EM.Granularity,
+		Kernels:        c.EM.Kernels,
+	}
+}
+
+// Diff describes every field on which the two fingerprints disagree, for
+// mismatch errors that name the offending knob.
+func (f SearchFingerprint) Diff(g SearchFingerprint) []string {
+	var d []string
+	if f.DupScoreTol != g.DupScoreTol {
+		d = append(d, fmt.Sprintf("DupScoreTol %v vs %v", f.DupScoreTol, g.DupScoreTol))
+	}
+	if f.MaxCycles != g.MaxCycles {
+		d = append(d, fmt.Sprintf("MaxCycles %d vs %d", f.MaxCycles, g.MaxCycles))
+	}
+	if f.RelDelta != g.RelDelta {
+		d = append(d, fmt.Sprintf("RelDelta %v vs %v", f.RelDelta, g.RelDelta))
+	}
+	if f.ConvergeWindow != g.ConvergeWindow {
+		d = append(d, fmt.Sprintf("ConvergeWindow %d vs %d", f.ConvergeWindow, g.ConvergeWindow))
+	}
+	if f.MinClassWeight != g.MinClassWeight {
+		d = append(d, fmt.Sprintf("MinClassWeight %v vs %v", f.MinClassWeight, g.MinClassWeight))
+	}
+	if f.PruneClasses != g.PruneClasses {
+		d = append(d, fmt.Sprintf("PruneClasses %v vs %v", f.PruneClasses, g.PruneClasses))
+	}
+	if f.Granularity != g.Granularity {
+		d = append(d, fmt.Sprintf("Granularity %v vs %v", f.Granularity, g.Granularity))
+	}
+	if f.Kernels != g.Kernels {
+		d = append(d, fmt.Sprintf("Kernels %d vs %d", int(f.Kernels), int(g.Kernels)))
+	}
+	return d
+}
 
 // searchStateV1 is the serialized search progress.
 type searchStateV1 struct {
 	Version int `json:"version"`
 	// Config fingerprint — a resume against a different search is refused.
-	StartJList []int  `json:"start_j_list"`
-	Tries      int    `json:"tries"`
-	Seed       uint64 `json:"seed"`
+	StartJList  []int             `json:"start_j_list"`
+	Tries       int               `json:"tries"`
+	Seed        uint64            `json:"seed"`
+	Fingerprint SearchFingerprint `json:"fingerprint"`
 	// Completed tries in execution order.
 	Completed []TryResult `json:"completed"`
 	// Best is the best-so-far classification checkpoint (the JSON produced
@@ -39,40 +107,89 @@ type searchStateV1 struct {
 	Totals EMResult `json:"totals"`
 }
 
-func (st *searchStateV1) matches(cfg SearchConfig) bool {
-	if st.Tries != cfg.Tries || st.Seed != cfg.Seed || len(st.StartJList) != len(cfg.StartJList) {
-		return false
+// matches reports (as a descriptive error) any disagreement between the
+// recorded search identity and the configuration attempting to resume it.
+func (st *searchStateV1) matches(cfg SearchConfig) error {
+	if st.Tries != cfg.Tries {
+		return fmt.Errorf("Tries %d vs %d", st.Tries, cfg.Tries)
+	}
+	if st.Seed != cfg.Seed {
+		return fmt.Errorf("Seed %d vs %d", st.Seed, cfg.Seed)
+	}
+	if len(st.StartJList) != len(cfg.StartJList) {
+		return fmt.Errorf("StartJList %v vs %v", st.StartJList, cfg.StartJList)
 	}
 	for i, j := range st.StartJList {
 		if cfg.StartJList[i] != j {
-			return false
+			return fmt.Errorf("StartJList %v vs %v", st.StartJList, cfg.StartJList)
 		}
 	}
-	return true
+	if d := st.Fingerprint.Diff(cfg.Fingerprint()); len(d) > 0 {
+		return errors.New(strings.Join(d, "; "))
+	}
+	return nil
 }
 
-// SearchWithCheckpointFile runs the sequential BIG_LOOP, persisting its
-// progress to statePath after every completed try. If statePath already
-// holds the progress of an identical search configuration, the completed
-// tries are skipped and the search continues where it stopped. The state
-// file is left in place on success so a finished search re-launched again
-// returns immediately.
+// SearchWithCheckpointFile runs the BIG_LOOP, persisting its progress to
+// statePath after every committed try. If statePath already holds the
+// progress of an identical search configuration, the completed tries are
+// skipped and the search continues where it stopped. The state file is
+// left in place on success so a finished search re-launched again returns
+// immediately.
 func SearchWithCheckpointFile(ds *dataset.Dataset, spec model.Spec, cfg SearchConfig,
 	charger Charger, statePath string) (*SearchResult, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
+	return SearchWithCheckpointFileObserved(ds, spec, cfg, charger, statePath, nil, nil)
+}
+
+// SearchWithCheckpointFileObserved is SearchWithCheckpointFile with the
+// same per-try engine instrumentation SearchObserved wires: the phase
+// profile and cycle observer, when non-nil, are installed on every try's
+// engine. Instrumentation never perturbs the trajectory.
+func SearchWithCheckpointFileObserved(ds *dataset.Dataset, spec model.Spec, cfg SearchConfig,
+	charger Charger, statePath string, profile *trace.Profile, co CycleObserver) (*SearchResult, error) {
 	if ds.N() == 0 {
 		return nil, errors.New("autoclass: empty dataset")
 	}
+	pr := model.NewPriors(ds, ds.Summarize())
+	workers := searchWorkersFor(cfg, charger)
+	return searchWithStateFile(cfg, workers, statePath,
+		func(sched *SearchScheduler) func(slot int) TrialRunner {
+			return nativeRunnerFactory(ds, spec, pr, cfg, charger, profile, co, sched, workers)
+		},
+		func(raw []byte) (*Classification, error) {
+			return LoadCheckpoint(bytes.NewReader(raw), ds)
+		},
+		func(cls *Classification) ([]byte, error) {
+			var buf bytes.Buffer
+			if err := SaveCheckpoint(&buf, cls); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		})
+}
+
+// searchWithStateFile is the resumable search core, parameterized over the
+// runner factory and the best-classification codec so tests can exercise
+// the resume bookkeeping with synthetic trial runners. makeRunner receives
+// the scheduler (nil when building the regeneration runner, which must
+// never be cut by basin early termination).
+func searchWithStateFile(cfg SearchConfig, workers int, statePath string,
+	makeRunner func(sched *SearchScheduler) func(slot int) TrialRunner,
+	loadBest func([]byte) (*Classification, error),
+	saveBest func(*Classification) ([]byte, error)) (*SearchResult, error) {
 	if statePath == "" {
 		return nil, errors.New("autoclass: empty state path")
 	}
+	sched, err := NewSearchScheduler(cfg, workers)
+	if err != nil {
+		return nil, err
+	}
 	state := &searchStateV1{
-		Version:    1,
-		StartJList: append([]int(nil), cfg.StartJList...),
-		Tries:      cfg.Tries,
-		Seed:       cfg.Seed,
+		Version:     1,
+		StartJList:  append([]int(nil), cfg.StartJList...),
+		Tries:       cfg.Tries,
+		Seed:        cfg.Seed,
+		Fingerprint: cfg.Fingerprint(),
 	}
 	if raw, err := os.ReadFile(statePath); err == nil {
 		var prev searchStateV1
@@ -82,93 +199,53 @@ func SearchWithCheckpointFile(ds *dataset.Dataset, spec model.Spec, cfg SearchCo
 		if prev.Version != 1 {
 			return nil, fmt.Errorf("autoclass: unsupported search state version %d", prev.Version)
 		}
-		if !prev.matches(cfg) {
-			return nil, fmt.Errorf("autoclass: state file %s belongs to a different search configuration", statePath)
+		if err := prev.matches(cfg); err != nil {
+			return nil, fmt.Errorf("autoclass: state file %s belongs to a different search configuration (%w)", statePath, err)
 		}
 		state = &prev
 	} else if !os.IsNotExist(err) {
 		return nil, err
 	}
 
-	pr := model.NewPriors(ds, ds.Summarize())
-	res := &SearchResult{
-		Tries:  append([]TryResult(nil), state.Completed...),
-		Totals: state.Totals,
-	}
-	// Restore the best-so-far classification.
+	// Restore the best-so-far classification and hand the completed prefix
+	// to the scheduler, which verifies every recorded seed against the
+	// derived chain.
+	var best *Classification
 	if len(state.Best) > 0 {
-		best, err := LoadCheckpoint(bytes.NewReader(state.Best), ds)
+		best, err = loadBest(state.Best)
 		if err != nil {
 			return nil, fmt.Errorf("autoclass: restoring best classification: %w", err)
 		}
-		res.Best = best
-		res.BestTry = state.BestTry
+	}
+	if err := sched.restore(state.Completed, best, state.BestTry, state.Totals); err != nil {
+		return nil, err
 	}
 
-	// Deterministic seed chain, identical to SearchWith's.
-	seeds := rng.New(cfg.Seed)
-	tryIndex := 0
-	for _, startJ := range cfg.StartJList {
-		for try := 0; try < cfg.Tries; try++ {
-			trySeed := seeds.Uint64()
-			if tryIndex < len(state.Completed) {
-				tryIndex++ // already done in a previous run
-				continue
-			}
-			tryIndex++
-			cls, err := NewClassification(ds, spec, pr, startJ)
+	// Persist progress after every in-order commit. The best classification
+	// is re-serialized only when it changes.
+	lastSavedBest := best
+	bestRaw := []byte(state.Best)
+	sched.onCommit = func(res *SearchResult) error {
+		state.Completed = res.Tries
+		state.Totals = res.Totals
+		state.BestTry = res.BestTry
+		if res.Best != nil && res.Best != lastSavedBest {
+			raw, err := saveBest(res.Best)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			eng, err := NewEngine(ds.All(), cls, cfg.EM, nil, charger)
-			if err != nil {
-				return nil, err
-			}
-			if err := eng.InitRandom(trySeed); err != nil {
-				return nil, err
-			}
-			em, err := eng.Run()
-			if err != nil {
-				return nil, err
-			}
-			tr := TryResult{
-				StartJ: startJ, FinalJ: cls.J(), Try: try, Seed: trySeed,
-				Cycles: em.Cycles, Converged: em.Converged,
-				LogLik: cls.LogLik, LogPost: cls.LogPost, Score: cls.Score(),
-			}
-			res.Totals.Cycles += em.Cycles
-			res.Totals.WtsSeconds += em.WtsSeconds
-			res.Totals.ParamsSeconds += em.ParamsSeconds
-			res.Totals.ApproxSeconds += em.ApproxSeconds
-			res.Totals.InitSeconds += em.InitSeconds
-			for _, prev := range res.Tries {
-				if !prev.Duplicate && prev.FinalJ == tr.FinalJ &&
-					stats.RelDiff(prev.Score, tr.Score) < cfg.DupScoreTol {
-					tr.Duplicate = true
-					break
-				}
-			}
-			res.Tries = append(res.Tries, tr)
-			if !tr.Duplicate && (res.Best == nil || tr.Score > res.BestTry.Score) {
-				res.Best = cls
-				res.BestTry = tr
-			}
-			// Persist progress after every try.
-			state.Completed = res.Tries
-			state.Totals = res.Totals
-			state.BestTry = res.BestTry
-			if res.Best != nil {
-				var buf bytes.Buffer
-				if err := SaveCheckpoint(&buf, res.Best); err != nil {
-					return nil, err
-				}
-				state.Best = buf.Bytes()
-			}
-			if err := writeSearchState(statePath, state); err != nil {
-				return nil, err
-			}
+			bestRaw = raw
+			lastSavedBest = res.Best
 		}
+		state.Best = bestRaw
+		return writeSearchState(statePath, state)
 	}
+
+	res, err := sched.run(makeRunner(sched), workers)
+	if err != nil {
+		return nil, err
+	}
+
 	// Robustness: if the restored state recorded a better try than anything
 	// we hold a classification for (e.g. the embedded best was lost to a
 	// partial write), regenerate it — the try seed makes that exact.
@@ -184,28 +261,19 @@ func SearchWithCheckpointFile(ds *dataset.Dataset, spec model.Spec, cfg SearchCo
 		}
 	}
 	if haveRecorded && (res.Best == nil || bestRecorded.Score > res.BestTry.Score) {
-		cls, err := NewClassification(ds, spec, pr, bestRecorded.StartJ)
+		regen := makeRunner(nil)(0)
+		cls, _, err := regen(bestRecorded.StartJ, bestRecorded.Seed)
 		if err != nil {
-			return nil, err
-		}
-		eng, err := NewEngine(ds.All(), cls, cfg.EM, nil, charger)
-		if err != nil {
-			return nil, err
-		}
-		if err := eng.InitRandom(bestRecorded.Seed); err != nil {
-			return nil, err
-		}
-		if _, err := eng.Run(); err != nil {
 			return nil, err
 		}
 		res.Best = cls
 		res.BestTry = bestRecorded
 		state.BestTry = bestRecorded
-		var buf bytes.Buffer
-		if err := SaveCheckpoint(&buf, cls); err != nil {
+		raw, err := saveBest(cls)
+		if err != nil {
 			return nil, err
 		}
-		state.Best = buf.Bytes()
+		state.Best = raw
 		if err := writeSearchState(statePath, state); err != nil {
 			return nil, err
 		}

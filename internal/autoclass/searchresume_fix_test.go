@@ -1,0 +1,265 @@
+package autoclass
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// Regression tests for the ISSUE 6 resume-path fixes: totals accumulation,
+// seed-drift detection, fingerprint coverage and instrumentation wiring.
+
+// fakeStateSearch drives searchWithStateFile over the deterministic
+// synthetic runner, with the real checkpoint codec for the best
+// classification.
+func fakeStateSearch(tb testing.TB, cfg SearchConfig, statePath string, run TrialRunner) (*SearchResult, error) {
+	ds := paperDS(tb, 60)
+	return searchWithStateFile(cfg, cfg.SearchWorkers(), statePath,
+		func(*SearchScheduler) func(int) TrialRunner {
+			return func(int) TrialRunner { return run }
+		},
+		func(raw []byte) (*Classification, error) {
+			return LoadCheckpoint(bytes.NewReader(raw), ds)
+		},
+		func(cls *Classification) ([]byte, error) {
+			var buf bytes.Buffer
+			if err := SaveCheckpoint(&buf, cls); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		})
+}
+
+// TestResumedTotalsMatchUninterrupted (satellite 1): a search interrupted
+// mid-way and resumed must report the same Totals — including the
+// ReducedValues/Reductions the pre-fix resume path dropped — field by
+// field. The synthetic runner makes every field deterministic.
+func TestResumedTotalsMatchUninterrupted(t *testing.T) {
+	cfg := resumeCfg()
+	run := fakeRunner(t)
+	full, err := fakeStateSearch(t, cfg, filepath.Join(t.TempDir(), "full.json"), run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Totals.ReducedValues == 0 || full.Totals.Reductions == 0 {
+		t.Fatal("synthetic runner reported no reducer traffic; the test is vacuous")
+	}
+
+	// Interrupt for real: fail on the 4th scheduled try, so the state file
+	// holds exactly the first three committed tries and their totals.
+	failSeed := cfg.Variants()[3].Seed
+	boom := errors.New("interrupted")
+	interrupted := filepath.Join(t.TempDir(), "state.json")
+	_, err = fakeStateSearch(t, cfg, interrupted, func(startJ int, seed uint64) (*Classification, EMResult, error) {
+		if seed == failSeed {
+			return nil, EMResult{}, boom
+		}
+		return run(startJ, seed)
+	})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("interruption did not surface: %v", err)
+	}
+
+	resumed, err := fakeStateSearch(t, cfg, interrupted, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameTries(resumed.Tries, full.Tries) {
+		t.Fatalf("resumed tries diverged\n%+v\nvs\n%+v", resumed.Tries, full.Tries)
+	}
+	rt, ft := resumed.Totals, full.Totals
+	if rt.Cycles != ft.Cycles {
+		t.Errorf("Cycles %d vs %d", rt.Cycles, ft.Cycles)
+	}
+	if rt.WtsSeconds != ft.WtsSeconds {
+		t.Errorf("WtsSeconds %v vs %v", rt.WtsSeconds, ft.WtsSeconds)
+	}
+	if rt.ParamsSeconds != ft.ParamsSeconds {
+		t.Errorf("ParamsSeconds %v vs %v", rt.ParamsSeconds, ft.ParamsSeconds)
+	}
+	if rt.ApproxSeconds != ft.ApproxSeconds {
+		t.Errorf("ApproxSeconds %v vs %v", rt.ApproxSeconds, ft.ApproxSeconds)
+	}
+	if rt.InitSeconds != ft.InitSeconds {
+		t.Errorf("InitSeconds %v vs %v", rt.InitSeconds, ft.InitSeconds)
+	}
+	if rt.ReducedValues != ft.ReducedValues {
+		t.Errorf("ReducedValues %d vs %d (resume dropped reducer totals)", rt.ReducedValues, ft.ReducedValues)
+	}
+	if rt.Reductions != ft.Reductions {
+		t.Errorf("Reductions %d vs %d (resume dropped reducer totals)", rt.Reductions, ft.Reductions)
+	}
+}
+
+// TestResumeRejectsSeedDrift (satellite 2): a state file whose recorded
+// seed chain disagrees with the one the configuration derives must be
+// refused, exactly as the parallel path refuses it.
+func TestResumeRejectsSeedDrift(t *testing.T) {
+	ds := paperDS(t, 300)
+	cfg := resumeCfg()
+	spec := model.DefaultSpec(ds)
+	statePath := filepath.Join(t.TempDir(), "state.json")
+	if _, err := SearchWithCheckpointFile(ds, spec, cfg, nil, statePath); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(statePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st searchStateV1
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	st.Completed[1].Seed ^= 1
+	if err := writeSearchState(statePath, &st); err != nil {
+		t.Fatal(err)
+	}
+	_, err = SearchWithCheckpointFile(ds, spec, cfg, nil, statePath)
+	if err == nil {
+		t.Fatal("drifted seed chain accepted")
+	}
+	if !strings.Contains(err.Error(), "seed mismatch") {
+		t.Fatalf("error %q does not name the seed mismatch", err)
+	}
+}
+
+// TestResumeRejectsChangedTrajectoryConfig (satellite 3): resuming with a
+// different DupScoreTol or EM configuration must be refused with an error
+// naming the offending knob — the pre-fix fingerprint checked only
+// StartJList/Tries/Seed.
+func TestResumeRejectsChangedTrajectoryConfig(t *testing.T) {
+	ds := paperDS(t, 300)
+	cfg := resumeCfg()
+	spec := model.DefaultSpec(ds)
+	statePath := filepath.Join(t.TempDir(), "state.json")
+	if _, err := SearchWithCheckpointFile(ds, spec, cfg, nil, statePath); err != nil {
+		t.Fatal(err)
+	}
+	for name, mutate := range map[string]func(*SearchConfig){
+		"DupScoreTol":    func(c *SearchConfig) { c.DupScoreTol *= 10 },
+		"MaxCycles":      func(c *SearchConfig) { c.EM.MaxCycles++ },
+		"RelDelta":       func(c *SearchConfig) { c.EM.RelDelta *= 2 },
+		"ConvergeWindow": func(c *SearchConfig) { c.EM.ConvergeWindow++ },
+		"MinClassWeight": func(c *SearchConfig) { c.EM.MinClassWeight *= 2 },
+		"PruneClasses":   func(c *SearchConfig) { c.EM.PruneClasses = !c.EM.PruneClasses },
+		"Kernels":        func(c *SearchConfig) { c.EM.Kernels = Reference },
+	} {
+		other := cfg
+		mutate(&other)
+		_, err := SearchWithCheckpointFile(ds, spec, other, nil, statePath)
+		if err == nil {
+			t.Errorf("changed %s accepted on resume", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("changed %s: error %q does not name the knob", name, err)
+		}
+	}
+	// Worker counts are bitwise-invariant and must NOT be fingerprinted:
+	// resuming under a different parallelism is legitimate.
+	other := cfg
+	other.SearchParallelism = 4
+	other.EM.Parallelism = 2
+	if _, err := SearchWithCheckpointFile(ds, spec, other, nil, statePath); err != nil {
+		t.Errorf("changed worker counts refused on resume: %v", err)
+	}
+}
+
+// trailObserver records the per-cycle posterior trajectory.
+type trailObserver struct {
+	cycles int
+	trail  []float64
+}
+
+func (o *trailObserver) ObserveCycle(info CycleInfo) {
+	o.cycles++
+	o.trail = append(o.trail, info.LogPost)
+}
+
+// TestCheckpointedSearchWiresInstrumentation (satellite 4): the resumable
+// search must install the profile and cycle observer on every try's engine,
+// like SearchObserved does, without perturbing the trajectory.
+func TestCheckpointedSearchWiresInstrumentation(t *testing.T) {
+	ds := paperDS(t, 400)
+	cfg := resumeCfg()
+	spec := model.DefaultSpec(ds)
+
+	refProf := trace.New()
+	refObs := &trailObserver{}
+	ref, err := SearchObserved(ds, spec, cfg, nil, refProf, refObs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckptProf := trace.New()
+	ckptObs := &trailObserver{}
+	statePath := filepath.Join(t.TempDir(), "state.json")
+	res, err := SearchWithCheckpointFileObserved(ds, spec, cfg, nil, statePath, ckptProf, ckptObs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if ckptObs.cycles == 0 {
+		t.Fatal("checkpointed search never notified the cycle observer")
+	}
+	if ckptObs.cycles != refObs.cycles {
+		t.Fatalf("observer saw %d cycles, reference %d", ckptObs.cycles, refObs.cycles)
+	}
+	for i := range refObs.trail {
+		if ckptObs.trail[i] != refObs.trail[i] {
+			t.Fatalf("posterior trajectory diverged at cycle record %d", i)
+		}
+	}
+	for _, phase := range []string{PhaseWts, PhaseParams, PhaseInit} {
+		got, want := ckptProf.Get(phase), refProf.Get(phase)
+		if got.Calls != want.Calls {
+			t.Errorf("profile phase %s: %d calls, reference %d", phase, got.Calls, want.Calls)
+		}
+		if got.Seconds <= 0 {
+			t.Errorf("profile phase %s not timed", phase)
+		}
+	}
+	// Instrumentation must not perturb the search result.
+	if !sameTries(res.Tries, ref.Tries) || res.BestTry != ref.BestTry {
+		t.Fatal("instrumented checkpointed search diverged from SearchObserved")
+	}
+}
+
+// TestResumableSearchParallelMatchesSequential: the resumable search under
+// variant parallelism — interrupted and resumed under a different worker
+// count — still lands bitwise on the sequential result.
+func TestResumableSearchParallelMatchesSequential(t *testing.T) {
+	ds := paperDS(t, 400)
+	cfg := resumeCfg()
+	spec := model.DefaultSpec(ds)
+
+	ref, err := Search(ds, spec, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := cfg
+	par.SearchParallelism = 4
+	statePath := filepath.Join(t.TempDir(), "state.json")
+	if _, err := SearchWithCheckpointFile(ds, spec, par, nil, statePath); err != nil {
+		t.Fatal(err)
+	}
+	truncateState(t, statePath, 2)
+	resumed, err := SearchWithCheckpointFile(ds, spec, cfg, nil, statePath) // resume sequentially
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameTries(resumed.Tries, ref.Tries) {
+		t.Fatal("parallel checkpointed search + sequential resume diverged from sequential search")
+	}
+	if resumed.BestTry != ref.BestTry || resumed.Best.LogPost != ref.Best.LogPost {
+		t.Fatal("best diverged")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"hash/fnv"
 	"math"
 	"os"
+	"strings"
 
 	"repro/internal/autoclass"
 	"repro/internal/dataset"
@@ -60,10 +61,11 @@ var ErrInterrupted = errors.New("pautoclass: search interrupted")
 type parSearchStateV1 struct {
 	Version int `json:"version"`
 	// Config fingerprint — a resume against a different search is refused.
-	StartJList []int  `json:"start_j_list"`
-	Tries      int    `json:"tries"`
-	Seed       uint64 `json:"seed"`
-	N          int    `json:"n"`
+	StartJList  []int                       `json:"start_j_list"`
+	Tries       int                         `json:"tries"`
+	Seed        uint64                      `json:"seed"`
+	N           int                         `json:"n"`
+	Fingerprint autoclass.SearchFingerprint `json:"fingerprint"`
 	// Completed tries in execution order.
 	Completed []autoclass.TryResult `json:"completed"`
 	// Best is the best-so-far classification checkpoint, empty until a
@@ -77,17 +79,33 @@ type parSearchStateV1 struct {
 	InTry json.RawMessage `json:"in_try,omitempty"`
 }
 
-func (st *parSearchStateV1) matches(cfg autoclass.SearchConfig, n int) bool {
-	if st.Tries != cfg.Tries || st.Seed != cfg.Seed || st.N != n ||
-		len(st.StartJList) != len(cfg.StartJList) {
-		return false
+// matches reports (as a descriptive error) any disagreement between the
+// recorded search identity and the configuration attempting to resume it.
+// Beyond the schedule and seed it covers the full trajectory fingerprint
+// (DupScoreTol and the EM knobs) — resuming under a changed tolerance or
+// engine configuration would silently mix tries from incompatible searches.
+func (st *parSearchStateV1) matches(cfg autoclass.SearchConfig, n int) error {
+	if st.Tries != cfg.Tries {
+		return fmt.Errorf("Tries %d vs %d", st.Tries, cfg.Tries)
+	}
+	if st.Seed != cfg.Seed {
+		return fmt.Errorf("Seed %d vs %d", st.Seed, cfg.Seed)
+	}
+	if st.N != n {
+		return fmt.Errorf("N %d vs %d", st.N, n)
+	}
+	if len(st.StartJList) != len(cfg.StartJList) {
+		return fmt.Errorf("StartJList %v vs %v", st.StartJList, cfg.StartJList)
 	}
 	for i, j := range st.StartJList {
 		if cfg.StartJList[i] != j {
-			return false
+			return fmt.Errorf("StartJList %v vs %v", st.StartJList, cfg.StartJList)
 		}
 	}
-	return true
+	if d := st.Fingerprint.Diff(cfg.Fingerprint()); len(d) > 0 {
+		return errors.New(strings.Join(d, "; "))
+	}
+	return nil
 }
 
 // writeParState persists the state atomically (write temp, rename), so a
@@ -220,11 +238,12 @@ func SearchCheckpointed(comm *mpi.Comm, ds *dataset.Dataset, spec model.Spec,
 		return nil, fmt.Errorf("pautoclass: broadcasting checkpoint state: %w", err)
 	}
 	state := &parSearchStateV1{
-		Version:    1,
-		StartJList: append([]int(nil), cfg.StartJList...),
-		Tries:      cfg.Tries,
-		Seed:       cfg.Seed,
-		N:          ds.N(),
+		Version:     1,
+		StartJList:  append([]int(nil), cfg.StartJList...),
+		Tries:       cfg.Tries,
+		Seed:        cfg.Seed,
+		N:           ds.N(),
+		Fingerprint: cfg.Fingerprint(),
 	}
 	if len(raw) > 0 {
 		var prev parSearchStateV1
@@ -234,8 +253,8 @@ func SearchCheckpointed(comm *mpi.Comm, ds *dataset.Dataset, spec model.Spec,
 		if prev.Version != 1 {
 			return nil, fmt.Errorf("pautoclass: unsupported search state version %d", prev.Version)
 		}
-		if !prev.matches(cfg, ds.N()) {
-			return nil, fmt.Errorf("pautoclass: state file %s belongs to a different search", ck.Path)
+		if err := prev.matches(cfg, ds.N()); err != nil {
+			return nil, fmt.Errorf("pautoclass: state file %s belongs to a different search (%w)", ck.Path, err)
 		}
 		state = &prev
 	}

@@ -370,5 +370,11 @@ func Search(comm *mpi.Comm, ds *dataset.Dataset, spec model.Spec,
 	runner := func(startJ int, seed uint64) (*autoclass.Classification, autoclass.EMResult, error) {
 		return RunTrial(comm, view, pr, spec, startJ, seed, opts)
 	}
+	// The SPMD runner communicates through this rank's communicator, so two
+	// tries must never run concurrently on one rank — their collectives
+	// would interleave. Variant parallelism for the SPMD engine is a
+	// budget-split decision across communicator groups, not within one:
+	// see SearchHybrid.
+	cfg.SearchParallelism = 1
 	return autoclass.SearchWith(runner, cfg)
 }

@@ -36,6 +36,11 @@ func Run(ds *Dataset, opts ...Option) (*Result, error) {
 	for _, opt := range opts {
 		opt(&rc)
 	}
+	if rc.searchPar != nil {
+		// Applied after the option loop so WithSearchParallelism composes
+		// with WithSearchConfig in either order.
+		rc.search.SearchParallelism = *rc.searchPar
+	}
 	if err := rc.validate(); err != nil {
 		return nil, err
 	}
@@ -75,6 +80,7 @@ type Option func(*runConfig)
 
 type runConfig struct {
 	search     SearchConfig
+	searchPar  *int
 	correlated bool
 	models     bool
 	par        *ParallelConfig
@@ -82,6 +88,20 @@ type runConfig struct {
 	profile    *Profile
 	ckptPath   string
 	ckptEvery  int
+}
+
+// hybridGroups resolves how many concurrent variant groups a parallel run
+// splits into: the SearchParallelism knob, capped by the rank budget.
+// 1 means the classic single-group SPMD search.
+func (rc *runConfig) hybridGroups() int {
+	if rc.par == nil {
+		return 1
+	}
+	v := rc.search.SearchWorkers()
+	if v > rc.par.Procs {
+		v = rc.par.Procs
+	}
+	return v
 }
 
 // WithSearchConfig replaces the default BIG_LOOP settings.
@@ -102,6 +122,20 @@ func WithCorrelated() Option {
 // includes the correlated spec), WithParallel and WithCheckpoint.
 func WithModelSearch() Option {
 	return func(rc *runConfig) { rc.models = true }
+}
+
+// WithSearchParallelism runs the BIG_LOOP's independent (start_j, try)
+// variants on n concurrent workers instead of one at a time. The result is
+// bitwise identical to the sequential search for every n — variants commit
+// in schedule order regardless of completion order. n <= 1 keeps today's
+// sequential loop; n < 0 uses GOMAXPROCS. Composes with WithSearchConfig in
+// either order and with WithCheckpoint (resume may use a different n than
+// the interrupted run). Combined with WithParallel, the rank budget splits
+// into n communicator groups of Procs/n ranks each (Procs must be divisible
+// by n; incompatible with a simulated Machine and with parallel
+// WithCheckpoint).
+func WithSearchParallelism(n int) Option {
+	return func(rc *runConfig) { rc.searchPar = &n }
 }
 
 // WithParallel runs the search as P-AutoClass across pc.Procs SPMD ranks.
@@ -163,6 +197,17 @@ func (rc *runConfig) validate() error {
 		if rc.ckptPath != "" && rc.par.Strategy != Full {
 			return errors.New("repro: parallel WithCheckpoint requires the Full strategy")
 		}
+		if v := rc.hybridGroups(); v > 1 {
+			if rc.par.Machine != nil {
+				return errors.New("repro: WithSearchParallelism > 1 cannot charge a simulated Machine across concurrent variant groups")
+			}
+			if rc.ckptPath != "" {
+				return errors.New("repro: parallel WithCheckpoint does not support WithSearchParallelism > 1")
+			}
+			if rc.par.Procs%v != 0 {
+				return fmt.Errorf("repro: rank budget %d not divisible by %d variant groups", rc.par.Procs, v)
+			}
+		}
 	}
 	if rc.observer != nil {
 		want := 1
@@ -195,18 +240,15 @@ func runSequential(ds *Dataset, rc runConfig) (*Result, error) {
 	if rc.correlated {
 		spec = model.CorrelatedSpec(ds)
 	}
+	var co autoclass.CycleObserver
+	if rc.observer != nil {
+		co = rc.observer.Rank(0)
+	}
 	var res *SearchResult
 	var err error
 	if rc.ckptPath != "" {
-		if rc.observer != nil || rc.profile != nil {
-			return nil, errors.New("repro: sequential WithCheckpoint does not support WithObserver/WithProfile")
-		}
-		res, err = autoclass.SearchWithCheckpointFile(ds, spec, rc.search, nil, rc.ckptPath)
+		res, err = autoclass.SearchWithCheckpointFileObserved(ds, spec, rc.search, nil, rc.ckptPath, rc.profile, co)
 	} else {
-		var co autoclass.CycleObserver
-		if rc.observer != nil {
-			co = rc.observer.Rank(0)
-		}
 		res, err = autoclass.SearchObserved(ds, spec, rc.search, nil, rc.profile, co)
 	}
 	if err != nil {
@@ -216,6 +258,9 @@ func runSequential(ds *Dataset, rc runConfig) (*Result, error) {
 }
 
 func runParallel(ds *Dataset, rc runConfig) (*Result, error) {
+	if v := rc.hybridGroups(); v > 1 {
+		return runHybrid(ds, rc, v)
+	}
 	pc := *rc.par
 	var res *SearchResult
 	stats := &ParallelStats{}
@@ -282,6 +327,41 @@ func runParallel(ds *Dataset, rc runConfig) (*Result, error) {
 	}
 	stats.WallSeconds = time.Since(start).Seconds()
 	return &Result{Search: res, Stats: *stats}, nil
+}
+
+// runHybrid splits the parallel rank budget into v concurrent variant
+// groups (see pautoclass.SearchHybrid). Validation has already rejected the
+// combinations the hybrid path cannot honor (simulated Machine, parallel
+// checkpoint, indivisible budget).
+func runHybrid(ds *Dataset, rc runConfig, v int) (*Result, error) {
+	pc := *rc.par
+	start := time.Now()
+	ranksPer := pc.Procs / v
+	rcfg := mpi.RunConfig{OpDeadline: pc.OpDeadline}
+	if pc.SendRetries > 0 {
+		rcfg.Retry = mpi.RetryPolicy{MaxAttempts: pc.SendRetries}
+	}
+	optsFor := func(group, rank int) pautoclass.Options {
+		opts := pautoclass.Options{EM: rc.search.EM, Strategy: pc.Strategy}
+		if rc.observer != nil {
+			// Global rank = group-major flattening, so the observer built
+			// for Procs ranks sees every rank exactly once.
+			opts.Obs = rc.observer.Rank(group*ranksPer + rank)
+		}
+		if rc.profile != nil && rank == 0 {
+			// Each group's rank 0 folds its tries into the shared profile
+			// (Profile is mutex-protected), keeping phase totals comparable
+			// to a sequential run over all tries.
+			opts.Profile = rc.profile
+		}
+		return opts
+	}
+	res, err := pautoclass.SearchHybrid(ds, model.DefaultSpec(ds), rc.search,
+		pautoclass.HybridConfig{Procs: pc.Procs, Variants: v, UseTCP: pc.UseTCP, Run: rcfg}, optsFor)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Search: res, Stats: ParallelStats{WallSeconds: time.Since(start).Seconds()}}, nil
 }
 
 // RunObserver collects per-rank metrics and trace events of a Run (see

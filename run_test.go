@@ -237,6 +237,99 @@ func TestRunObserverWiring(t *testing.T) {
 	}
 }
 
+func machinePtr(m Machine) *Machine { return &m }
+
+// TestRunSearchParallelism: WithSearchParallelism is bitwise-invariant —
+// sequential, variant-parallel, and option-order-swapped runs all land on
+// the identical result.
+func TestRunSearchParallelism(t *testing.T) {
+	ds := runTestDataset(t, 400)
+	cfg := runQuickCfg()
+	ref, err := Run(ds, WithSearchConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(ds, WithSearchConfig(cfg), WithSearchParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSearch(t, par.Search, ref.Search)
+	// Option order must not matter.
+	swapped, err := Run(ds, WithSearchParallelism(4), WithSearchConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSearch(t, swapped.Search, ref.Search)
+}
+
+// TestRunHybridParallelism: WithSearchParallelism(v) + WithParallel(Procs)
+// splits the budget into v groups of Procs/v ranks, bitwise identical to
+// the plain SPMD search over Procs/v ranks.
+func TestRunHybridParallelism(t *testing.T) {
+	ds := runTestDataset(t, 400)
+	cfg := runQuickCfg()
+	ref, err := Run(ds, WithSearchConfig(cfg), WithParallel(ParallelConfig{Procs: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb, err := Run(ds, WithSearchConfig(cfg), WithSearchParallelism(2),
+		WithParallel(ParallelConfig{Procs: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSearch(t, hyb.Search, ref.Search)
+
+	// Observer and profile wire through the hybrid path too.
+	o := NewRunObserver(4)
+	prof := NewProfile()
+	obs, err := Run(ds, WithSearchConfig(cfg), WithSearchParallelism(2),
+		WithParallel(ParallelConfig{Procs: 4}), WithObserver(o), WithProfile(prof))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSearch(t, obs.Search, ref.Search)
+	if o.Aggregate().Snapshot().Counters["engine.cycles"] == 0 {
+		t.Error("hybrid observer saw no engine cycles")
+	}
+	if prof.Get(autoclass.PhaseWts).Calls == 0 {
+		t.Error("hybrid profile recorded no update_wts phases")
+	}
+}
+
+// TestRunCheckpointInstrumentation (satellite 4 at the facade): the
+// resumable sequential search now accepts WithObserver/WithProfile instead
+// of rejecting them, and reports the same instrumentation as the
+// unresumable path.
+func TestRunCheckpointInstrumentation(t *testing.T) {
+	ds := runTestDataset(t, 400)
+	cfg := runQuickCfg()
+	refObs := NewRunObserver(1)
+	refProf := NewProfile()
+	ref, err := Run(ds, WithSearchConfig(cfg), WithObserver(refObs), WithProfile(refProf))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o := NewRunObserver(1)
+	prof := NewProfile()
+	path := filepath.Join(t.TempDir(), "obs.ckpt")
+	r, err := Run(ds, WithSearchConfig(cfg), WithCheckpoint(path, 0),
+		WithObserver(o), WithProfile(prof))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSearch(t, r.Search, ref.Search)
+	got := o.Aggregate().Snapshot().Counters["engine.cycles"]
+	want := refObs.Aggregate().Snapshot().Counters["engine.cycles"]
+	if got != want {
+		t.Errorf("checkpointed observer saw %v cycles, reference %v", got, want)
+	}
+	if prof.Get(autoclass.PhaseWts).Calls != refProf.Get(autoclass.PhaseWts).Calls {
+		t.Errorf("checkpointed profile saw %d update_wts calls, reference %d",
+			prof.Get(autoclass.PhaseWts).Calls, refProf.Get(autoclass.PhaseWts).Calls)
+	}
+}
+
 func TestRunOptionValidation(t *testing.T) {
 	ds := runTestDataset(t, 120)
 	cases := []struct {
@@ -251,7 +344,12 @@ func TestRunOptionValidation(t *testing.T) {
 		{"zero procs", []Option{WithParallel(ParallelConfig{})}},
 		{"observer rank mismatch", []Option{WithObserver(NewRunObserver(4))}},
 		{"checkpoint without path", []Option{WithCheckpoint("", 4)}},
-		{"seq checkpoint+observer", []Option{WithCheckpoint("x.ckpt", 0), WithObserver(NewRunObserver(1))}},
+		{"hybrid+machine", []Option{WithSearchParallelism(2),
+			WithParallel(ParallelConfig{Procs: 2, Machine: machinePtr(MeikoCS2())})}},
+		{"hybrid+checkpoint", []Option{WithSearchParallelism(2), WithCheckpoint("x.ckpt", 0),
+			WithParallel(ParallelConfig{Procs: 2})}},
+		{"hybrid indivisible budget", []Option{WithSearchParallelism(2),
+			WithParallel(ParallelConfig{Procs: 3})}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
