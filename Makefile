@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-kernels bench-predict bench-search check trace-smoke faults api apicheck serve-smoke
+.PHONY: build test vet race bench bench-kernels bench-predict bench-search check trace-smoke faults api apicheck serve-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -72,10 +72,18 @@ apicheck:
 		|| { echo "facade API surface changed; run 'make api' and commit api.txt" >&2; exit 1; }
 
 # Local equivalent of the CI daemon-smoke job: start pautoclassd, submit a
-# training job over HTTP, poll it to completion, batch-score the training
-# rows against the fitted model and scrape /metrics.
+# training job over HTTP, poll it (and its live /progress view) to
+# completion, batch-score the training rows against the fitted model,
+# check /healthz and /readyz, and validate both metrics variants — the
+# Prometheus exposition on /metrics (unique sorted families, # EOF,
+# per-route latency histograms, search progress gauges) and the JSON
+# shape on /metrics.json.
 serve-smoke:
 	$(GO) build -o /tmp/pautoclassd ./cmd/pautoclassd
 	./scripts/serve_smoke.sh /tmp/pautoclassd
+
+# The telemetry surface rides in the same daemon smoke; the alias names it
+# for the observability acceptance runbook (EXPERIMENTS.md, OBS recipe).
+obs-smoke: serve-smoke
 
 check: vet build test race apicheck

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"runtime/pprof"
 	"strconv"
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/logx"
 )
 
 func main() {
@@ -62,8 +64,26 @@ func run(args []string, w io.Writer) error {
 	metricsOut := fs.String("metrics-out", "", "write per-rank metrics and the comm/compute breakdown as JSON to this path")
 	phaseProfile := fs.Bool("phase-profile", false, "print the per-phase wall-time table (update_wts / update_parameters / update_approximations)")
 	pprofPrefix := fs.String("pprof", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof runtime profiles")
+	logFormat := fs.String("log-format", "text", "log format: text or json")
+	logLevel := fs.String("log-level", "warn", "log level: debug, info, warn or error")
+	progressMode := fs.String("progress", "auto", "live progress line on stderr: auto (when stderr is a terminal), on or off")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	logger, err := logx.New(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
+	showProgress := false
+	switch *progressMode {
+	case "on":
+		showProgress = true
+	case "off":
+	case "auto":
+		showProgress = isTerminal(os.Stderr)
+	default:
+		return fmt.Errorf("unknown -progress mode %q (want auto, on or off)", *progressMode)
 	}
 	if *dataPath == "" {
 		return fmt.Errorf("-data is required")
@@ -188,6 +208,20 @@ func run(args []string, w io.Writer) error {
 		profile = repro.NewProfile()
 	}
 
+	// The search observer fans out to the live progress line and, when an
+	// observability session exists, rank 0's recorder (so -metrics-out
+	// includes the search.* metrics). Events arrive once regardless of
+	// -procs; the trajectory is bitwise identical either way.
+	var printer *progressPrinter
+	var searchObs []repro.SearchObserver
+	if showProgress {
+		printer = newProgressPrinter(os.Stderr)
+		searchObs = append(searchObs, printer)
+	}
+	if obsRun != nil {
+		searchObs = append(searchObs, obsRun.Rank(0))
+	}
+
 	opts := []repro.Option{repro.WithSearchConfig(cfg)}
 	if *correlated {
 		// Sequential engine (validated above); everything else still wires
@@ -211,9 +245,21 @@ func run(args []string, w io.Writer) error {
 	if *resume != "" {
 		opts = append(opts, repro.WithCheckpoint(*resume, *checkpointEvery))
 	}
+	switch len(searchObs) {
+	case 0:
+	case 1:
+		opts = append(opts, repro.WithSearchObserver(searchObs[0]))
+	default:
+		opts = append(opts, repro.WithSearchObserver(multiSearchObserver(searchObs)))
+	}
 
+	slog.Debug("search starting", "dataset", ds.Name, "tuples", ds.N(),
+		"start_j_list", fmt.Sprint(cfg.StartJList), "tries", cfg.Tries, "procs", *procs)
 	start := time.Now()
 	r, err := repro.Run(ds, opts...)
+	if printer != nil {
+		printer.finish()
+	}
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sync"
+
+	"repro"
+)
+
+// Live search progress for interactive runs: a SearchObserver rendering a
+// single in-place status line on stderr (carriage return + erase-line), so
+// long BIG_LOOP searches show tries done, the best score so far and the
+// cycling try without scrolling the terminal. Enabled automatically when
+// stderr is a terminal (-progress auto), and never on the parallel ranks —
+// the facade delivers events once, from rank 0.
+
+// progressPrinter implements repro.SearchObserver. Safe for the concurrent
+// delivery a variant-parallel search produces.
+type progressPrinter struct {
+	mu    sync.Mutex
+	w     io.Writer
+	total int
+	done  int
+	best  float64 // -Inf until the first keep
+	bestJ int
+	// The try currently cycling.
+	cycling bool
+	startJ  int
+	cycle   int
+	logPost float64
+	wrote   bool
+}
+
+func newProgressPrinter(w io.Writer) *progressPrinter {
+	return &progressPrinter{w: w, best: math.Inf(-1)}
+}
+
+// ObserveTry implements repro.SearchObserver.
+func (p *progressPrinter) ObserveTry(ev repro.TryEvent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ev.Total > p.total {
+		p.total = ev.Total
+	}
+	if ev.Done > p.done {
+		p.done = ev.Done
+	}
+	switch ev.Kind {
+	case repro.TryClaimed:
+		p.cycling = true
+		p.startJ = ev.StartJ
+		p.cycle = 0
+		p.logPost = math.Inf(-1)
+	case repro.TryCycle:
+		p.cycling = true
+		p.startJ = ev.StartJ
+		p.cycle = ev.Cycle
+		p.logPost = ev.LogPost
+	default: // commit verdicts
+		p.cycling = false
+		if !math.IsInf(ev.BestScore, -1) {
+			p.best = ev.BestScore
+			p.bestJ = ev.BestJ
+		}
+	}
+	p.render()
+}
+
+// render redraws the status line; callers hold p.mu.
+func (p *progressPrinter) render() {
+	line := fmt.Sprintf("search %d/%d tries", p.done, p.total)
+	if !math.IsInf(p.best, -1) {
+		line += fmt.Sprintf("  best score %.4f (J=%d)", p.best, p.bestJ)
+	}
+	if p.cycling {
+		line += fmt.Sprintf("  [start_j=%d cycle %d", p.startJ, p.cycle)
+		if !math.IsInf(p.logPost, -1) {
+			line += fmt.Sprintf(" logpost %.2f", p.logPost)
+		}
+		line += "]"
+	}
+	fmt.Fprintf(p.w, "\r\x1b[2K%s", line)
+	p.wrote = true
+}
+
+// finish erases the status line so the final report starts on a clean row.
+func (p *progressPrinter) finish() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.wrote {
+		fmt.Fprint(p.w, "\r\x1b[2K")
+		p.wrote = false
+	}
+}
+
+// multiSearchObserver fans each event out to every member in order.
+type multiSearchObserver []repro.SearchObserver
+
+func (m multiSearchObserver) ObserveTry(ev repro.TryEvent) {
+	for _, o := range m {
+		o.ObserveTry(ev)
+	}
+}
+
+// isTerminal reports whether f is an interactive terminal.
+func isTerminal(f *os.File) bool {
+	fi, err := f.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// lastLine extracts the most recent in-place redraw from the raw stream
+// (frames are separated by "\r\x1b[2K").
+func lastLine(buf *bytes.Buffer) string {
+	frames := strings.Split(buf.String(), "\r\x1b[2K")
+	return frames[len(frames)-1]
+}
+
+func TestProgressPrinterRendering(t *testing.T) {
+	var buf bytes.Buffer
+	p := newProgressPrinter(&buf)
+
+	p.ObserveTry(repro.TryEvent{Kind: repro.TryClaimed, Index: 0, StartJ: 2, Done: 0, Total: 6})
+	if got := lastLine(&buf); !strings.Contains(got, "search 0/6 tries") || !strings.Contains(got, "start_j=2") {
+		t.Errorf("claimed frame: %q", got)
+	}
+	if got := lastLine(&buf); strings.Contains(got, "logpost") {
+		t.Errorf("logpost shown before the first cycle: %q", got)
+	}
+
+	p.ObserveTry(repro.TryEvent{Kind: repro.TryCycle, StartJ: 2, Cycle: 4, LogPost: -321.75, Total: 6})
+	if got := lastLine(&buf); !strings.Contains(got, "cycle 4") || !strings.Contains(got, "logpost -321.75") {
+		t.Errorf("cycle frame: %q", got)
+	}
+
+	p.ObserveTry(repro.TryEvent{
+		Kind: repro.TryConverged, Done: 1, Total: 6, BestScore: -123.4567, BestJ: 3,
+	})
+	got := lastLine(&buf)
+	if !strings.Contains(got, "search 1/6 tries") {
+		t.Errorf("commit frame count: %q", got)
+	}
+	if !strings.Contains(got, "best score -123.4567 (J=3)") {
+		t.Errorf("commit frame best: %q", got)
+	}
+	if strings.Contains(got, "start_j=") {
+		t.Errorf("committed frame still shows a cycling try: %q", got)
+	}
+
+	// A duplicate commit with no keep yet must not fabricate a best score.
+	var buf2 bytes.Buffer
+	p2 := newProgressPrinter(&buf2)
+	p2.ObserveTry(repro.TryEvent{Kind: repro.TryDuplicate, Done: 1, Total: 2, BestScore: math.Inf(-1)})
+	if got := lastLine(&buf2); strings.Contains(got, "best score") {
+		t.Errorf("-Inf best rendered: %q", got)
+	}
+
+	p.finish()
+	if !strings.HasSuffix(buf.String(), "\r\x1b[2K") {
+		t.Error("finish did not erase the status line")
+	}
+	n := buf.Len()
+	p.finish()
+	if buf.Len() != n {
+		t.Error("finish wrote again after the line was already erased")
+	}
+}
+
+func TestProgressPrinterFinishWithoutRender(t *testing.T) {
+	var buf bytes.Buffer
+	p := newProgressPrinter(&buf)
+	p.finish()
+	if buf.Len() != 0 {
+		t.Errorf("finish on an idle printer wrote %q", buf.String())
+	}
+}
+
+func TestMultiSearchObserverFanout(t *testing.T) {
+	var a, b bytes.Buffer
+	pa, pb := newProgressPrinter(&a), newProgressPrinter(&b)
+	m := multiSearchObserver{pa, pb}
+	m.ObserveTry(repro.TryEvent{Kind: repro.TryConverged, Done: 2, Total: 3, BestScore: -1, BestJ: 2})
+	if a.Len() == 0 || b.Len() == 0 {
+		t.Error("fanout skipped a member")
+	}
+	if a.String() != b.String() {
+		t.Errorf("members diverged: %q vs %q", a.String(), b.String())
+	}
+}

@@ -9,10 +9,14 @@
 //	POST /v1/jobs                   submit a training job (async)
 //	GET  /v1/jobs                   list jobs
 //	GET  /v1/jobs/{id}              poll a job
+//	GET  /v1/jobs/{id}/progress     live BIG_LOOP progress (tries, best, ETA)
 //	POST /v1/models/{id}/predict    batch-score new rows against a model
-//	GET  /metrics                   server + last-run metrics (JSON)
+//	GET  /metrics                   Prometheus exposition (JSON under Accept: application/json)
+//	GET  /metrics.json              server + last-run metrics (JSON)
 //	GET  /debug/trace               Chrome trace of the last training run
+//	GET  /debug/pprof/              Go profiles (with -pprof)
 //	GET  /healthz                   liveness
+//	GET  /readyz                    readiness (503 while draining)
 //
 // On SIGINT/SIGTERM a running search is stopped cooperatively: the rank
 // group agrees on a stop cycle, persists a resumable snapshot, and the job
@@ -25,13 +29,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/logx"
 	"repro/internal/serve"
 )
 
@@ -40,16 +45,27 @@ func main() {
 	dir := flag.String("dir", "pautoclassd-data", "state directory (jobs, checkpoints, models)")
 	procs := flag.Int("procs", 2, "default ranks per training run")
 	every := flag.Int("every", 4, "mid-try checkpoint cadence in cycles")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
-	if err := run(*addr, *dir, *procs, *every); err != nil {
+	log, err := logx.New(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "pautoclassd:", err)
+		os.Exit(1)
+	}
+	if err := run(log, *addr, *dir, *procs, *every, *enablePprof); err != nil {
+		log.Error("pautoclassd exiting", "error", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dir string, procs, every int) error {
-	srv, err := serve.New(serve.Config{Dir: dir, Procs: procs, Every: every})
+func run(log *slog.Logger, addr, dir string, procs, every int, enablePprof bool) error {
+	srv, err := serve.New(serve.Config{
+		Dir: dir, Procs: procs, Every: every,
+		Logger: log, EnablePprof: enablePprof,
+	})
 	if err != nil {
 		return err
 	}
@@ -57,7 +73,7 @@ func run(addr, dir string, procs, every int) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("pautoclassd listening on %s (state: %s, procs: %d)", addr, dir, procs)
+		log.Info("pautoclassd listening", "addr", addr, "dir", dir, "procs", procs, "pprof", enablePprof)
 		errc <- hs.ListenAndServe()
 	}()
 
@@ -65,7 +81,7 @@ func run(addr, dir string, procs, every int) error {
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		log.Printf("pautoclassd: %s: draining (running job checkpoints and requeues)", sig)
+		log.Info("draining on signal (running job checkpoints and requeues)", "signal", sig.String())
 	case err := <-errc:
 		srv.Close()
 		return err
@@ -74,7 +90,7 @@ func run(addr, dir string, procs, every int) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
-		log.Printf("pautoclassd: http shutdown: %v", err)
+		log.Warn("http shutdown", "error", err)
 	}
 	if err := srv.Close(); err != nil {
 		return err
@@ -82,6 +98,6 @@ func run(addr, dir string, procs, every int) error {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	log.Print("pautoclassd: stopped")
+	log.Info("pautoclassd stopped")
 	return nil
 }

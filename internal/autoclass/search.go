@@ -123,11 +123,20 @@ type TrialRunner func(startJ int, seed uint64) (*Classification, EMResult, error
 // in schedule order inside the scheduler, so the result is bitwise
 // identical to the sequential BIG_LOOP at any worker count.
 func SearchWith(run TrialRunner, cfg SearchConfig) (*SearchResult, error) {
+	return SearchWithObserver(run, cfg, nil)
+}
+
+// SearchWithObserver is SearchWith with a search observer receiving try
+// lifecycle events (claims and commit verdicts; cycle events only come
+// from the native engine paths, which own the engines). A nil observer is
+// exactly SearchWith.
+func SearchWithObserver(run TrialRunner, cfg SearchConfig, so SearchObserver) (*SearchResult, error) {
 	workers := cfg.SearchWorkers()
 	sched, err := NewSearchScheduler(cfg, workers)
 	if err != nil {
 		return nil, err
 	}
+	sched.SetObserver(so)
 	res, err := sched.run(func(int) TrialRunner { return run }, workers)
 	if err != nil {
 		return nil, err
@@ -141,16 +150,16 @@ func SearchWith(run TrialRunner, cfg SearchConfig) (*SearchResult, error) {
 // Search runs the sequential BIG_LOOP over a whole dataset, deriving priors
 // from its summary. charger may be nil.
 func Search(ds *dataset.Dataset, spec model.Spec, cfg SearchConfig, charger Charger) (*SearchResult, error) {
-	return SearchObserved(ds, spec, cfg, charger, nil, nil)
+	return SearchObserved(ds, spec, cfg, charger, nil, nil, nil)
 }
 
 // SearchObserved is Search with per-try engine instrumentation: the phase
-// profile and cycle observer, when non-nil, are installed on every try's
-// engine — the same wiring the parallel path applies through
-// pautoclass.Options. Instrumentation never perturbs the trajectory: the
-// result is bitwise identical to Search's.
+// profile, cycle observer and search observer, when non-nil, are installed
+// on every try's engine — the same wiring the parallel path applies
+// through pautoclass.Options. Instrumentation never perturbs the
+// trajectory: the result is bitwise identical to Search's.
 func SearchObserved(ds *dataset.Dataset, spec model.Spec, cfg SearchConfig,
-	charger Charger, profile *trace.Profile, co CycleObserver) (*SearchResult, error) {
+	charger Charger, profile *trace.Profile, co CycleObserver, so SearchObserver) (*SearchResult, error) {
 	if ds.N() == 0 {
 		return nil, errors.New("autoclass: empty dataset")
 	}
@@ -159,8 +168,9 @@ func SearchObserved(ds *dataset.Dataset, spec model.Spec, cfg SearchConfig,
 	if err != nil {
 		return nil, err
 	}
+	sched.SetObserver(so)
 	pr := model.NewPriors(ds, ds.Summarize())
-	makeRunner := nativeRunnerFactory(ds, spec, pr, cfg, charger, profile, co, sched, workers)
+	makeRunner := nativeRunnerFactory(ds, spec, pr, cfg, charger, profile, co, so, sched, workers)
 	res, err := sched.run(makeRunner, workers)
 	if err != nil {
 		return nil, err
@@ -189,7 +199,7 @@ func searchWorkersFor(cfg SearchConfig, charger Charger) int {
 // lock. Passing a nil scheduler disables basin early termination (used
 // when regenerating a lost best, which must never be cut short).
 func nativeRunnerFactory(ds *dataset.Dataset, spec model.Spec, pr *model.Priors, cfg SearchConfig,
-	charger Charger, profile *trace.Profile, co CycleObserver,
+	charger Charger, profile *trace.Profile, co CycleObserver, so SearchObserver,
 	sched *SearchScheduler, workers int) func(slot int) TrialRunner {
 	if workers > 1 && co != nil {
 		co = &lockedCycleObserver{o: co}
@@ -197,6 +207,22 @@ func nativeRunnerFactory(ds *dataset.Dataset, spec model.Spec, pr *model.Priors,
 	var sharedView *dataset.View
 	if workers > 1 {
 		sharedView = ds.All()
+	}
+	// A TrialRunner only sees (startJ, seed); recover the full Variant for
+	// TryCycle events from the deterministic schedule expansion.
+	type vkey struct {
+		startJ int
+		seed   uint64
+	}
+	var vmap map[vkey]Variant
+	var total int
+	if so != nil {
+		vs := cfg.Variants()
+		total = len(vs)
+		vmap = make(map[vkey]Variant, total)
+		for _, v := range vs {
+			vmap[vkey{v.StartJ, v.Seed}] = v
+		}
 	}
 	return func(slot int) TrialRunner {
 		return func(startJ int, seed uint64) (*Classification, EMResult, error) {
@@ -213,8 +239,14 @@ func nativeRunnerFactory(ds *dataset.Dataset, spec model.Spec, pr *model.Priors,
 				return nil, EMResult{}, err
 			}
 			eng.SetProfile(profile)
-			if co != nil {
-				eng.SetCycleObserver(co)
+			cyc := co
+			if so != nil {
+				if v, ok := vmap[vkey{startJ, seed}]; ok {
+					cyc = NewTryCycleObserver(so, co, v, total)
+				}
+			}
+			if cyc != nil {
+				eng.SetCycleObserver(cyc)
 			}
 			if cfg.BasinEarlyStop && workers > 1 && sched != nil {
 				installBasinStop(eng, cls, sched, cfg.EM)

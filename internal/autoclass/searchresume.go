@@ -138,23 +138,26 @@ func (st *searchStateV1) matches(cfg SearchConfig) error {
 // immediately.
 func SearchWithCheckpointFile(ds *dataset.Dataset, spec model.Spec, cfg SearchConfig,
 	charger Charger, statePath string) (*SearchResult, error) {
-	return SearchWithCheckpointFileObserved(ds, spec, cfg, charger, statePath, nil, nil)
+	return SearchWithCheckpointFileObserved(ds, spec, cfg, charger, statePath, nil, nil, nil)
 }
 
 // SearchWithCheckpointFileObserved is SearchWithCheckpointFile with the
 // same per-try engine instrumentation SearchObserved wires: the phase
-// profile and cycle observer, when non-nil, are installed on every try's
-// engine. Instrumentation never perturbs the trajectory.
+// profile, cycle observer and search observer, when non-nil, are installed
+// on every try's engine. On resume the search observer's first events
+// report a Done count that already includes the restored prefix.
+// Instrumentation never perturbs the trajectory.
 func SearchWithCheckpointFileObserved(ds *dataset.Dataset, spec model.Spec, cfg SearchConfig,
-	charger Charger, statePath string, profile *trace.Profile, co CycleObserver) (*SearchResult, error) {
+	charger Charger, statePath string, profile *trace.Profile, co CycleObserver,
+	so SearchObserver) (*SearchResult, error) {
 	if ds.N() == 0 {
 		return nil, errors.New("autoclass: empty dataset")
 	}
 	pr := model.NewPriors(ds, ds.Summarize())
 	workers := searchWorkersFor(cfg, charger)
-	return searchWithStateFile(cfg, workers, statePath,
+	return searchWithStateFile(cfg, workers, statePath, so,
 		func(sched *SearchScheduler) func(slot int) TrialRunner {
-			return nativeRunnerFactory(ds, spec, pr, cfg, charger, profile, co, sched, workers)
+			return nativeRunnerFactory(ds, spec, pr, cfg, charger, profile, co, so, sched, workers)
 		},
 		func(raw []byte) (*Classification, error) {
 			return LoadCheckpoint(bytes.NewReader(raw), ds)
@@ -174,6 +177,7 @@ func SearchWithCheckpointFileObserved(ds *dataset.Dataset, spec model.Spec, cfg 
 // the scheduler (nil when building the regeneration runner, which must
 // never be cut by basin early termination).
 func searchWithStateFile(cfg SearchConfig, workers int, statePath string,
+	so SearchObserver,
 	makeRunner func(sched *SearchScheduler) func(slot int) TrialRunner,
 	loadBest func([]byte) (*Classification, error),
 	saveBest func(*Classification) ([]byte, error)) (*SearchResult, error) {
@@ -184,6 +188,7 @@ func searchWithStateFile(cfg SearchConfig, workers int, statePath string,
 	if err != nil {
 		return nil, err
 	}
+	sched.SetObserver(so)
 	state := &searchStateV1{
 		Version:     1,
 		StartJList:  append([]int(nil), cfg.StartJList...),

@@ -21,7 +21,7 @@ import (
 // classification.
 func fakeStateSearch(tb testing.TB, cfg SearchConfig, statePath string, run TrialRunner) (*SearchResult, error) {
 	ds := paperDS(tb, 60)
-	return searchWithStateFile(cfg, cfg.SearchWorkers(), statePath,
+	return searchWithStateFile(cfg, cfg.SearchWorkers(), statePath, nil,
 		func(*SearchScheduler) func(int) TrialRunner {
 			return func(int) TrialRunner { return run }
 		},
@@ -193,7 +193,7 @@ func TestCheckpointedSearchWiresInstrumentation(t *testing.T) {
 
 	refProf := trace.New()
 	refObs := &trailObserver{}
-	ref, err := SearchObserved(ds, spec, cfg, nil, refProf, refObs)
+	ref, err := SearchObserved(ds, spec, cfg, nil, refProf, refObs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +201,7 @@ func TestCheckpointedSearchWiresInstrumentation(t *testing.T) {
 	ckptProf := trace.New()
 	ckptObs := &trailObserver{}
 	statePath := filepath.Join(t.TempDir(), "state.json")
-	res, err := SearchWithCheckpointFileObserved(ds, spec, cfg, nil, statePath, ckptProf, ckptObs)
+	res, err := SearchWithCheckpointFileObserved(ds, spec, cfg, nil, statePath, ckptProf, ckptObs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

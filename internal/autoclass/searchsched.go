@@ -124,6 +124,25 @@ type SearchScheduler struct {
 	// onCommit, when set, runs after every in-order commit (under the
 	// scheduler lock) — the resumable search persists its state here.
 	onCommit func(*SearchResult) error
+	// obs, when set, receives try lifecycle notifications: claims in
+	// execution order, commit verdicts in schedule order (under the lock).
+	obs SearchObserver
+}
+
+// SetObserver installs a search observer. Must be called before the first
+// claim; pass nil to disable (the default — the disabled path costs one
+// nil check and zero allocations).
+func (s *SearchScheduler) SetObserver(o SearchObserver) {
+	s.obs = o
+}
+
+// notifyTry forwards ev to the installed observer; the nil path is the
+// zero-cost disabled path (held to 0 allocs by an AllocsPerRun guard).
+func (s *SearchScheduler) notifyTry(ev TryEvent) {
+	if s.obs == nil {
+		return
+	}
+	s.obs.ObserveTry(ev)
 }
 
 // NewSearchScheduler validates the configuration and builds a scheduler
@@ -201,11 +220,19 @@ func (s *SearchScheduler) Next() (Variant, bool) {
 	}
 	s.mu.Lock()
 	stopped := s.stopped
+	done := len(s.res.Tries)
 	s.mu.Unlock()
 	if stopped {
 		return Variant{}, false
 	}
-	return s.variants[s.order[i]], true
+	v := s.variants[s.order[i]]
+	if s.obs != nil {
+		s.notifyTry(TryEvent{
+			Kind: TryClaimed, Index: v.Index, StartJ: v.StartJ, Try: v.Try,
+			Seed: v.Seed, Done: done, Total: len(s.variants),
+		})
+	}
+	return v, true
 }
 
 // Commit hands a finished variant's outcome to the scheduler. Outcomes are
@@ -290,6 +317,26 @@ func (s *SearchScheduler) apply(v Variant, o *tryOutcome) {
 		s.bestScore = tr.Score
 		res.Best = o.cls
 		res.BestTry = tr
+	}
+	if s.obs != nil {
+		kind := TryConverged
+		switch {
+		case tr.EarlyStopped:
+			kind = TryEarlyStopped
+		case tr.Duplicate:
+			kind = TryDuplicate
+		}
+		ev := TryEvent{
+			Kind: kind, Index: v.Index, StartJ: v.StartJ, Try: v.Try,
+			Seed: v.Seed, Cycles: tr.Cycles, J: tr.FinalJ,
+			LogPost: tr.LogPost, Score: tr.Score, Converged: tr.Converged,
+			Done: len(res.Tries), Total: len(s.variants),
+			BestScore: s.bestScore,
+		}
+		if res.Best != nil {
+			ev.BestJ = res.BestTry.FinalJ
+		}
+		s.notifyTry(ev)
 	}
 	if s.onCommit != nil {
 		if err := s.onCommit(res); err != nil {

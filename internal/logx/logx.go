@@ -1,0 +1,40 @@
+// Package logx builds the structured loggers shared by the repro binaries:
+// one constructor mapping the conventional -log-format/-log-level flag
+// values onto log/slog handlers, so every command logs the same way.
+package logx
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// New returns a logger writing to w. format is "text" (the default) or
+// "json"; level is one of "debug", "info" (default), "warn", "error".
+// Unknown values are errors so a typo fails fast at startup instead of
+// silently logging at the wrong level.
+func New(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("logx: unknown log level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("logx: unknown log format %q (want text or json)", format)
+	}
+}

@@ -1,0 +1,73 @@
+package logx
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNewTextAndLevels(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := New(&buf, "text", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hidden")
+	log.Warn("shown", "k", "v")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("info record emitted at warn level: %q", out)
+	}
+	if !strings.Contains(out, "shown") || !strings.Contains(out, "k=v") {
+		t.Errorf("warn record missing or unstructured: %q", out)
+	}
+}
+
+func TestNewJSON(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := New(&buf, "json", "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("event", "n", 3)
+	var rec struct {
+		Level string  `json:"level"`
+		Msg   string  `json:"msg"`
+		N     float64 `json:"n"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json handler produced unparseable output %q: %v", buf.String(), err)
+	}
+	if rec.Level != "DEBUG" || rec.Msg != "event" || rec.N != 3 {
+		t.Errorf("decoded record %+v", rec)
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := New(&buf, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("hidden")
+	log.Info("shown")
+	if strings.Contains(buf.String(), "hidden") {
+		t.Error("default level passed a debug record")
+	}
+	if !strings.Contains(buf.String(), "shown") {
+		t.Error("default level dropped an info record")
+	}
+}
+
+func TestNewRejectsUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := New(&buf, "yaml", "info"); err == nil ||
+		!strings.Contains(err.Error(), "yaml") {
+		t.Errorf("unknown format error = %v", err)
+	}
+	if _, err := New(&buf, "text", "loud"); err == nil ||
+		!strings.Contains(err.Error(), "loud") {
+		t.Errorf("unknown level error = %v", err)
+	}
+}

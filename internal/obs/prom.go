@@ -1,0 +1,449 @@
+// Prometheus text exposition for Registry: counters, gauges and the
+// pow2-bucket histograms rendered as cumulative _bucket/_sum/_count
+// families, with an optional fixed label set per registry so several
+// registries (server-wide, per-rank) can share one scrape page without
+// colliding.
+//
+// The encoder reads metric values directly — not through Snapshot — so the
+// IEEE specials JSON cannot carry survive: an empty histogram scrapes as
+// min=+Inf, max=-Inf, mean=NaN, exactly what Prometheus expects from an
+// empty summary, instead of Snapshot's clamped zeros.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentTypeText is the Content-Type for the text exposition format
+// written by WritePrometheus (OpenMetrics-compatible).
+const ContentTypeText = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// ContentTypeJSON is the Content-Type for the JSON snapshot variant.
+const ContentTypeJSON = "application/json; charset=utf-8"
+
+// Label is one fixed name/value pair attached to every sample of a
+// registry in an exposition.
+type Label struct {
+	Name, Value string
+}
+
+// Expo pairs a registry with the fixed labels its samples carry.
+type Expo struct {
+	Reg    *Registry
+	Labels []Label
+}
+
+// Labeled builds a registry key that carries label pairs inline —
+// Labeled("http.requests", "route", "/v1/jobs", "code", "2xx") returns
+// `http.requests{code="2xx",route="/v1/jobs"}`. The encoder splits the key
+// back into family name and labels; pairs are sorted by name so equal
+// label sets always produce equal keys. Panics on an odd pair count
+// (a programming error at metric-registration time). Label values may not
+// contain ',' or '=' (the inline key separators); newlines, quotes and
+// backslashes are escaped and survive the round trip.
+func Labeled(name string, pairs ...string) string {
+	if len(pairs)%2 != 0 {
+		panic("obs.Labeled: odd label pair count for " + name)
+	}
+	if len(pairs) == 0 {
+		return name
+	}
+	ls := make([]Label, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		ls = append(ls, Label{pairs[i], pairs[i+1]})
+	}
+	sortLabels(ls)
+	var b strings.Builder
+	b.WriteString(name)
+	writeLabelSet(&b, ls)
+	return b.String()
+}
+
+func sortLabels(ls []Label) {
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+}
+
+func writeLabelSet(b *strings.Builder, ls []Label) {
+	if len(ls) == 0 {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sanitizeLabelName(l.Name))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// sanitizeMetricName maps a registry key's family part onto the Prometheus
+// name alphabet [a-zA-Z0-9_:]; everything else (the registry's dots and
+// dashes included) becomes '_'.
+func sanitizeMetricName(name string) string {
+	var b []byte
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			if b == nil {
+				b = []byte(name)
+			}
+			b[i] = '_'
+		}
+	}
+	if b == nil {
+		return name
+	}
+	return string(b)
+}
+
+func sanitizeLabelName(name string) string {
+	s := sanitizeMetricName(name)
+	// Label names may not contain ':' (reserved for recording rules).
+	return strings.ReplaceAll(s, ":", "_")
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// unescapeLabelValue reverses escapeLabelValue; keys built by Labeled carry
+// escaped values, which must not be escaped a second time at render time.
+func unescapeLabelValue(v string) string {
+	if !strings.Contains(v, `\`) {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v))
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		if c == '\\' && i+1 < len(v) {
+			i++
+			switch v[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '\\', '"':
+				b.WriteByte(v[i])
+			default:
+				b.WriteByte('\\')
+				b.WriteByte(v[i])
+			}
+			continue
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// promValue renders a sample value; strconv spells the IEEE specials as
+// NaN, +Inf and -Inf, which are valid exposition literals.
+func promValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// splitLabeledName splits a registry key produced by Labeled back into its
+// family part and the inline label pairs. Keys without '{' have no labels.
+func splitLabeledName(key string) (name string, labels []Label) {
+	i := strings.IndexByte(key, '{')
+	if i < 0 {
+		return key, nil
+	}
+	name = key[:i]
+	body := strings.TrimSuffix(key[i+1:], "}")
+	for _, pair := range strings.Split(body, ",") {
+		eq := strings.IndexByte(pair, '=')
+		if eq < 0 {
+			continue
+		}
+		v := unescapeLabelValue(strings.Trim(pair[eq+1:], `"`))
+		labels = append(labels, Label{pair[:eq], v})
+	}
+	return name, labels
+}
+
+// mergeLabels combines a sample's inline labels with the registry's fixed
+// labels (fixed labels win on collision) into the final sorted label set.
+func mergeLabels(inline, fixed []Label) []Label {
+	out := make([]Label, 0, len(inline)+len(fixed))
+	for _, l := range inline {
+		overridden := false
+		for _, f := range fixed {
+			if f.Name == l.Name {
+				overridden = true
+				break
+			}
+		}
+		if !overridden {
+			out = append(out, l)
+		}
+	}
+	out = append(out, fixed...)
+	sortLabels(out)
+	return out
+}
+
+// histData is a point-in-time copy of a histogram's atomics, taken bucket
+// by bucket (transient cross-field skew is tolerated: the cumulative
+// bucket total, not h.n, is what _count and the +Inf bucket report, so the
+// exposition is always internally consistent).
+type histData struct {
+	counts   [histBuckets]uint64
+	sum      float64
+	min, max float64
+	n        uint64
+}
+
+func (h *Histogram) histData() histData {
+	var d histData
+	if h == nil {
+		d.min, d.max = math.Inf(1), math.Inf(-1)
+		return d
+	}
+	for i := range d.counts {
+		c := h.counts[i].Load()
+		d.counts[i] = c
+		d.n += c
+	}
+	d.sum = h.sum.Value()
+	if d.n == 0 {
+		d.min, d.max = math.Inf(1), math.Inf(-1)
+	} else {
+		d.min = math.Float64frombits(h.minBits.Load())
+		d.max = math.Float64frombits(h.maxBits.Load())
+	}
+	return d
+}
+
+// bucketUpperBound is the inclusive `le` boundary of bucket i: 2^(histMinExp+i)
+// for the finite buckets, +Inf for the overflow bucket.
+func bucketUpperBound(i int) float64 {
+	if i >= histBuckets-1 {
+		return math.Inf(1)
+	}
+	return math.Ldexp(1, histMinExp+i)
+}
+
+// promSample is one rendered line body: `{labels} value`.
+type promSample struct {
+	labelKey string // rendered label set, "" when unlabeled
+	value    float64
+	hist     *histData // non-nil for histogram samples
+}
+
+// promFamily collects one metric family's samples across registries.
+type promFamily struct {
+	kind    string // "counter" | "gauge" | "histogram"
+	samples map[string]*promSample
+}
+
+type promState struct {
+	families map[string]*promFamily
+}
+
+func (st *promState) family(name, kind string) *promFamily {
+	f := st.families[name]
+	if f == nil {
+		f = &promFamily{kind: kind, samples: make(map[string]*promSample)}
+		st.families[name] = f
+		return f
+	}
+	if f.kind != kind {
+		// Name collision across kinds: first registration wins, later
+		// samples are dropped rather than emitting an invalid page.
+		return nil
+	}
+	return f
+}
+
+func (st *promState) addScalar(name, kind string, labels []Label, v float64) {
+	f := st.family(name, kind)
+	if f == nil {
+		return
+	}
+	var b strings.Builder
+	writeLabelSet(&b, labels)
+	key := b.String()
+	s := f.samples[key]
+	if s == nil {
+		f.samples[key] = &promSample{labelKey: key, value: v}
+		return
+	}
+	// Same family+labels from two registries: counters sum, gauges keep
+	// the last value written.
+	if kind == "counter" {
+		s.value += v
+	} else {
+		s.value = v
+	}
+}
+
+func (st *promState) addHist(name string, labels []Label, d histData) {
+	f := st.family(name, "histogram")
+	if f == nil {
+		return
+	}
+	var b strings.Builder
+	writeLabelSet(&b, labels)
+	key := b.String()
+	s := f.samples[key]
+	if s == nil {
+		dd := d
+		f.samples[key] = &promSample{labelKey: key, hist: &dd}
+		return
+	}
+	for i := range s.hist.counts {
+		s.hist.counts[i] += d.counts[i]
+	}
+	s.hist.sum += d.sum
+	s.hist.n += d.n
+	s.hist.min = math.Min(s.hist.min, d.min)
+	s.hist.max = math.Max(s.hist.max, d.max)
+}
+
+// WritePrometheus renders the registries as one text exposition page:
+// families sorted by name, each with a single # TYPE line, histogram
+// samples as cumulative le-bucketed _bucket/_sum/_count plus _min, _max
+// and _mean gauges, terminated by # EOF.
+func WritePrometheus(w io.Writer, exps ...Expo) error {
+	st := &promState{families: make(map[string]*promFamily)}
+	for _, e := range exps {
+		r := e.Reg
+		if r == nil {
+			continue
+		}
+		fixed := append([]Label(nil), e.Labels...)
+		type scalar struct {
+			key  string
+			v    float64
+			kind string
+		}
+		var scalars []scalar
+		type histogram struct {
+			key string
+			d   histData
+		}
+		var hists []histogram
+		r.mu.Lock()
+		for key, c := range r.counters {
+			scalars = append(scalars, scalar{key, c.Value(), "counter"})
+		}
+		for key, g := range r.gauges {
+			scalars = append(scalars, scalar{key, g.Value(), "gauge"})
+		}
+		for key, h := range r.hists {
+			hists = append(hists, histogram{key, h.histData()})
+		}
+		r.mu.Unlock()
+		for _, s := range scalars {
+			name, inline := splitLabeledName(s.key)
+			st.addScalar(sanitizeMetricName(name), s.kind, mergeLabels(inline, fixed), s.v)
+		}
+		for _, h := range hists {
+			name, inline := splitLabeledName(h.key)
+			st.addHist(sanitizeMetricName(name), mergeLabels(inline, fixed), h.d)
+		}
+	}
+
+	// Histogram extrema and mean become derived gauge families (a
+	// histogram family only owns _bucket/_sum/_count samples); derived
+	// after merging so duplicate histogram samples fold min/max correctly.
+	for name, f := range st.families {
+		if f.kind != "histogram" {
+			continue
+		}
+		for _, s := range f.samples {
+			d := s.hist
+			mean := math.NaN()
+			if d.n > 0 {
+				mean = d.sum / float64(d.n)
+			}
+			for _, der := range []struct {
+				suffix string
+				v      float64
+			}{{"_min", d.min}, {"_max", d.max}, {"_mean", mean}} {
+				g := st.family(name+der.suffix, "gauge")
+				if g != nil {
+					g.samples[s.labelKey] = &promSample{labelKey: s.labelKey, value: der.v}
+				}
+			}
+		}
+	}
+
+	names := make([]string, 0, len(st.families))
+	for name := range st.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		f := st.families[name]
+		keys := make([]string, 0, len(f.samples))
+		for k := range f.samples {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, f.kind)
+		if f.kind != "histogram" {
+			for _, k := range keys {
+				s := f.samples[k]
+				fmt.Fprintf(&b, "%s%s %s\n", name, s.labelKey, promValue(s.value))
+			}
+			continue
+		}
+		for _, k := range keys {
+			writeHistSample(&b, name, f.samples[k])
+		}
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistSample renders one histogram sample: the cumulative buckets
+// (le from the pow2 boundaries; _count equals the +Inf bucket by
+// construction) and the exact sum/count.
+func writeHistSample(b *strings.Builder, name string, s *promSample) {
+	d := s.hist
+	withLE := func(le string) string {
+		if s.labelKey == "" {
+			return `{le="` + le + `"}`
+		}
+		return s.labelKey[:len(s.labelKey)-1] + `,le="` + le + `"}`
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += d.counts[i]
+		// Only emit boundaries at or past the data (plus the mandatory
+		// +Inf bucket) to keep the page compact; cumulative counts make
+		// the omitted leading/trailing zero buckets redundant.
+		if d.counts[i] == 0 && i < histBuckets-1 && (cum == 0 || cum == d.n) {
+			continue
+		}
+		le := "+Inf"
+		if i < histBuckets-1 {
+			le = promValue(bucketUpperBound(i))
+		}
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLE(le), cum)
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, s.labelKey, promValue(d.sum))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, s.labelKey, cum)
+}
+
+// WritePrometheus renders just this registry (no fixed labels).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return WritePrometheus(w, Expo{Reg: r})
+}

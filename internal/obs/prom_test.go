@@ -1,0 +1,372 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promLine is one parsed sample line.
+type promLine struct {
+	name   string
+	labels map[string]string
+	value  string
+}
+
+// promPage is a parsed exposition page: TYPE declarations in order plus
+// every sample line.
+type promPage struct {
+	kinds   map[string]string
+	order   []string
+	samples []promLine
+	eof     bool
+}
+
+// parsePromPage is a deliberately strict test-side parser: it rejects
+// duplicate or unsorted TYPE families, samples outside their family block,
+// and a missing # EOF — the contract a real scraper depends on.
+func parsePromPage(t *testing.T, page string) *promPage {
+	t.Helper()
+	p := &promPage{kinds: make(map[string]string)}
+	current := ""
+	for ln, line := range strings.Split(page, "\n") {
+		if line == "" {
+			continue
+		}
+		if p.eof {
+			t.Fatalf("line %d: content after # EOF: %q", ln+1, line)
+		}
+		if line == "# EOF" {
+			p.eof = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE line %q", ln+1, line)
+			}
+			name, kind := parts[2], parts[3]
+			if _, dup := p.kinds[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for family %q", ln+1, name)
+			}
+			if len(p.order) > 0 && p.order[len(p.order)-1] >= name {
+				t.Fatalf("line %d: family %q not sorted after %q", ln+1, name, p.order[len(p.order)-1])
+			}
+			p.kinds[name] = kind
+			p.order = append(p.order, name)
+			current = name
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: malformed sample %q", ln+1, line)
+		}
+		nameAndLabels, value := line[:sp], line[sp+1:]
+		name := nameAndLabels
+		labels := map[string]string{}
+		if i := strings.IndexByte(nameAndLabels, '{'); i >= 0 {
+			name = nameAndLabels[:i]
+			body := strings.TrimSuffix(nameAndLabels[i+1:], "}")
+			for _, pair := range strings.Split(body, ",") {
+				eq := strings.IndexByte(pair, '=')
+				if eq < 0 {
+					t.Fatalf("line %d: malformed label %q", ln+1, pair)
+				}
+				labels[pair[:eq]] = strings.Trim(pair[eq+1:], `"`)
+			}
+		}
+		// The sample must belong to the family block it appears in
+		// (histograms own their _bucket/_sum/_count suffixes).
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if p.kinds[current] == "histogram" && strings.HasSuffix(name, suf) {
+				base = strings.TrimSuffix(name, suf)
+				break
+			}
+		}
+		if base != current {
+			t.Fatalf("line %d: sample %q outside its family block (current %q)", ln+1, name, current)
+		}
+		// Every value must be a valid exposition float (NaN, +Inf, -Inf
+		// included).
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			t.Fatalf("line %d: bad sample value %q: %v", ln+1, value, err)
+		}
+		p.samples = append(p.samples, promLine{name: name, labels: labels, value: value})
+	}
+	if !p.eof {
+		t.Fatal("page missing # EOF terminator")
+	}
+	return p
+}
+
+// find returns the single sample with the given name whose labels include
+// want.
+func (p *promPage) find(t *testing.T, name string, want map[string]string) promLine {
+	t.Helper()
+	var hits []promLine
+outer:
+	for _, s := range p.samples {
+		if s.name != name {
+			continue
+		}
+		for k, v := range want {
+			if s.labels[k] != v {
+				continue outer
+			}
+		}
+		hits = append(hits, s)
+	}
+	if len(hits) != 1 {
+		t.Fatalf("sample %s%v: %d matches, want 1", name, want, len(hits))
+	}
+	return hits[0]
+}
+
+func scrape(t *testing.T, exps ...Expo) (*promPage, string) {
+	t.Helper()
+	var b strings.Builder
+	if err := WritePrometheus(&b, exps...); err != nil {
+		t.Fatal(err)
+	}
+	return parsePromPage(t, b.String()), b.String()
+}
+
+func TestWritePrometheusBasic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.jobs.done").Add(3)
+	r.Gauge("search.best_score").Set(-1234.5)
+	r.Counter(Labeled("http.requests", "route", "GET /metrics", "code", "2xx")).Add(7)
+	h := r.Histogram(Labeled("http.request_seconds", "route", "GET /metrics"))
+	h.Observe(0.2) // bucket upper bound 0.25
+	h.Observe(0.8) // bucket upper bound 1
+
+	page, raw := scrape(t, Expo{Reg: r, Labels: []Label{{"registry", "server"}}})
+
+	if page.kinds["serve_jobs_done"] != "counter" {
+		t.Fatalf("serve_jobs_done kind = %q, want counter", page.kinds["serve_jobs_done"])
+	}
+	if got := page.find(t, "serve_jobs_done", map[string]string{"registry": "server"}); got.value != "3" {
+		t.Errorf("serve_jobs_done = %s, want 3", got.value)
+	}
+	if got := page.find(t, "search_best_score", nil); got.value != "-1234.5" {
+		t.Errorf("search_best_score = %s, want -1234.5", got.value)
+	}
+	req := page.find(t, "http_requests", map[string]string{"code": "2xx"})
+	if req.value != "7" || req.labels["route"] != "GET /metrics" || req.labels["registry"] != "server" {
+		t.Errorf("http_requests sample wrong: %+v", req)
+	}
+	if page.kinds["http_request_seconds"] != "histogram" {
+		t.Fatalf("http_request_seconds kind = %q, want histogram", page.kinds["http_request_seconds"])
+	}
+	if got := page.find(t, "http_request_seconds_count", map[string]string{"route": "GET /metrics"}); got.value != "2" {
+		t.Errorf("histogram count = %s, want 2", got.value)
+	}
+	if got := page.find(t, "http_request_seconds_sum", nil); got.value != "1" {
+		t.Errorf("histogram sum = %s, want 1", got.value)
+	}
+	if got := page.find(t, "http_request_seconds_bucket", map[string]string{"le": "0.25"}); got.value != "1" {
+		t.Errorf("le=0.25 bucket = %s, want 1", got.value)
+	}
+	if got := page.find(t, "http_request_seconds_bucket", map[string]string{"le": "+Inf"}); got.value != "2" {
+		t.Errorf("le=+Inf bucket = %s, want 2", got.value)
+	}
+	// Derived extrema/mean families exist as gauges.
+	for _, name := range []string{"http_request_seconds_min", "http_request_seconds_max", "http_request_seconds_mean"} {
+		if page.kinds[name] != "gauge" {
+			t.Errorf("%s kind = %q, want gauge (page:\n%s)", name, page.kinds[name], raw)
+		}
+	}
+	if got := page.find(t, "http_request_seconds_mean", nil); got.value != "0.5" {
+		t.Errorf("histogram mean = %s, want 0.5", got.value)
+	}
+}
+
+// An empty histogram must scrape as valid exposition literals — min +Inf,
+// max -Inf, mean NaN — not clamped finite stand-ins (regression: Snapshot
+// clamps for JSON, the encoder must not).
+func TestWritePrometheusEmptyHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("engine.cycle_seconds") // registered, never observed
+
+	page, _ := scrape(t, Expo{Reg: r})
+
+	if got := page.find(t, "engine_cycle_seconds_count", nil); got.value != "0" {
+		t.Errorf("empty count = %s, want 0", got.value)
+	}
+	if got := page.find(t, "engine_cycle_seconds_min", nil); got.value != "+Inf" {
+		t.Errorf("empty min = %s, want +Inf", got.value)
+	}
+	if got := page.find(t, "engine_cycle_seconds_max", nil); got.value != "-Inf" {
+		t.Errorf("empty max = %s, want -Inf", got.value)
+	}
+	if got := page.find(t, "engine_cycle_seconds_mean", nil); got.value != "NaN" {
+		t.Errorf("empty mean = %s, want NaN", got.value)
+	}
+	if got := page.find(t, "engine_cycle_seconds_bucket", map[string]string{"le": "+Inf"}); got.value != "0" {
+		t.Errorf("empty +Inf bucket = %s, want 0", got.value)
+	}
+}
+
+// Cumulative buckets must be non-decreasing in le order and end at _count.
+func TestWritePrometheusBucketMonotonic(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for _, v := range []float64{1e-9, 0.003, 0.072, 0.5, 0.5, 3, 40, 1e12} {
+		h.Observe(v)
+	}
+	page, raw := scrape(t, Expo{Reg: r})
+
+	type bkt struct {
+		le  float64
+		cum uint64
+	}
+	var bkts []bkt
+	for _, s := range page.samples {
+		if s.name != "lat_bucket" {
+			continue
+		}
+		le, err := strconv.ParseFloat(s.labels["le"], 64)
+		if err != nil {
+			t.Fatalf("bad le %q: %v", s.labels["le"], err)
+		}
+		cum, err := strconv.ParseUint(s.value, 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket value %q: %v", s.value, err)
+		}
+		bkts = append(bkts, bkt{le, cum})
+	}
+	if len(bkts) < 2 {
+		t.Fatalf("too few buckets emitted:\n%s", raw)
+	}
+	sort.Slice(bkts, func(i, j int) bool { return bkts[i].le < bkts[j].le })
+	for i := 1; i < len(bkts); i++ {
+		if bkts[i].cum < bkts[i-1].cum {
+			t.Fatalf("bucket le=%g cum=%d < previous cum=%d", bkts[i].le, bkts[i].cum, bkts[i-1].cum)
+		}
+	}
+	last := bkts[len(bkts)-1]
+	if !math.IsInf(last.le, 1) {
+		t.Fatalf("largest bucket le = %g, want +Inf", last.le)
+	}
+	count := page.find(t, "lat_count", nil)
+	if count.value != strconv.FormatUint(last.cum, 10) {
+		t.Errorf("_count = %s, +Inf bucket = %d; must be equal", count.value, last.cum)
+	}
+	if count.value != "8" {
+		t.Errorf("_count = %s, want 8", count.value)
+	}
+}
+
+// Two registries sharing family names on one page: counters sum, gauges
+// take the last write, and label-disjoint samples coexist.
+func TestWritePrometheusMergesRegistries(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("tries").Add(2)
+	b.Counter("tries").Add(5)
+	a.Gauge("best").Set(-10)
+	b.Gauge("best").Set(-7)
+	a.Counter("only.a").Add(1)
+
+	// Same labels → merge.
+	page, _ := scrape(t, Expo{Reg: a}, Expo{Reg: b})
+	if got := page.find(t, "tries", nil); got.value != "7" {
+		t.Errorf("merged counter = %s, want 7", got.value)
+	}
+	if got := page.find(t, "best", nil); got.value != "-7" {
+		t.Errorf("merged gauge = %s, want -7 (last write wins)", got.value)
+	}
+
+	// Distinct fixed labels → both samples survive side by side.
+	page, _ = scrape(t,
+		Expo{Reg: a, Labels: []Label{{"rank", "0"}}},
+		Expo{Reg: b, Labels: []Label{{"rank", "1"}}})
+	if got := page.find(t, "tries", map[string]string{"rank": "0"}); got.value != "2" {
+		t.Errorf("rank 0 tries = %s, want 2", got.value)
+	}
+	if got := page.find(t, "tries", map[string]string{"rank": "1"}); got.value != "5" {
+		t.Errorf("rank 1 tries = %s, want 5", got.value)
+	}
+}
+
+func TestWritePrometheusSanitizesAndEscapes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Labeled("mpi.collectives.all-reduce", "why", "line\nbreak \"quoted\" back\\slash")).Add(1)
+	page, raw := scrape(t, Expo{Reg: r})
+	s := page.find(t, "mpi_collectives_all_reduce", nil)
+	if s.labels["why"] != `line\nbreak \"quoted\" back\\slash` {
+		t.Errorf("escaped label value = %q (page:\n%s)", s.labels["why"], raw)
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %g, want 0", got)
+	}
+
+	h.Observe(0.75)                                 // bucket upper bound 1
+	for _, q := range []float64{0, 0.5, 1, -3, 7} { // out-of-range q clamps
+		if got := h.Quantile(q); got != 1 {
+			t.Errorf("single-obs Quantile(%g) = %g, want 1", q, got)
+		}
+	}
+
+	// Values past the largest finite boundary land in the overflow bucket,
+	// whose reported boundary clamps to 2^31.
+	var big Histogram
+	big.Observe(1e12)
+	if got, want := big.Quantile(1), math.Ldexp(1, histMinExp+histBuckets-1); got != want {
+		t.Errorf("overflow Quantile(1) = %g, want %g", got, want)
+	}
+
+	// q=0 is the smallest populated bucket, q=1 the largest.
+	var two Histogram
+	two.Observe(0.2) // bucket boundary 0.25
+	two.Observe(100) // bucket boundary 128
+	if got := two.Quantile(0); got != 0.25 {
+		t.Errorf("Quantile(0) = %g, want 0.25", got)
+	}
+	if got := two.Quantile(1); got != 128.0 {
+		t.Errorf("Quantile(1) = %g, want 128", got)
+	}
+}
+
+func TestGaugeAdd(t *testing.T) {
+	var g Gauge
+	g.Add(1)
+	g.Add(1)
+	g.Add(-1)
+	if got := g.Value(); got != 1 {
+		t.Errorf("gauge after +1+1-1 = %g, want 1", got)
+	}
+	g.Set(10)
+	g.Add(2.5)
+	if got := g.Value(); got != 12.5 {
+		t.Errorf("gauge after Set(10)+2.5 = %g, want 12.5", got)
+	}
+	var nilG *Gauge
+	nilG.Add(1) // must not panic
+}
+
+func TestLabeledSortsPairs(t *testing.T) {
+	a := Labeled("m", "b", "2", "a", "1")
+	b := Labeled("m", "a", "1", "b", "2")
+	if a != b {
+		t.Errorf("Labeled not order-independent: %q vs %q", a, b)
+	}
+	if want := `m{a="1",b="2"}`; a != want {
+		t.Errorf("Labeled = %q, want %q", a, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("odd pair count did not panic")
+		}
+	}()
+	Labeled("m", "only-one")
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
+	"math"
 
 	"repro/internal/autoclass"
 	"repro/internal/mpi"
@@ -32,6 +33,14 @@ const (
 	MetricPayloadBytes  = "mpi.payload_bytes"
 	MetricRetries       = "mpi.send_retries"
 	MetricTimeouts      = "mpi.timeouts"
+	MetricTryClaimed    = "search.tries.claimed"
+	MetricTryCommitted  = "search.tries.committed"
+	MetricTryDuplicate  = "search.tries.duplicate"
+	MetricTryEarlyStop  = "search.tries.early_stopped"
+	MetricTriesDone     = "search.tries_done"
+	MetricTriesTotal    = "search.tries_total"
+	MetricBestScore     = "search.best_score"
+	MetricTryCycles     = "search.try_cycles"
 )
 
 // Rank records one rank's run. It implements the three observability hook
@@ -55,8 +64,12 @@ type Rank struct {
 	cWts, cParams, cApprox               *Counter
 	cOps, cComputeSec, cCommSec, cWait   *Counter
 	cRetries, cTimeouts                  *Counter
+	cTryClaimed, cTryCommitted           *Counter
+	cTryDuplicate, cTryEarlyStop         *Counter
 	gLogPost, gDelta, gClasses           *Gauge
+	gTriesDone, gTriesTotal, gBestScore  *Gauge
 	hCycleSeconds, hPayloadBytes         *Histogram
+	hTryCycles                           *Histogram
 	collCount, collSteps, collValues     map[string]*Counter
 
 	// pendingColl names the collective the next clock sync charges for;
@@ -97,11 +110,19 @@ func newRank(run *Run, rank int) *Rank {
 	r.cWait = r.reg.Counter(MetricWaitSec)
 	r.cRetries = r.reg.Counter(MetricRetries)
 	r.cTimeouts = r.reg.Counter(MetricTimeouts)
+	r.cTryClaimed = r.reg.Counter(MetricTryClaimed)
+	r.cTryCommitted = r.reg.Counter(MetricTryCommitted)
+	r.cTryDuplicate = r.reg.Counter(MetricTryDuplicate)
+	r.cTryEarlyStop = r.reg.Counter(MetricTryEarlyStop)
 	r.gLogPost = r.reg.Gauge(MetricLogPost)
 	r.gDelta = r.reg.Gauge(MetricDelta)
 	r.gClasses = r.reg.Gauge(MetricClasses)
+	r.gTriesDone = r.reg.Gauge(MetricTriesDone)
+	r.gTriesTotal = r.reg.Gauge(MetricTriesTotal)
+	r.gBestScore = r.reg.Gauge(MetricBestScore)
 	r.hCycleSeconds = r.reg.Histogram(MetricCycleSeconds)
 	r.hPayloadBytes = r.reg.Histogram(MetricPayloadBytes)
+	r.hTryCycles = r.reg.Histogram(MetricTryCycles)
 	for _, name := range collectiveNames {
 		r.collCount[name] = r.reg.Counter(MetricCollectives + "." + name)
 		r.collSteps[name] = r.reg.Counter(MetricCollSteps + "." + name)
@@ -276,6 +297,38 @@ func (r *Rank) ObserveCycle(info autoclass.CycleInfo) {
 	}
 }
 
+// ObserveTry implements autoclass.SearchObserver: per-kind try counters,
+// the tries-done/total and best-score gauges, and the per-try cycle-count
+// distribution. All pre-bound atomic handles — zero allocations, safe for
+// the concurrent delivery a variant-parallel search produces.
+func (r *Rank) ObserveTry(ev autoclass.TryEvent) {
+	if r == nil {
+		return
+	}
+	switch ev.Kind {
+	case autoclass.TryClaimed:
+		r.cTryClaimed.Add(1)
+		r.gTriesTotal.Set(float64(ev.Total))
+	case autoclass.TryCycle:
+		// Per-cycle engine metrics already flow through ObserveCycle.
+	default: // commit verdicts
+		r.cTryCommitted.Add(1)
+		if ev.Kind == autoclass.TryDuplicate {
+			r.cTryDuplicate.Add(1)
+		}
+		if ev.Kind == autoclass.TryEarlyStopped {
+			r.cTryDuplicate.Add(1)
+			r.cTryEarlyStop.Add(1)
+		}
+		r.gTriesDone.Set(float64(ev.Done))
+		r.gTriesTotal.Set(float64(ev.Total))
+		r.hTryCycles.Observe(float64(ev.Cycles))
+		if !math.IsInf(ev.BestScore, -1) {
+			r.gBestScore.Set(ev.BestScore)
+		}
+	}
+}
+
 // Run is a whole-run observability session shared by the in-process ranks:
 // one Rank recorder and tracer track per rank, plus run-level export and
 // aggregation. Create it before mpi.Run and hand run.Rank(i) to rank i.
@@ -379,3 +432,4 @@ var _ mpi.CollectiveObserver = (*Rank)(nil)
 var _ mpi.FaultObserver = (*Rank)(nil)
 var _ simnet.ClockObserver = (*Rank)(nil)
 var _ autoclass.CycleObserver = (*Rank)(nil)
+var _ autoclass.SearchObserver = (*Rank)(nil)

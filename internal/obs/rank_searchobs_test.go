@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/autoclass"
+)
+
+func TestRankObserveTry(t *testing.T) {
+	run := NewRun(1)
+	r := run.Rank(0)
+
+	r.ObserveTry(autoclass.TryEvent{Kind: autoclass.TryClaimed, Total: 4})
+	r.ObserveTry(autoclass.TryEvent{Kind: autoclass.TryCycle, Cycle: 0, LogPost: -10})
+	r.ObserveTry(autoclass.TryEvent{
+		Kind: autoclass.TryConverged, Cycles: 12,
+		Done: 1, Total: 4, BestScore: -123.5, BestJ: 3,
+	})
+	r.ObserveTry(autoclass.TryEvent{
+		Kind: autoclass.TryDuplicate, Cycles: 7,
+		Done: 2, Total: 4, BestScore: -123.5, BestJ: 3,
+	})
+	r.ObserveTry(autoclass.TryEvent{
+		Kind: autoclass.TryEarlyStopped, Cycles: 3,
+		Done: 3, Total: 4, BestScore: -123.5, BestJ: 3,
+	})
+
+	reg := r.Registry()
+	checks := []struct {
+		name string
+		want float64
+	}{
+		{MetricTryClaimed, 1},
+		{MetricTryCommitted, 3},
+		{MetricTryDuplicate, 2}, // early-stopped tries commit as duplicates
+		{MetricTryEarlyStop, 1},
+	}
+	for _, c := range checks {
+		if got := reg.Counter(c.name).Value(); got != c.want {
+			t.Errorf("%s = %g, want %g", c.name, got, c.want)
+		}
+	}
+	if got := reg.Gauge(MetricTriesDone).Value(); got != 3 {
+		t.Errorf("%s = %g, want 3", MetricTriesDone, got)
+	}
+	if got := reg.Gauge(MetricTriesTotal).Value(); got != 4 {
+		t.Errorf("%s = %g, want 4", MetricTriesTotal, got)
+	}
+	if got := reg.Gauge(MetricBestScore).Value(); got != -123.5 {
+		t.Errorf("%s = %g, want -123.5", MetricBestScore, got)
+	}
+	if got := reg.Histogram(MetricTryCycles).Count(); got != 3 {
+		t.Errorf("%s count = %d, want 3", MetricTryCycles, got)
+	}
+	if got := reg.Histogram(MetricTryCycles).Sum(); got != 22 {
+		t.Errorf("%s sum = %g, want 22", MetricTryCycles, got)
+	}
+}
+
+// A -Inf best (nothing kept yet) must not clobber the best-score gauge.
+func TestRankObserveTryInfBest(t *testing.T) {
+	run := NewRun(1)
+	r := run.Rank(0)
+	r.ObserveTry(autoclass.TryEvent{
+		Kind: autoclass.TryDuplicate, Done: 1, Total: 2, BestScore: math.Inf(-1),
+	})
+	if got := r.Registry().Gauge(MetricBestScore).Value(); got != 0 {
+		t.Errorf("best-score gauge touched by -Inf best: %g", got)
+	}
+}
+
+// The try hook must be allocation-free (the hot observability contract),
+// for a live rank and for the disabled nil receiver alike.
+func TestObserveTryAllocs(t *testing.T) {
+	run := NewRun(1)
+	r := run.Rank(0)
+	ev := autoclass.TryEvent{Kind: autoclass.TryConverged, Cycles: 5, Done: 1, Total: 2, BestScore: -1}
+	if n := testing.AllocsPerRun(100, func() { r.ObserveTry(ev) }); n != 0 {
+		t.Errorf("ObserveTry allocations = %v, want 0", n)
+	}
+	var nilR *Rank
+	if n := testing.AllocsPerRun(100, func() { nilR.ObserveTry(ev) }); n != 0 {
+		t.Errorf("nil ObserveTry allocations = %v, want 0", n)
+	}
+}

@@ -69,6 +69,22 @@ func (g *Gauge) Set(v float64) {
 	g.set.Store(true)
 }
 
+// Add shifts the gauge by delta (useful for in-flight tracking where the
+// value is a level, not a sample). Safe for concurrent use; no allocations.
+func (g *Gauge) Add(delta float64) {
+	if g == nil || math.IsNaN(delta) {
+		return
+	}
+	for {
+		old := g.bits.Load() // unset bits are 0, i.e. exactly 0.0
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			g.set.Store(true)
+			return
+		}
+	}
+}
+
 // Value returns the last stored value (0 if never set or nil).
 func (g *Gauge) Value() float64 {
 	if g == nil || !g.set.Load() {

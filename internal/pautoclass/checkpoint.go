@@ -285,6 +285,14 @@ func SearchCheckpointed(comm *mpi.Comm, ds *dataset.Dataset, spec model.Spec,
 	// the stream position always matches the try index.
 	seeds := rng.New(cfg.Seed)
 	tryIndex := 0
+	// Every rank runs the identical loop, so search lifecycle events are
+	// emitted on rank 0 only; a resumed search's first events report a Done
+	// count that already includes the restored prefix.
+	total := len(cfg.StartJList) * cfg.Tries
+	emitObs := opts.SearchObs
+	if comm.Rank() != 0 {
+		emitObs = nil
+	}
 	for _, startJ := range cfg.StartJList {
 		for try := 0; try < cfg.Tries; try++ {
 			trySeed := seeds.Uint64()
@@ -306,6 +314,14 @@ func SearchCheckpointed(comm *mpi.Comm, ds *dataset.Dataset, spec model.Spec,
 				if stop {
 					return nil, ErrInterrupted
 				}
+			}
+
+			if emitObs != nil {
+				emitObs.ObserveTry(autoclass.TryEvent{
+					Kind: autoclass.TryClaimed, Index: tryIndex,
+					StartJ: startJ, Try: try, Seed: trySeed,
+					Done: len(res.Tries), Total: total,
+				})
 			}
 
 			// Mid-try resume: the state file ended inside this try.
@@ -353,8 +369,16 @@ func SearchCheckpointed(comm *mpi.Comm, ds *dataset.Dataset, spec model.Spec,
 			}
 			state.InTry = nil
 			eng.SetProfile(opts.Profile)
+			var cyc autoclass.CycleObserver
 			if opts.Obs != nil {
-				eng.SetCycleObserver(opts.Obs)
+				cyc = opts.Obs
+			}
+			if emitObs != nil {
+				cyc = autoclass.NewTryCycleObserver(emitObs, cyc,
+					autoclass.Variant{Index: tryIndex, StartJ: startJ, Try: try, Seed: trySeed}, total)
+			}
+			if cyc != nil {
+				eng.SetCycleObserver(cyc)
 			}
 			if ck.Every > 0 || ck.Interrupt != nil {
 				ti, sj, tn, ts := tryIndex, startJ, try, trySeed
@@ -443,6 +467,25 @@ func SearchCheckpointed(comm *mpi.Comm, ds *dataset.Dataset, spec model.Spec,
 			if !tr.Duplicate && (res.Best == nil || tr.Score > res.BestTry.Score) {
 				res.Best = cls
 				res.BestTry = tr
+			}
+			if emitObs != nil {
+				kind := autoclass.TryConverged
+				if tr.Duplicate {
+					kind = autoclass.TryDuplicate
+				}
+				ev := autoclass.TryEvent{
+					// tryIndex was already advanced past this try above.
+					Kind: kind, Index: tryIndex - 1, StartJ: startJ, Try: try,
+					Seed: trySeed, Cycles: tr.Cycles, J: tr.FinalJ,
+					LogPost: tr.LogPost, Score: tr.Score, Converged: tr.Converged,
+					Done: len(res.Tries), Total: total,
+					BestScore: math.Inf(-1),
+				}
+				if res.Best != nil {
+					ev.BestScore = res.BestTry.Score
+					ev.BestJ = res.BestTry.FinalJ
+				}
+				emitObs.ObserveTry(ev)
 			}
 			// Try boundary: persist completed progress (rank 0 only — every
 			// rank holds the identical state, no agreement needed because the

@@ -91,6 +91,17 @@ type Options struct {
 	// Profile, when non-nil, accumulates per-phase wall time (§3.1-style
 	// update_wts / update_parameters / update_approximations table).
 	Profile *trace.Profile
+	// SearchObs, when non-nil, receives try lifecycle events from the
+	// replicated BIG_LOOP (Search, SearchCheckpointed). Every rank runs the
+	// identical search loop, so events are emitted on rank 0 only — the
+	// same Options value may be handed to every rank. Like Obs, it is
+	// notification-only and never perturbs the trajectory.
+	SearchObs autoclass.SearchObserver
+
+	// cycleObs, when set, is a fully composed per-try cycle observer (the
+	// TryCycle emitter chained to Obs) that the search drivers install in
+	// place of Obs on the try's engine.
+	cycleObs autoclass.CycleObserver
 }
 
 // install wires the rank's observer into the communicator, the virtual
@@ -322,7 +333,9 @@ func RunTrial(comm *mpi.Comm, view *dataset.View, pr *model.Priors, spec model.S
 			return nil, zero, err
 		}
 		eng.SetProfile(opts.Profile)
-		if opts.Obs != nil {
+		if opts.cycleObs != nil {
+			eng.SetCycleObserver(opts.cycleObs)
+		} else if opts.Obs != nil {
 			eng.SetCycleObserver(opts.Obs)
 		}
 		if err := eng.InitRandom(seed); err != nil {
@@ -367,8 +380,12 @@ func Search(comm *mpi.Comm, ds *dataset.Dataset, spec model.Spec,
 	if err != nil {
 		return nil, err
 	}
+	// Rank 0 alone adapts each try's cycle stream into TryCycle events; the
+	// scheduler below (also rank-0-only) supplies claims and commit
+	// verdicts. Other ranks run the identical unobserved loop.
+	emit := searchEmitter(comm, cfg, opts)
 	runner := func(startJ int, seed uint64) (*autoclass.Classification, autoclass.EMResult, error) {
-		return RunTrial(comm, view, pr, spec, startJ, seed, opts)
+		return RunTrial(comm, view, pr, spec, startJ, seed, emit(startJ, seed))
 	}
 	// The SPMD runner communicates through this rank's communicator, so two
 	// tries must never run concurrently on one rank — their collectives
@@ -376,5 +393,40 @@ func Search(comm *mpi.Comm, ds *dataset.Dataset, spec model.Spec,
 	// budget-split decision across communicator groups, not within one:
 	// see SearchHybrid.
 	cfg.SearchParallelism = 1
+	if opts.SearchObs != nil && comm.Rank() == 0 {
+		return autoclass.SearchWithObserver(runner, cfg, opts.SearchObs)
+	}
 	return autoclass.SearchWith(runner, cfg)
+}
+
+// searchEmitter returns a per-try Options decorator: on rank 0 with a
+// search observer installed, it composes the TryCycle emitter for the
+// variant identified by (startJ, seed) in front of the rank's cycle
+// observer; everywhere else it returns opts unchanged.
+func searchEmitter(comm *mpi.Comm, cfg autoclass.SearchConfig, opts Options) func(startJ int, seed uint64) Options {
+	if opts.SearchObs == nil || comm.Rank() != 0 {
+		return func(int, uint64) Options { return opts }
+	}
+	type vkey struct {
+		startJ int
+		seed   uint64
+	}
+	vs := cfg.Variants()
+	vmap := make(map[vkey]autoclass.Variant, len(vs))
+	for _, v := range vs {
+		vmap[vkey{v.StartJ, v.Seed}] = v
+	}
+	return func(startJ int, seed uint64) Options {
+		v, ok := vmap[vkey{startJ, seed}]
+		if !ok {
+			return opts
+		}
+		o := opts
+		var next autoclass.CycleObserver
+		if opts.Obs != nil {
+			next = opts.Obs
+		}
+		o.cycleObs = autoclass.NewTryCycleObserver(opts.SearchObs, next, v, len(vs))
+		return o
+	}
 }

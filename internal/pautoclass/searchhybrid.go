@@ -46,6 +46,11 @@ type HybridConfig struct {
 	// Run is the per-group transport configuration (collective algorithm,
 	// deadlines, retry).
 	Run mpi.RunConfig
+	// SearchObs, when non-nil, receives claim and commit events from the
+	// shared variant scheduler. Claims arrive concurrently from the group
+	// leaders, so the observer must be safe for concurrent use; per-cycle
+	// TryCycle events are not emitted on the hybrid path.
+	SearchObs autoclass.SearchObserver
 }
 
 func (hc HybridConfig) groups() (v, r int, err error) {
@@ -85,6 +90,7 @@ func SearchHybrid(ds *dataset.Dataset, spec model.Spec, cfg autoclass.SearchConf
 	if err != nil {
 		return nil, err
 	}
+	sched.SetObserver(hc.SearchObs)
 	variants := cfg.Variants()
 	groupErrs := make([]error, v)
 	var wg sync.WaitGroup

@@ -75,6 +75,9 @@ func newWtsOnlyEngine(comm *mpi.Comm, view *dataset.View, cls *autoclass.Classif
 	if opts.Obs != nil {
 		e.cycleObs = opts.Obs
 	}
+	if opts.cycleObs != nil {
+		e.cycleObs = opts.cycleObs
+	}
 	return e, nil
 }
 

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/autoclass"
@@ -51,15 +53,18 @@ type JobRequest struct {
 
 // JobStatus is the GET /v1/jobs/{id} body.
 type JobStatus struct {
-	ID      string `json:"id"`
-	State   string `json:"state"`
-	Error   string `json:"error,omitempty"`
-	ModelID string `json:"model_id,omitempty"`
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// RequestID is the submitting HTTP request's ID (X-Request-Id), kept
+	// so logs and statuses correlate back to the original submission.
+	RequestID string `json:"request_id,omitempty"`
+	Error     string `json:"error,omitempty"`
+	ModelID   string `json:"model_id,omitempty"`
 	// Fitted-model summary, present once done.
-	J         int     `json:"j,omitempty"`
-	Score     float64 `json:"score,omitempty"`
-	Cycles    int     `json:"cycles,omitempty"`
-	Converged bool    `json:"converged,omitempty"`
+	J         int       `json:"j,omitempty"`
+	Score     float64   `json:"score,omitempty"`
+	Cycles    int       `json:"cycles,omitempty"`
+	Converged bool      `json:"converged,omitempty"`
 	Created   time.Time `json:"created"`
 	Updated   time.Time `json:"updated"`
 }
@@ -83,24 +88,43 @@ type PredictResponse struct {
 
 func (s *Server) buildMux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("POST /v1/models/{id}/predict", s.handlePredict)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /debug/trace", s.handleTrace)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// Every route goes through instrument, which uses the pattern string
+	// (not the raw path) as the metric route label. go.mod targets 1.22,
+	// so the pattern is passed explicitly rather than read from the
+	// request (http.Request.Pattern is 1.23+).
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	route("POST /v1/jobs", s.handleSubmit)
+	route("GET /v1/jobs", s.handleJobs)
+	route("GET /v1/jobs/{id}", s.handleJob)
+	route("GET /v1/jobs/{id}/progress", s.handleProgress)
+	route("POST /v1/models/{id}/predict", s.handlePredict)
+	route("GET /metrics", s.handleMetrics)
+	route("GET /metrics.json", s.handleMetricsJSON)
+	route("GET /debug/trace", s.handleTrace)
+	route("GET /healthz", s.handleHealthz)
+	route("GET /readyz", s.handleReadyz)
+	if s.cfg.EnablePprof {
+		// Left uninstrumented: profiles stream for their whole duration
+		// and would distort the latency histograms.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", obs.ContentTypeJSON)
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 func writeBody(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", obs.ContentTypeJSON)
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(v)
 }
@@ -115,7 +139,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	st, err := s.submit(req)
+	st, err := s.submit(req, w.Header().Get("X-Request-Id"))
 	if err != nil {
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
@@ -209,7 +233,36 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	writeBody(w, http.StatusOK, resp)
 }
 
+// handleMetrics serves the Prometheus text exposition by default; clients
+// that ask for JSON (Accept: application/json) get the legacy snapshot
+// shape, also available unconditionally at /metrics.json.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "application/json") {
+		s.handleMetricsJSON(w, r)
+		return
+	}
+	s.mu.Lock()
+	run := s.lastRun
+	s.mu.Unlock()
+	// The server registry and the last run's per-rank registries export as
+	// one scrape, distinguished by fixed labels. Metric reads are atomic,
+	// so scraping during a live run is safe.
+	exps := []obs.Expo{{Reg: s.reg, Labels: []obs.Label{{Name: "registry", Value: "server"}}}}
+	for i := 0; i < run.Ranks(); i++ {
+		exps = append(exps, obs.Expo{Reg: run.Rank(i).Registry(), Labels: []obs.Label{
+			{Name: "registry", Value: "run"},
+			{Name: "rank", Value: strconv.Itoa(i)},
+		}})
+	}
+	w.Header().Set("Content-Type", obs.ContentTypeText)
+	w.WriteHeader(http.StatusOK)
+	// Write errors mean a dropped scrape connection; nothing to do.
+	_ = obs.WritePrometheus(w, exps...)
+}
+
+// handleMetricsJSON serves the JSON snapshot shape /metrics used before
+// the Prometheus exposition existed.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	run := s.lastRun
 	s.mu.Unlock()
@@ -224,6 +277,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		body.Run = &snap
 	}
 	writeBody(w, http.StatusOK, body)
+}
+
+// handleProgress serves the live BIG_LOOP progress of a job.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	jp, ok := s.jobProgress(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeBody(w, http.StatusOK, jp)
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
@@ -251,6 +314,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	running := s.running
 	s.mu.Unlock()
 	writeBody(w, http.StatusOK, map[string]any{"status": "ok", "jobs": n, "running": running})
+}
+
+// handleReadyz reports readiness: the job store is loaded (true once New
+// returns) and the runner still accepts work. A shutting-down server
+// returns 503 so load balancers drain it.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed || s.stopping.Load() {
+		writeBody(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "shutting down"})
+		return
+	}
+	writeBody(w, http.StatusOK, map[string]any{"ready": true})
 }
 
 // buildDataset materializes a wire-format table as an engine dataset. A nil

@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/autoclass"
+)
+
+// Live search progress: every running job gets a progressTracker installed
+// as the search's SearchObserver (rank 0 of the training group emits, so
+// events arrive exactly once per lifecycle point). The tracker keeps the
+// latest view of the BIG_LOOP — tries done/total, best score, the try
+// currently cycling — plus an ETA extrapolated from the commit rate this
+// tracker has observed. GET /v1/jobs/{id}/progress serves it.
+
+// JobProgress is the GET /v1/jobs/{id}/progress body. Non-finite values
+// (no committed try yet, no current log-posterior) are omitted rather than
+// emitted, since JSON cannot carry NaN or ±Inf.
+type JobProgress struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// TriesDone counts committed tries (monotonically non-decreasing,
+	// including any checkpoint-restored prefix); TriesTotal the schedule.
+	TriesDone  int `json:"tries_done"`
+	TriesTotal int `json:"tries_total"`
+	// BestScore/BestJ describe the best committed classification so far.
+	BestScore *float64 `json:"best_score,omitempty"`
+	BestJ     int      `json:"best_j,omitempty"`
+	// The try currently cycling, when one is.
+	CurrentTry *CurrentTry `json:"current_try,omitempty"`
+	// ElapsedSeconds is time since the server started this run;
+	// ETASeconds extrapolates the remaining tries from the observed
+	// commit rate (absent until the run commits its first try).
+	ElapsedSeconds float64  `json:"elapsed_seconds"`
+	ETASeconds     *float64 `json:"eta_seconds,omitempty"`
+}
+
+// CurrentTry describes the variant a running search is inside.
+type CurrentTry struct {
+	Index  int `json:"index"`
+	StartJ int `json:"start_j"`
+	Try    int `json:"try"`
+	// Cycle is the last finished EM cycle (-1 before the first).
+	Cycle   int      `json:"cycle"`
+	J       int      `json:"j,omitempty"`
+	LogPost *float64 `json:"logpost,omitempty"`
+}
+
+// progressTracker accumulates TryEvents into a JobProgress view. It is a
+// pure sink (notification-only, as SearchObserver requires) and safe for
+// the concurrent delivery a parallel search produces.
+type progressTracker struct {
+	mu    sync.Mutex
+	start time.Time
+
+	done, total int
+	bestScore   float64 // -Inf until the first keep
+	bestJ       int
+
+	cycling bool
+	cur     CurrentTry
+	curLP   float64
+
+	// committed counts commits seen by THIS tracker (excludes any restored
+	// prefix), so the ETA rate reflects observed work only.
+	committed int
+}
+
+func newProgressTracker() *progressTracker {
+	return &progressTracker{start: time.Now(), bestScore: math.Inf(-1)}
+}
+
+// ObserveTry implements autoclass.SearchObserver.
+func (p *progressTracker) ObserveTry(ev autoclass.TryEvent) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ev.Total > p.total {
+		p.total = ev.Total
+	}
+	switch ev.Kind {
+	case autoclass.TryClaimed:
+		p.cycling = true
+		p.cur = CurrentTry{Index: ev.Index, StartJ: ev.StartJ, Try: ev.Try, Cycle: -1}
+		p.curLP = math.Inf(-1)
+		if ev.Done > p.done {
+			p.done = ev.Done
+		}
+	case autoclass.TryCycle:
+		p.cycling = true
+		p.cur.Index = ev.Index
+		p.cur.StartJ = ev.StartJ
+		p.cur.Try = ev.Try
+		p.cur.Cycle = ev.Cycle
+		p.cur.J = ev.J
+		p.curLP = ev.LogPost
+	default: // commit verdicts
+		p.committed++
+		p.cycling = false
+		if ev.Done > p.done {
+			p.done = ev.Done
+		}
+		if !math.IsInf(ev.BestScore, -1) {
+			p.bestScore = ev.BestScore
+			p.bestJ = ev.BestJ
+		}
+	}
+}
+
+// view renders the tracker as a JobProgress (ID and State filled by the
+// caller, which owns the job table).
+func (p *progressTracker) view() JobProgress {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	jp := JobProgress{
+		TriesDone:      p.done,
+		TriesTotal:     p.total,
+		BestJ:          p.bestJ,
+		ElapsedSeconds: time.Since(p.start).Seconds(),
+	}
+	if !math.IsInf(p.bestScore, -1) {
+		v := p.bestScore
+		jp.BestScore = &v
+	}
+	if p.cycling {
+		cur := p.cur
+		if !math.IsInf(p.curLP, -1) && !math.IsNaN(p.curLP) {
+			lp := p.curLP
+			cur.LogPost = &lp
+		}
+		jp.CurrentTry = &cur
+	}
+	if p.committed > 0 && p.done < p.total {
+		rate := jp.ElapsedSeconds / float64(p.committed)
+		eta := rate * float64(p.total-p.done)
+		jp.ETASeconds = &eta
+	}
+	return jp
+}
+
+// jobProgress builds the live progress view for a job. Jobs that never ran
+// on this server instance (queued, or done before a restart) have no
+// tracker; their schedule size is derived from the persisted request, and
+// a done job reports tries_done == tries_total.
+func (s *Server) jobProgress(id string) (JobProgress, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var t *progressTracker
+	var st JobStatus
+	var spec *SearchSpec
+	if ok {
+		t = s.progress[id]
+		st = j.Status
+		spec = j.Req.Search
+	}
+	s.mu.Unlock()
+	if !ok {
+		return JobProgress{}, false
+	}
+	var jp JobProgress
+	if t != nil {
+		jp = t.view()
+	}
+	jp.ID = id
+	jp.State = st.State
+	if jp.TriesTotal == 0 {
+		if cfg, err := searchConfig(spec); err == nil {
+			jp.TriesTotal = len(cfg.StartJList) * cfg.Tries
+		}
+	}
+	if st.State == StateDone {
+		jp.TriesDone = jp.TriesTotal
+		jp.CurrentTry = nil
+		jp.ETASeconds = nil
+		if jp.BestScore == nil {
+			v := st.Score
+			jp.BestScore = &v
+			jp.BestJ = st.J
+		}
+	}
+	return jp, true
+}
+
+// fanoutObserver delivers every event to each member in order.
+type fanoutObserver []autoclass.SearchObserver
+
+func (f fanoutObserver) ObserveTry(ev autoclass.TryEvent) {
+	for _, o := range f {
+		o.ObserveTry(ev)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -50,6 +51,12 @@ type Config struct {
 	Procs int
 	// Every is the mid-try checkpoint cadence in cycles. Default 4.
 	Every int
+	// Logger receives the server's structured logs (request logs, job
+	// lifecycle). Nil means slog.Default().
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: the profiles expose internals and cost CPU to collect.
+	EnablePprof bool
 }
 
 // maxProcs caps the per-request rank count: these are in-process goroutine
@@ -59,8 +66,10 @@ const maxProcs = 64
 // Server is the pautoclassd HTTP handler plus its job runner. Create with
 // New, serve it with net/http, stop it with Close.
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
+	cfg    Config
+	mux    *http.ServeMux
+	log    *slog.Logger
+	bootID string // prefix for generated request IDs
 
 	reg          *obs.Registry
 	cSubmitted   *obs.Counter
@@ -70,14 +79,16 @@ type Server struct {
 	cResumed     *obs.Counter
 	cPredicts    *obs.Counter
 	cPredictRows *obs.Counter
+	gInflight    *obs.Gauge
 
-	mu      sync.Mutex
-	jobs    map[string]*job
-	models  map[string]*loadedModel
-	nextID  int
-	lastRun *obs.Run
-	running string // id of the job currently on the runner, "" if idle
-	closed  bool
+	mu       sync.Mutex
+	jobs     map[string]*job
+	models   map[string]*loadedModel
+	progress map[string]*progressTracker
+	nextID   int
+	lastRun  *obs.Run
+	running  string // id of the job currently on the runner, "" if idle
+	closed   bool
 
 	queue    chan string
 	stopping atomic.Bool
@@ -122,14 +133,21 @@ func New(cfg Config) (*Server, error) {
 	if err := os.MkdirAll(filepath.Join(cfg.Dir, "jobs"), 0o755); err != nil {
 		return nil, fmt.Errorf("serve: state directory: %w", err)
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.Default()
+	}
 	s := &Server{
-		cfg:    cfg,
-		jobs:   make(map[string]*job),
-		models: make(map[string]*loadedModel),
-		reg:    obs.NewRegistry(),
-		queue:  make(chan string, 1024),
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
+		cfg:      cfg,
+		log:      log,
+		bootID:   "r" + strconv.FormatInt(time.Now().UnixNano(), 36),
+		jobs:     make(map[string]*job),
+		models:   make(map[string]*loadedModel),
+		progress: make(map[string]*progressTracker),
+		reg:      obs.NewRegistry(),
+		queue:    make(chan string, 1024),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 	s.cSubmitted = s.reg.Counter("serve.jobs.submitted")
 	s.cDone = s.reg.Counter("serve.jobs.done")
@@ -138,6 +156,7 @@ func New(cfg Config) (*Server, error) {
 	s.cResumed = s.reg.Counter("serve.jobs.resumed")
 	s.cPredicts = s.reg.Counter("serve.predict.requests")
 	s.cPredictRows = s.reg.Counter("serve.predict.rows")
+	s.gInflight = s.reg.Gauge(MetricHTTPInflight)
 	if err := s.scan(); err != nil {
 		return nil, err
 	}
@@ -228,8 +247,10 @@ func (s *Server) jobPath(id, name string) string {
 	return filepath.Join(s.jobDir(id), name)
 }
 
-// submit registers a validated request as a new queued job and enqueues it.
-func (s *Server) submit(req JobRequest) (JobStatus, error) {
+// submit registers a validated request as a new queued job and enqueues
+// it. reqID is the submitting HTTP request's ID, stamped into the status so
+// job logs and API responses correlate back to the originating request.
+func (s *Server) submit(req JobRequest, reqID string) (JobStatus, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -238,7 +259,7 @@ func (s *Server) submit(req JobRequest) (JobStatus, error) {
 	id := strconv.Itoa(s.nextID)
 	s.nextID++
 	now := time.Now().UTC()
-	j := &job{Req: req, Status: JobStatus{ID: id, State: StateQueued, Created: now, Updated: now}}
+	j := &job{Req: req, Status: JobStatus{ID: id, State: StateQueued, RequestID: reqID, Created: now, Updated: now}}
 	if err := os.MkdirAll(s.jobDir(id), 0o755); err != nil {
 		return JobStatus{}, err
 	}
@@ -255,6 +276,8 @@ func (s *Server) submit(req JobRequest) (JobStatus, error) {
 	default:
 		return JobStatus{}, errors.New("serve: job queue full")
 	}
+	s.log.Info("job submitted", "job_id", id, "request_id", reqID,
+		"rows", len(req.Rows), "attrs", len(req.Attrs))
 	return j.Status, nil
 }
 
@@ -331,23 +354,31 @@ func (s *Server) runJob(id string) {
 
 	o := obs.NewRun(procs)
 	o.SetMachineLabel("pautoclassd")
+	tracker := newProgressTracker()
 	s.setState(id, func(st *JobStatus) { st.State = StateRunning })
 	s.mu.Lock()
 	s.lastRun = o
 	s.running = id
+	s.progress[id] = tracker
 	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
 		s.running = ""
 		s.mu.Unlock()
 	}()
+	s.log.Info("job started", "job_id", id, "request_id", j.Status.RequestID, "procs", procs)
 
+	// The search observer feeds both the live progress endpoint and rank
+	// 0's search.* metrics; pautoclass emits events on rank 0 only, so the
+	// same options can go to every rank.
+	searchObs := fanoutObserver{tracker, o.Rank(0)}
 	spec := model.DefaultSpec(ds)
 	var res *autoclass.SearchResult
 	err = mpi.Run(procs, func(c *mpi.Comm) error {
 		opts := pautoclass.DefaultOptions()
 		opts.EM = cfg.EM
 		opts.Obs = o.Rank(c.Rank())
+		opts.SearchObs = searchObs
 		r, err := pautoclass.SearchCheckpointed(c, ds, spec, cfg, opts, pautoclass.Checkpoint{
 			Path:      s.jobPath(id, "search.ckpt"),
 			Every:     s.cfg.Every,
@@ -365,6 +396,7 @@ func (s *Server) runJob(id string) {
 		// Shutdown: the snapshot is on disk, the job resumes on restart.
 		s.cInterrupted.Add(1)
 		s.setState(id, func(st *JobStatus) { st.State = StateQueued })
+		s.log.Info("job interrupted", "job_id", id)
 		return
 	}
 	s.finishJob(id, res, err)
@@ -384,6 +416,7 @@ func (s *Server) finishJob(id string, res *autoclass.SearchResult, err error) {
 			st.State = StateFailed
 			st.Error = msg
 		})
+		s.log.Error("job failed", "job_id", id, "error", msg)
 		return
 	}
 	s.cDone.Add(1)
@@ -395,6 +428,8 @@ func (s *Server) finishJob(id string, res *autoclass.SearchResult, err error) {
 		st.Cycles = res.Totals.Cycles
 		st.Converged = res.BestTry.Converged
 	})
+	s.log.Info("job done", "job_id", id,
+		"j", res.Best.J(), "score", res.BestTry.Score, "cycles", res.Totals.Cycles)
 }
 
 // model returns the fitted classification for a done job, loading and

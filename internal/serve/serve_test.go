@@ -234,7 +234,7 @@ func TestServeTrainPredictE2E(t *testing.T) {
 			Counters map[string]float64 `json:"counters"`
 		} `json:"run"`
 	}
-	if code := getJSON(t, client, ts.URL+"/metrics", &metrics); code != http.StatusOK {
+	if code := getJSON(t, client, ts.URL+"/metrics.json", &metrics); code != http.StatusOK {
 		t.Fatalf("metrics: status %d", code)
 	}
 	if metrics.Server.Counters["serve.jobs.done"] < 1 {

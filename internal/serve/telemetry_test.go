@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestServeMetricsExposition pins the /metrics contract: Prometheus text by
+// default with per-route HTTP latency histograms, the legacy JSON shape
+// under content negotiation and at /metrics.json, with explicit
+// Content-Types on every variant.
+func TestServeMetricsExposition(t *testing.T) {
+	s, err := New(Config{Dir: t.TempDir(), Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	client := ts.Client()
+
+	// Generate traffic so the per-route histograms have samples.
+	for i := 0; i < 3; i++ {
+		resp, err := client.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Content-Type"); got != obs.ContentTypeText {
+		t.Errorf("metrics Content-Type = %q, want %q", got, obs.ContentTypeText)
+	}
+	page := string(body)
+	if !strings.HasSuffix(page, "# EOF\n") {
+		t.Error("exposition does not end with # EOF")
+	}
+	if !strings.Contains(page, "# TYPE http_request_seconds histogram") {
+		t.Error("exposition lacks the http_request_seconds histogram family")
+	}
+	foundRouteBucket := false
+	for _, line := range strings.Split(page, "\n") {
+		if strings.HasPrefix(line, "http_request_seconds_bucket{") &&
+			strings.Contains(line, `route="GET /healthz"`) {
+			foundRouteBucket = true
+			break
+		}
+	}
+	if !foundRouteBucket {
+		t.Error("no http_request_seconds_bucket sample labeled with the GET /healthz route")
+	}
+	if !strings.Contains(page, `http_requests{code="2xx"`) {
+		t.Error("no per-status-class http_requests counter sample")
+	}
+
+	// Content negotiation: JSON consumers keep the legacy shape on /metrics.
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("Content-Type"); got != obs.ContentTypeJSON {
+		t.Errorf("negotiated metrics Content-Type = %q, want %q", got, obs.ContentTypeJSON)
+	}
+	var negotiated struct {
+		Server json.RawMessage `json:"server"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&negotiated); err != nil {
+		t.Fatalf("negotiated /metrics is not JSON: %v", err)
+	}
+	resp.Body.Close()
+	if len(negotiated.Server) == 0 {
+		t.Error("negotiated /metrics JSON lacks the server registry")
+	}
+
+	// The dedicated JSON endpoint.
+	resp, err = client.Get(ts.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("Content-Type"); got != obs.ContentTypeJSON {
+		t.Errorf("/metrics.json Content-Type = %q, want %q", got, obs.ContentTypeJSON)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&negotiated); err != nil {
+		t.Fatalf("/metrics.json is not JSON: %v", err)
+	}
+	resp.Body.Close()
+}
+
+// TestServeRequestID: a caller-supplied X-Request-Id is echoed back; absent
+// one, the server mints a unique ID per request.
+func TestServeRequestID(t *testing.T) {
+	s, err := New(Config{Dir: t.TempDir(), Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	client := ts.Client()
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "caller-7")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "caller-7" {
+		t.Errorf("supplied request ID not echoed: got %q", got)
+	}
+
+	ids := make(map[string]bool)
+	for i := 0; i < 2; i++ {
+		resp, err := client.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		id := resp.Header.Get("X-Request-Id")
+		if id == "" {
+			t.Fatal("no X-Request-Id generated")
+		}
+		ids[id] = true
+	}
+	if len(ids) != 2 {
+		t.Errorf("generated request IDs are not unique: %v", ids)
+	}
+}
+
+// TestServeReadyz: ready while accepting work, 503 once the server is
+// closed.
+func TestServeReadyz(t *testing.T) {
+	s, err := New(Config{Dir: t.TempDir(), Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	client := ts.Client()
+
+	var rd struct {
+		Ready bool `json:"ready"`
+	}
+	if code := getJSON(t, client, ts.URL+"/readyz", &rd); code != http.StatusOK || !rd.Ready {
+		t.Fatalf("readyz while serving: %d ready=%v", code, rd.Ready)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if code := getJSON(t, client, ts.URL+"/readyz", &rd); code != http.StatusServiceUnavailable || rd.Ready {
+		t.Errorf("readyz after close: %d ready=%v, want 503 ready=false", code, rd.Ready)
+	}
+}
+
+// TestServeProgressEndpoint polls a running job's live progress: tries_done
+// is monotonically non-decreasing against a fixed tries_total, and a done
+// job reports the full schedule with a best score and no in-flight try.
+func TestServeProgressEndpoint(t *testing.T) {
+	s, err := New(Config{Dir: t.TempDir(), Procs: 2, Every: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	client := ts.Client()
+
+	if code := getJSON(t, client, ts.URL+"/v1/jobs/999/progress", nil); code != http.StatusNotFound {
+		t.Errorf("progress for unknown job returned %d, want 404", code)
+	}
+
+	// Enough schedule that several polls land mid-search.
+	longSpec := &SearchSpec{StartJList: []int{2, 3, 4}, Tries: 2, MaxCycles: 150, Parallelism: 1}
+	req, _ := paperJob(t, 240, 5, longSpec)
+	var st JobStatus
+	if code := postJSON(t, client, ts.URL+"/v1/jobs", req, &st); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+
+	wantTotal := len(longSpec.StartJList) * longSpec.Tries
+	lastDone := 0
+	sawRunning := false
+	deadline := time.Now().Add(3 * time.Minute)
+	for {
+		var jp JobProgress
+		if code := getJSON(t, client, ts.URL+"/v1/jobs/"+st.ID+"/progress", &jp); code != http.StatusOK {
+			t.Fatalf("progress: status %d", code)
+		}
+		if jp.ID != st.ID {
+			t.Fatalf("progress for job %q, asked for %q", jp.ID, st.ID)
+		}
+		if jp.TriesTotal != wantTotal {
+			t.Fatalf("tries_total = %d, want %d", jp.TriesTotal, wantTotal)
+		}
+		if jp.TriesDone < lastDone {
+			t.Fatalf("tries_done regressed %d -> %d", lastDone, jp.TriesDone)
+		}
+		if jp.TriesDone > jp.TriesTotal {
+			t.Fatalf("tries_done %d exceeds tries_total %d", jp.TriesDone, jp.TriesTotal)
+		}
+		lastDone = jp.TriesDone
+		if jp.State == StateRunning {
+			sawRunning = true
+		}
+		if jp.State == StateDone {
+			if jp.TriesDone != jp.TriesTotal {
+				t.Errorf("done job reports %d/%d tries", jp.TriesDone, jp.TriesTotal)
+			}
+			if jp.CurrentTry != nil {
+				t.Error("done job still reports a current try")
+			}
+			if jp.ETASeconds != nil {
+				t.Error("done job still reports an ETA")
+			}
+			if jp.BestScore == nil {
+				t.Error("done job has no best score")
+			}
+			break
+		}
+		if jp.State == StateFailed {
+			t.Fatal("job failed")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", jp.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !sawRunning {
+		t.Log("job finished before a running-state poll; monotonicity still verified")
+	}
+}

@@ -86,6 +86,7 @@ type runConfig struct {
 	par        *ParallelConfig
 	observer   *RunObserver
 	profile    *Profile
+	searchObs  SearchObserver
 	ckptPath   string
 	ckptEvery  int
 }
@@ -156,6 +157,19 @@ func WithObserver(o *RunObserver) Option {
 	return func(rc *runConfig) { rc.observer = o }
 }
 
+// WithSearchObserver streams try lifecycle events — claimed, per-cycle
+// progress, converged/duplicate/early-stopped commits with tries
+// done/total and best-so-far score — to o while the search runs: the hook
+// behind live progress reporting (the daemon's /v1/jobs/{id}/progress, the
+// CLI's progress line). Observation is notification-only and never
+// perturbs the trajectory; with WithSearchParallelism > 1 (or a hybrid
+// parallel run) events arrive from several goroutines, so o must be safe
+// for concurrent use. In a parallel run events are emitted once (rank 0),
+// not once per rank. Incompatible with WithModelSearch.
+func WithSearchObserver(o SearchObserver) Option {
+	return func(rc *runConfig) { rc.searchObs = o }
+}
+
 // WithProfile accumulates per-phase wall time (update_wts /
 // update_parameters / update_approximations) into p. In a parallel run
 // only rank 0 reports, keeping phase totals comparable to a sequential
@@ -185,6 +199,8 @@ func (rc *runConfig) validate() error {
 			return errors.New("repro: WithModelSearch does not support WithCheckpoint")
 		case rc.observer != nil || rc.profile != nil:
 			return errors.New("repro: WithModelSearch does not support WithObserver/WithProfile")
+		case rc.searchObs != nil:
+			return errors.New("repro: WithModelSearch does not support WithSearchObserver")
 		}
 	}
 	if rc.par != nil {
@@ -247,9 +263,9 @@ func runSequential(ds *Dataset, rc runConfig) (*Result, error) {
 	var res *SearchResult
 	var err error
 	if rc.ckptPath != "" {
-		res, err = autoclass.SearchWithCheckpointFileObserved(ds, spec, rc.search, nil, rc.ckptPath, rc.profile, co)
+		res, err = autoclass.SearchWithCheckpointFileObserved(ds, spec, rc.search, nil, rc.ckptPath, rc.profile, co, rc.searchObs)
 	} else {
-		res, err = autoclass.SearchObserved(ds, spec, rc.search, nil, rc.profile, co)
+		res, err = autoclass.SearchObserved(ds, spec, rc.search, nil, rc.profile, co, rc.searchObs)
 	}
 	if err != nil {
 		return nil, err
@@ -287,6 +303,8 @@ func runParallel(ds *Dataset, rc runConfig) (*Result, error) {
 		if rc.profile != nil && c.Rank() == 0 {
 			opts.Profile = rc.profile
 		}
+		// Handed to every rank; pautoclass emits on rank 0 only.
+		opts.SearchObs = rc.searchObs
 		var r *SearchResult
 		var err error
 		if rc.ckptPath != "" {
@@ -357,7 +375,8 @@ func runHybrid(ds *Dataset, rc runConfig, v int) (*Result, error) {
 		return opts
 	}
 	res, err := pautoclass.SearchHybrid(ds, model.DefaultSpec(ds), rc.search,
-		pautoclass.HybridConfig{Procs: pc.Procs, Variants: v, UseTCP: pc.UseTCP, Run: rcfg}, optsFor)
+		pautoclass.HybridConfig{Procs: pc.Procs, Variants: v, UseTCP: pc.UseTCP, Run: rcfg,
+			SearchObs: rc.searchObs}, optsFor)
 	if err != nil {
 		return nil, err
 	}
@@ -373,6 +392,32 @@ type RunObserver = obs.Run
 // NewRunObserver creates an observer for a run with the given rank count
 // (1 for a sequential run).
 func NewRunObserver(procs int) *RunObserver { return obs.NewRun(procs) }
+
+// SearchObserver receives try lifecycle events (use with
+// WithSearchObserver). Implementations must be notification-only and, for
+// parallel searches, safe for concurrent use.
+type SearchObserver = autoclass.SearchObserver
+
+// TryEvent is one search lifecycle notification delivered to a
+// SearchObserver.
+type TryEvent = autoclass.TryEvent
+
+// TryEventKind labels a TryEvent.
+type TryEventKind = autoclass.TryEventKind
+
+// Try lifecycle event kinds.
+const (
+	// TryClaimed fires when a worker claims a variant.
+	TryClaimed = autoclass.TryClaimed
+	// TryCycle fires after each EM cycle of a running try.
+	TryCycle = autoclass.TryCycle
+	// TryConverged fires when a try commits as a kept result.
+	TryConverged = autoclass.TryConverged
+	// TryDuplicate fires when a try commits as a rediscovered optimum.
+	TryDuplicate = autoclass.TryDuplicate
+	// TryEarlyStopped fires when basin early termination cut a try.
+	TryEarlyStopped = autoclass.TryEarlyStopped
+)
 
 // Profile accumulates named phase wall times (use with WithProfile).
 type Profile = trace.Profile
