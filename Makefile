@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-kernels bench-predict bench-search check trace-smoke faults api apicheck serve-smoke obs-smoke
+.PHONY: build test vet race bench bench-kernels bench-predict bench-search check trace-smoke faults api apicheck serve-smoke obs-smoke async-smoke
 
 build:
 	$(GO) build ./...
@@ -85,5 +85,11 @@ serve-smoke:
 # The telemetry surface rides in the same daemon smoke; the alias names it
 # for the observability acceptance runbook (EXPERIMENTS.md, OBS recipe).
 obs-smoke: serve-smoke
+
+# Bounded-staleness smoke (EXPERIMENTS.md, ASYNC recipe): the same 4-rank
+# search at -sync-every 1 and 4 must agree on log-likelihood within 2%,
+# and the quick comm-fraction sweep must pass its shape checks.
+async-smoke:
+	./scripts/async_smoke.sh
 
 check: vet build test race apicheck

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -126,7 +127,7 @@ func TestCheckpointSearchPointRoundTrip(t *testing.T) {
 	if gotSP == nil {
 		t.Fatal("search point lost in round trip")
 	}
-	if *gotSP != *sp {
+	if !reflect.DeepEqual(gotSP, sp) {
 		t.Fatalf("search point mismatch:\nsaved:  %+v\nloaded: %+v", sp, gotSP)
 	}
 	if got.LogPost != cls.LogPost || got.Cycles != cls.Cycles {
@@ -215,7 +216,7 @@ func TestCheckpointTypeRoundTrip(t *testing.T) {
 	if err := got.LoadFile(path, ds); err != nil {
 		t.Fatal(err)
 	}
-	if got.Search == nil || *got.Search != *sp {
+	if got.Search == nil || !reflect.DeepEqual(got.Search, sp) {
 		t.Fatalf("SearchPoint did not round-trip: %+v", got.Search)
 	}
 	if got.Classification.LogPost != cls.LogPost {

@@ -91,6 +91,30 @@ type Config struct {
 	// zero-valued Configs get the fast path; set Reference for the per-row
 	// path that is bitwise identical to the seed engine. See kernels.go.
 	Kernels KernelMode
+	// SyncEvery is the bounded-staleness schedule of the parallel engine:
+	// each rank runs up to SyncEvery local EM cycles on stale global
+	// parameters, folding its local sufficient-statistic deltas back into
+	// the global model at the next synchronization. 0 or 1 (the default)
+	// is the paper's fully synchronous path — one global exchange per
+	// cycle, bitwise identical to the seed engine. Values > 1 only take
+	// effect on the parallel (Full-strategy) engine; the sequential engine
+	// and the WtsOnly baseline ignore it. See staleness.go.
+	SyncEvery int
+	// SyncDriftTol bounds the staleness when SyncEvery > 1: a stale cycle
+	// whose corrected local log-likelihood drifts from the last synced
+	// value by more than this relative tolerance forces an early global
+	// synchronization on every rank. <= 0 disables the bound (the schedule
+	// alone decides). Ignored when SyncEvery <= 1.
+	SyncDriftTol float64
+}
+
+// EffectiveSyncEvery normalizes the staleness schedule: 0 and 1 both mean
+// the synchronous path.
+func (c Config) EffectiveSyncEvery() int {
+	if c.SyncEvery < 1 {
+		return 1
+	}
+	return c.SyncEvery
 }
 
 // DefaultConfig returns the engine defaults.
@@ -102,6 +126,8 @@ func DefaultConfig() Config {
 		MinClassWeight: 1.0,
 		PruneClasses:   true,
 		Granularity:    PerTerm,
+		SyncEvery:      1,
+		SyncDriftTol:   0.05,
 	}
 }
 
@@ -118,6 +144,9 @@ func (c Config) validate() error {
 	if c.Kernels != Blocked && c.Kernels != Reference {
 		return fmt.Errorf("autoclass: unknown kernel mode %d", int(c.Kernels))
 	}
+	if c.SyncEvery < 0 {
+		return errors.New("autoclass: negative SyncEvery")
+	}
 	return nil
 }
 
@@ -133,6 +162,18 @@ type CycleStats struct {
 	Reductions int
 	// LogPost is the posterior after the cycle.
 	LogPost float64
+	// Synced reports whether the cycle ended at a global synchronization
+	// point. Always true on the synchronous path (SyncEvery <= 1, or any
+	// engine without a Reducer); false on the stale local cycles of a
+	// bounded-staleness run.
+	Synced bool
+	// SinceSync counts local cycles since the last synchronization point
+	// (0 at a sync point). Always 0 on the synchronous path.
+	SinceSync int
+	// Drift is the relative log-likelihood drift of this rank's corrected
+	// local model against the last synced global value — the quantity the
+	// SyncDriftTol bound thresholds. 0 on synchronized cycles.
+	Drift float64
 }
 
 // CycleInfo is the per-cycle record handed to a CycleObserver: one
@@ -212,6 +253,19 @@ type Engine struct {
 	wtsOut   []float64    // E-step result buffer {w_j..., logLik}, reused
 	offs     []int        // (class, term) statistics offsets, reused
 
+	// Bounded-staleness state (see staleness.go): the global model at the
+	// last synchronization point — class weights plus log-likelihood
+	// ({W_0…W_{J−1}, logLik}, identical on every rank) and the packed
+	// global sufficient statistics — plus the local-cycle counter and
+	// scratch. syncStats == nil marks the pre-bootstrap state: the first
+	// cycle of a stale run synchronizes unconditionally to establish the
+	// baseline.
+	syncWts   []float64
+	syncStats []float64
+	sinceSync int
+	staleBuf  []float64  // delta / working-model scratch, reused
+	pollBuf   [1]float64 // drift-bound agreement flag
+
 	// Blocked-kernel state (see kernels.go): the view's column-major
 	// mirror, one kernel per (class, term) with the term-identity snapshot
 	// that detects structural change, and per-worker block scratch.
@@ -275,12 +329,22 @@ type EngineState struct {
 	BelowTol int
 	// LastPost is the posterior the next cycle's delta is measured against.
 	LastPost float64
+	// SyncStats is the packed global sufficient statistics at the last
+	// synchronization point of a bounded-staleness run (SyncEvery > 1).
+	// Checkpoints are only taken at sync points, where this baseline —
+	// together with the classification's W/LogLik — fully determines the
+	// continuation. Nil on the synchronous path.
+	SyncStats []float64
 }
 
 // State snapshots the engine at a cycle boundary (call it from a CycleHook
 // or between BaseCycle calls).
 func (e *Engine) State() EngineState {
-	return EngineState{Cycles: e.cls.Cycles, BelowTol: e.belowTol, LastPost: e.lastPost}
+	st := EngineState{Cycles: e.cls.Cycles, BelowTol: e.belowTol, LastPost: e.lastPost}
+	if e.staleActive() && e.syncStats != nil {
+		st.SyncStats = append([]float64(nil), e.syncStats...)
+	}
+	return st
 }
 
 // Restore rehydrates a freshly built engine from a cycle-boundary snapshot
@@ -292,6 +356,17 @@ func (e *Engine) Restore(st EngineState) {
 	e.lastPost = st.LastPost
 	e.started = true
 	e.initSeconds = 0
+	if e.staleActive() && st.SyncStats != nil {
+		// Snapshots land on sync points, so the classification's class
+		// weights and log-likelihood ARE the synced global baseline.
+		e.syncStats = append([]float64(nil), st.SyncStats...)
+		e.syncWts = make([]float64, e.cls.J()+1)
+		for cj, cl := range e.cls.Classes {
+			e.syncWts[cj] = cl.W
+		}
+		e.syncWts[e.cls.J()] = e.cls.LogLik
+		e.sinceSync = 0
+	}
 }
 
 func (e *Engine) charge(units float64) {
@@ -450,54 +525,7 @@ func (e *Engine) updateParameters() (reducedValues, reductions int, err error) {
 	if e.cfg.Granularity != PerTerm && e.cfg.Granularity != Packed {
 		return 0, 0, fmt.Errorf("autoclass: unknown granularity %d", int(e.cfg.Granularity))
 	}
-	// Accumulate every (class, term) statistic in one row-major pass. Each
-	// slot's additions still happen in ascending row order, so the totals
-	// are bitwise the ones the per-term loops would produce, and the single
-	// pass over the rows is kinder to the cache and shardable. The offset
-	// table lives on the engine and is rebuilt in place each cycle (class
-	// pruning can shrink it), allocating only when it grows.
-	offs := e.offs[:0]
-	total := 0
-	for _, cl := range e.cls.Classes {
-		for _, term := range cl.Terms {
-			offs = append(offs, total)
-			total += term.StatsSize()
-		}
-	}
-	offs = append(offs, total)
-	e.offs = offs
-	if cap(e.statsBuf) < total {
-		e.statsBuf = make([]float64, total)
-	}
-	buf := e.statsBuf[:total]
-	for i := range buf {
-		buf[i] = 0
-	}
-	blocked := e.cfg.Kernels == Blocked
-	if blocked {
-		e.prepareKernels()
-	}
-	if shards := NumRowShards(n); e.cfg.Parallelism != 0 && shards > 0 {
-		workers := e.cfg.Workers(shards)
-		bufs := e.scratch.get(shards, total)
-		if blocked {
-			scr := e.workerBlockScratch(workers, j)
-			ParallelFor(workers, shards, func(worker, s int) {
-				lo, hi := RowShardRange(s, n)
-				e.statsRowsBlocked(lo, hi, bufs[s], offs, scr[worker])
-			})
-		} else {
-			ParallelFor(workers, shards, func(_, s int) {
-				lo, hi := RowShardRange(s, n)
-				e.statsRows(lo, hi, bufs[s], offs)
-			})
-		}
-		mergeShards(buf, bufs)
-	} else if blocked {
-		e.statsRowsBlocked(0, n, buf, offs, e.workerBlockScratch(1, j)[0])
-	} else {
-		e.statsRows(0, n, buf, offs)
-	}
+	buf, offs := e.accumulateStats()
 	// Exchange and re-estimate. The reduction pattern — one Allreduce per
 	// (class, term) pair, or one packed exchange — is untouched by the
 	// intra-rank parallelism; only the accumulation above was sharded.
@@ -541,6 +569,61 @@ func (e *Engine) updateParameters() (reducedValues, reductions int, err error) {
 	return reducedValues, reductions, nil
 }
 
+// accumulateStats folds the local rows into every (class, term) statistic in
+// one row-major pass. Each slot's additions still happen in ascending row
+// order, so the totals are bitwise the ones the per-term loops would
+// produce, and the single pass over the rows is kinder to the cache and
+// shardable. The offset table lives on the engine and is rebuilt in place
+// each call (class pruning can shrink it), allocating only when it grows.
+// The returned buf holds the LOCAL (unreduced) statistics.
+func (e *Engine) accumulateStats() ([]float64, []int) {
+	n := e.view.N()
+	j := e.cls.J()
+	offs := e.offs[:0]
+	total := 0
+	for _, cl := range e.cls.Classes {
+		for _, term := range cl.Terms {
+			offs = append(offs, total)
+			total += term.StatsSize()
+		}
+	}
+	offs = append(offs, total)
+	e.offs = offs
+	if cap(e.statsBuf) < total {
+		e.statsBuf = make([]float64, total)
+	}
+	buf := e.statsBuf[:total]
+	for i := range buf {
+		buf[i] = 0
+	}
+	blocked := e.cfg.Kernels == Blocked
+	if blocked {
+		e.prepareKernels()
+	}
+	if shards := NumRowShards(n); e.cfg.Parallelism != 0 && shards > 0 {
+		workers := e.cfg.Workers(shards)
+		bufs := e.scratch.get(shards, total)
+		if blocked {
+			scr := e.workerBlockScratch(workers, j)
+			ParallelFor(workers, shards, func(worker, s int) {
+				lo, hi := RowShardRange(s, n)
+				e.statsRowsBlocked(lo, hi, bufs[s], offs, scr[worker])
+			})
+		} else {
+			ParallelFor(workers, shards, func(_, s int) {
+				lo, hi := RowShardRange(s, n)
+				e.statsRows(lo, hi, bufs[s], offs)
+			})
+		}
+		mergeShards(buf, bufs)
+	} else if blocked {
+		e.statsRowsBlocked(0, n, buf, offs, e.workerBlockScratch(1, j)[0])
+	} else {
+		e.statsRows(0, n, buf, offs)
+	}
+	return buf, offs
+}
+
 // statsRows folds rows [lo, hi) into buf, which holds every (class, term)
 // statistics vector back to back at the offsets in offs (len(offs) is the
 // term count + 1). AccumulateStats only reads term state and writes the
@@ -572,10 +655,12 @@ func (e *Engine) updateApproximations() {
 // pruneDeadClasses removes classes whose global weight fell below
 // MinClassWeight, compacting the local weights matrix to match. The
 // decision uses globally reduced W values, so every rank prunes
-// identically.
-func (e *Engine) pruneDeadClasses() bool {
+// identically. It returns the kept class indices when classes were removed
+// and nil when nothing changed, so the bounded-staleness path can compact
+// its sync baselines with the same mapping.
+func (e *Engine) pruneDeadClasses() []int {
 	if !e.cfg.PruneClasses || e.cls.J() <= 1 {
-		return false
+		return nil
 	}
 	j := e.cls.J()
 	keep := make([]int, 0, j)
@@ -585,7 +670,7 @@ func (e *Engine) pruneDeadClasses() bool {
 		}
 	}
 	if len(keep) == j {
-		return false
+		return nil
 	}
 	if len(keep) == 0 {
 		// Keep the heaviest class rather than dying completely.
@@ -611,16 +696,23 @@ func (e *Engine) pruneDeadClasses() bool {
 	e.cls.Classes = newClasses
 	e.wts = newWts
 	e.cls.UpdateClassWeightsFromW()
-	return true
+	return keep
 }
 
 // BaseCycle runs one iteration of the three-phase cycle and reports its
-// statistics. InitRandom must have been called first.
+// statistics. InitRandom must have been called first. With a bounded-
+// staleness schedule active (SyncEvery > 1 on a parallel engine) the cycle
+// dispatches to the stale path in staleness.go; otherwise this is the
+// paper's fully synchronous cycle.
 func (e *Engine) BaseCycle() (CycleStats, error) {
 	var cs CycleStats
 	if !e.started {
 		return cs, errors.New("autoclass: BaseCycle before InitRandom")
 	}
+	if e.staleActive() {
+		return e.staleCycle()
+	}
+	cs.Synced = true
 	t0 := time.Now()
 	wtsOut, err := e.updateWts()
 	if err != nil {
@@ -744,9 +836,19 @@ func (e *Engine) RunFrom(from int) (EMResult, error) {
 		res.Reductions += cs.Reductions
 		res.History = append(res.History, cs.LogPost)
 		delta := CycleDelta(cs.LogPost, e.lastPost)
-		converged := e.convergedAfter(cs.LogPost)
+		// The convergence tracker advances only at synchronization points:
+		// stale-cycle posteriors mix this rank's fresh contribution with the
+		// other ranks' stale shares, so thresholding them would make each
+		// rank's convergence decision partition-dependent. Synced is always
+		// true on the synchronous path. The cycle hook (checkpoint protocol)
+		// is likewise confined to sync points, where the group state is
+		// consistent and snapshots stay exact.
+		converged := false
+		if cs.Synced {
+			converged = e.convergedAfter(cs.LogPost)
+		}
 		e.observeCycle(cycle, cs, delta)
-		if e.cycleHook != nil {
+		if e.cycleHook != nil && cs.Synced {
 			if err := e.cycleHook(cycle, converged); err != nil {
 				return res, err
 			}

@@ -41,11 +41,18 @@ type SearchFingerprint struct {
 	PruneClasses   bool        `json:"prune_classes"`
 	Granularity    Granularity `json:"granularity"`
 	Kernels        KernelMode  `json:"kernels"`
+	// SyncEvery and SyncDriftTol pin the bounded-staleness schedule.
+	// Normalized: a synchronous search records {0, 0} regardless of how it
+	// was spelled (SyncEvery 0 vs 1, any tolerance — neither shapes a
+	// synchronous trajectory), so state files written before the knob
+	// existed still resume under synchronous configs.
+	SyncEvery    int     `json:"sync_every,omitempty"`
+	SyncDriftTol float64 `json:"sync_drift_tol,omitempty"`
 }
 
 // Fingerprint extracts the trajectory-shaping knobs of a configuration.
 func (c SearchConfig) Fingerprint() SearchFingerprint {
-	return SearchFingerprint{
+	fp := SearchFingerprint{
 		DupScoreTol:    c.DupScoreTol,
 		MaxCycles:      c.EM.MaxCycles,
 		RelDelta:       c.EM.RelDelta,
@@ -55,6 +62,11 @@ func (c SearchConfig) Fingerprint() SearchFingerprint {
 		Granularity:    c.EM.Granularity,
 		Kernels:        c.EM.Kernels,
 	}
+	if l := c.EM.EffectiveSyncEvery(); l > 1 {
+		fp.SyncEvery = l
+		fp.SyncDriftTol = c.EM.SyncDriftTol
+	}
+	return fp
 }
 
 // Diff describes every field on which the two fingerprints disagree, for
@@ -84,6 +96,12 @@ func (f SearchFingerprint) Diff(g SearchFingerprint) []string {
 	}
 	if f.Kernels != g.Kernels {
 		d = append(d, fmt.Sprintf("Kernels %d vs %d", int(f.Kernels), int(g.Kernels)))
+	}
+	if f.SyncEvery != g.SyncEvery {
+		d = append(d, fmt.Sprintf("SyncEvery %d vs %d", f.SyncEvery, g.SyncEvery))
+	}
+	if f.SyncDriftTol != g.SyncDriftTol {
+		d = append(d, fmt.Sprintf("SyncDriftTol %v vs %v", f.SyncDriftTol, g.SyncDriftTol))
 	}
 	return d
 }

@@ -349,9 +349,10 @@ func SearchCheckpointed(comm *mpi.Comm, ds *dataset.Dataset, spec model.Spec,
 					return nil, err
 				}
 				eng.Restore(autoclass.EngineState{
-					Cycles:   cls.Cycles,
-					BelowTol: sp.BelowTol,
-					LastPost: sp.LastPost,
+					Cycles:    cls.Cycles,
+					BelowTol:  sp.BelowTol,
+					LastPost:  sp.LastPost,
+					SyncStats: sp.SyncStats,
 				})
 				startCycle = sp.CycleInTry
 			} else {
@@ -382,6 +383,14 @@ func SearchCheckpointed(comm *mpi.Comm, ds *dataset.Dataset, spec model.Spec,
 			}
 			if ck.Every > 0 || ck.Interrupt != nil {
 				ti, sj, tn, ts := tryIndex, startJ, try, trySeed
+				// Under bounded staleness the hook only fires at sync
+				// points (see RunFrom), so the modular cadence could miss
+				// every firing when ck.Every and SyncEvery are misaligned;
+				// snapshot at the first sync point ck.Every cycles after
+				// the previous snapshot instead. The synchronous path keeps
+				// the exact historical cadence.
+				stale := opts.EM.EffectiveSyncEvery() > 1
+				lastSnap := startCycle
 				eng.SetCycleHook(func(cycle int, converged bool) error {
 					stop := false
 					if ck.Interrupt != nil {
@@ -396,6 +405,9 @@ func SearchCheckpointed(comm *mpi.Comm, ds *dataset.Dataset, spec model.Spec,
 					// request racing with convergence lets the try finish —
 					// the between-tries poll catches it.
 					snap := ck.Every > 0 && (cycle+1)%ck.Every == 0
+					if stale {
+						snap = ck.Every > 0 && cycle+1-lastSnap >= ck.Every
+					}
 					if converged || (!snap && !stop) {
 						return nil
 					}
@@ -410,6 +422,7 @@ func SearchCheckpointed(comm *mpi.Comm, ds *dataset.Dataset, spec model.Spec,
 					if int(agreed) != cycle {
 						return fmt.Errorf("pautoclass: rank %d at cycle %d but group minimum is %v (SPMD divergence)", comm.Rank(), cycle, agreed)
 					}
+					lastSnap = cycle + 1
 					if comm.Rank() == 0 {
 						st := eng.State()
 						sp := &autoclass.SearchPoint{
@@ -421,6 +434,7 @@ func SearchCheckpointed(comm *mpi.Comm, ds *dataset.Dataset, spec model.Spec,
 							BelowTol:   st.BelowTol,
 							LastPost:   st.LastPost,
 							SearchSeed: cfg.Seed,
+							SyncStats:  st.SyncStats,
 						}
 						var buf bytes.Buffer
 						if err := autoclass.SaveCheckpointSearch(&buf, cls, sp); err != nil {

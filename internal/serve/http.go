@@ -287,6 +287,11 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeBody(w, http.StatusOK, jp)
+	// Progress is polled while a search runs; push the snapshot out
+	// immediately rather than letting it sit in the server's write buffer.
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// newMWServer builds a server whose logs land in the returned buffer.
+func newMWServer(t *testing.T) (*Server, *bytes.Buffer) {
+	t.Helper()
+	var buf bytes.Buffer
+	s, err := New(Config{
+		Dir:    t.TempDir(),
+		Procs:  1,
+		Logger: slog.New(slog.NewJSONHandler(&buf, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, &buf
+}
+
+// A panicking handler must not leak the in-flight gauge, must still be
+// counted and logged, and the client must get a 500 (headers not sent yet).
+func TestInstrumentPanicRecovery(t *testing.T) {
+	s, buf := newMWServer(t)
+	h := s.instrument("GET /boom", func(w http.ResponseWriter, r *http.Request) {
+		panic("kaboom")
+	})
+
+	for i := 0; i < 2; i++ { // twice: the gauge must return to 0 every time
+		rec := httptest.NewRecorder()
+		h(rec, httptest.NewRequest("GET", "/boom", nil))
+		if rec.Code != http.StatusInternalServerError {
+			t.Fatalf("request %d: status = %d, want 500", i, rec.Code)
+		}
+	}
+	if v := s.gInflight.Value(); v != 0 {
+		t.Errorf("http.inflight = %v after panics, want 0", v)
+	}
+	c := s.reg.Counter(obs.Labeled(MetricHTTPRequests, "code", "5xx", "route", "GET /boom"))
+	if v := c.Value(); v != 2 {
+		t.Errorf("5xx counter = %v, want 2", v)
+	}
+	logged := buf.String()
+	if !strings.Contains(logged, "kaboom") {
+		t.Errorf("request log does not record the panic value:\n%s", logged)
+	}
+	if !strings.Contains(logged, `"status":500`) {
+		t.Errorf("request log does not record status 500:\n%s", logged)
+	}
+}
+
+// A panic after the handler has already written keeps the client-observed
+// status in the metrics but still logs the panic and frees the gauge.
+func TestInstrumentPanicAfterWrite(t *testing.T) {
+	s, buf := newMWServer(t)
+	h := s.instrument("GET /late", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		panic("late panic")
+	})
+	rec := httptest.NewRecorder()
+	h(rec, httptest.NewRequest("GET", "/late", nil))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("status = %d, want 202 (already written)", rec.Code)
+	}
+	if v := s.gInflight.Value(); v != 0 {
+		t.Errorf("http.inflight = %v, want 0", v)
+	}
+	if !strings.Contains(buf.String(), "late panic") {
+		t.Errorf("panic value missing from log:\n%s", buf.String())
+	}
+}
+
+// The recorder must pass Flush through so streaming handlers keep working
+// behind instrumentation.
+func TestStatusRecorderFlush(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sr := &statusRecorder{ResponseWriter: rec}
+	var w http.ResponseWriter = sr
+	f, ok := w.(http.Flusher)
+	if !ok {
+		t.Fatal("statusRecorder does not implement http.Flusher")
+	}
+	f.Flush()
+	if !rec.Flushed {
+		t.Error("Flush did not reach the underlying writer")
+	}
+	if sr.code != http.StatusOK {
+		t.Errorf("code after Flush = %d, want 200", sr.code)
+	}
+	if _, ok := w.(http.Hijacker); !ok {
+		t.Error("statusRecorder does not implement http.Hijacker")
+	}
+	if _, _, err := sr.Hijack(); err == nil {
+		t.Error("Hijack over a non-hijackable writer should error")
+	}
+	if sr.Unwrap() != http.ResponseWriter(rec) {
+		t.Error("Unwrap does not return the wrapped writer")
+	}
+}
+
+// The progress route flushes its snapshot through the instrumented writer.
+func TestProgressRouteFlushes(t *testing.T) {
+	s, _ := newMWServer(t)
+	s.mu.Lock()
+	s.jobs["j-flush"] = &job{Status: JobStatus{ID: "j-flush", State: StateQueued}}
+	s.mu.Unlock()
+
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/jobs/j-flush/progress", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200; body: %s", rec.Code, rec.Body)
+	}
+	if !rec.Flushed {
+		t.Error("progress response was not flushed through the middleware")
+	}
+}
+
+func TestRequestIDSanitized(t *testing.T) {
+	s, _ := newMWServer(t)
+	cases := []struct {
+		name, in, want string
+		minted         bool
+	}{
+		{"clean", "abc-123", "abc-123", false},
+		{"control chars stripped", "ab\r\nInjected: yes\x00c", "abInjected: yesc", false},
+		{"del stripped", "a\x7fb", "ab", false},
+		{"truncated", strings.Repeat("x", 500), strings.Repeat("x", 128), false},
+		{"all control falls back to minted", "\r\n\x00\x1b", "", true},
+		{"empty falls back to minted", "", "", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := httptest.NewRequest("GET", "/", nil)
+			if tc.in != "" {
+				r.Header.Set("X-Request-Id", tc.in)
+			}
+			got := s.requestID(r)
+			if tc.minted {
+				if got == "" || !strings.HasPrefix(got, s.bootID+"-") {
+					t.Errorf("requestID(%q) = %q, want minted %q-<seq>", tc.in, got, s.bootID)
+				}
+				return
+			}
+			if got != tc.want {
+				t.Errorf("requestID(%q) = %q, want %q", tc.in, got, tc.want)
+			}
+		})
+	}
+}

@@ -41,6 +41,10 @@ func Run(ds *Dataset, opts ...Option) (*Result, error) {
 		// with WithSearchConfig in either order.
 		rc.search.SearchParallelism = *rc.searchPar
 	}
+	if rc.syncEvery != nil {
+		// Same composition rule as WithSearchParallelism.
+		rc.search.EM.SyncEvery = *rc.syncEvery
+	}
 	if err := rc.validate(); err != nil {
 		return nil, err
 	}
@@ -81,6 +85,7 @@ type Option func(*runConfig)
 type runConfig struct {
 	search     SearchConfig
 	searchPar  *int
+	syncEvery  *int
 	correlated bool
 	models     bool
 	par        *ParallelConfig
@@ -137,6 +142,22 @@ func WithModelSearch() Option {
 // WithCheckpoint).
 func WithSearchParallelism(n int) Option {
 	return func(rc *runConfig) { rc.searchPar = &n }
+}
+
+// WithSyncEvery sets the bounded-staleness schedule of a parallel run: each
+// rank runs up to l local EM cycles on stale global parameters, folding its
+// accumulated statistic deltas into the global model at the next Allreduce
+// (a corrective merge, not an overwrite), cutting the per-cycle collective
+// count by roughly 1/l. l <= 1 is the paper's fully synchronous path — the
+// default, and the bitwise reference the relaxed mode is validated against.
+// A drift bound (SearchConfig.EM.SyncDriftTol) forces an early global
+// synchronization when any rank's log-likelihood drifts too far from the
+// last synced value. Only the Full parallel strategy relaxes; sequential
+// runs and the WtsOnly baseline ignore the knob. Composes with
+// WithSearchConfig in either order and with WithCheckpoint (snapshots land
+// on sync points, so resume stays exact).
+func WithSyncEvery(l int) Option {
+	return func(rc *runConfig) { rc.syncEvery = &l }
 }
 
 // WithParallel runs the search as P-AutoClass across pc.Procs SPMD ranks.
@@ -236,6 +257,9 @@ func (rc *runConfig) validate() error {
 	}
 	if rc.ckptPath == "" && rc.ckptEvery != 0 {
 		return errors.New("repro: WithCheckpoint needs a non-empty path")
+	}
+	if rc.syncEvery != nil && *rc.syncEvery < 0 {
+		return fmt.Errorf("repro: WithSyncEvery(%d)", *rc.syncEvery)
 	}
 	return nil
 }

@@ -1,0 +1,47 @@
+#!/bin/sh
+# async_smoke.sh — bounded-staleness quality-parity smoke test.
+#
+# Runs the same 4-rank search twice on the paper's synthetic workload:
+# fully synchronous (-sync-every 1) and with four local cycles per global
+# merge (-sync-every 4). The held-in log-likelihood of the two fitted
+# models must agree within 2% relative — the EXPERIMENTS.md ASYNC parity
+# bound — and the quick comm-fraction sweep must pass its shape checks
+# (fewer collectives and a lower comm fraction at every rank count).
+# Needs awk.
+set -eu
+
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+go run ./cmd/datagen -workload paper -n 4000 -seed 7 -o "$DIR/data.txt"
+
+run_ll() {
+	go run ./cmd/pautoclass -data "$DIR/data.txt" -procs 4 -start-j 4 \
+		-tries 1 -max-cycles 120 -sync-every "$1" \
+		| tee /dev/stderr \
+		| awk -F'log likelihood=' '/log likelihood=/{split($2,a," "); print a[1]}'
+}
+
+SYNC_LL="$(run_ll 1)"
+ASYNC_LL="$(run_ll 4)"
+[ -n "$SYNC_LL" ] || { echo "async-smoke: no log likelihood in synchronous output" >&2; exit 1; }
+[ -n "$ASYNC_LL" ] || { echo "async-smoke: no log likelihood in L=4 output" >&2; exit 1; }
+
+awk -v a="$SYNC_LL" -v b="$ASYNC_LL" 'BEGIN {
+	d = a - b; if (d < 0) d = -d
+	m = (a < 0 ? -a : a); if ((b < 0 ? -b : b) > m) m = (b < 0 ? -b : b)
+	if (m < 1) m = 1
+	rel = d / m
+	printf "async-smoke: loglik L=1 %s vs L=4 %s (rel diff %.4f)\n", a, b, rel
+	exit (rel <= 0.02 ? 0 : 1)
+}' || { echo "async-smoke: L=4 quality diverged from synchronous run" >&2; exit 1; }
+
+# Comm-fraction curve: the quick sweep's shape checks enforce that raising
+# L lowers the collective count and comm fraction at every rank count.
+go run ./cmd/benchfigs -fig async -quick | tee "$DIR/async.out"
+grep -q "shape checks: all passed" "$DIR/async.out" || {
+	echo "async-smoke: comm-fraction shape checks failed" >&2
+	exit 1
+}
+
+echo "async-smoke: OK"
