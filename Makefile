@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-kernels bench-predict bench-search check trace-smoke faults api apicheck serve-smoke obs-smoke async-smoke
+.PHONY: build test vet race bench bench-kernels bench-predict bench-search bench-ooc check trace-smoke faults api apicheck serve-smoke obs-smoke async-smoke ooc-smoke
 
 build:
 	$(GO) build ./...
@@ -91,5 +91,18 @@ obs-smoke: serve-smoke
 # and the quick comm-fraction sweep must pass its shape checks.
 async-smoke:
 	./scripts/async_smoke.sh
+
+# Out-of-core data-plane benchmark: train and predict over a chunk file
+# with the bounded cache holding a tenth of the chunks, self-checked
+# bitwise against an in-memory load, emitted as BENCH_ooc.json.
+bench-ooc:
+	$(GO) run ./cmd/benchooc -o BENCH_ooc.json
+
+# Out-of-core smoke (EXPERIMENTS.md, OOC recipe): a small benchooc run
+# whose cache must page and whose trajectory must match in-memory
+# bitwise, plus the CLI path — datagen .chunks → pautoclass -chunked
+# under a 64KiB budget — compared verbatim against the materialized run.
+ooc-smoke:
+	./scripts/ooc_smoke.sh
 
 check: vet build test race apicheck

@@ -1,0 +1,293 @@
+// Command benchooc measures the out-of-core chunked data plane end to end
+// and emits BENCH_ooc.json, the committed baseline of the ISSUE-9
+// acceptance: sustained training and prediction throughput over a chunk
+// file whose resident set is capped at roughly a tenth of the data, the
+// cache's observed residency ceiling, and the steady-state allocation rate
+// per chunk visit. The run is self-checking — the bounded-cache trajectory
+// must match an in-memory load of the same file bit for bit, or the tool
+// exits nonzero.
+//
+//	benchooc -rows 131072 -chunk-rows 2048 -cycles 4 -o BENCH_ooc.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/autoclass"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/model"
+)
+
+// CacheReport echoes the bounded cache's counters.
+type CacheReport struct {
+	Hits      uint64 `json:"hits"`
+	Loads     uint64 `json:"loads"`
+	Evictions uint64 `json:"evictions"`
+	HighWater int    `json:"high_water"`
+}
+
+// Report is the BENCH_ooc.json schema.
+type Report struct {
+	Goos   string `json:"goos"`
+	Goarch string `json:"goarch"`
+
+	Rows      int `json:"rows"`
+	Attrs     int `json:"attrs"`
+	ChunkRows int `json:"chunk_rows"`
+	NumChunks int `json:"num_chunks"`
+	// ResidentChunks is the cache cap: at most this many chunks in RAM.
+	ResidentChunks int   `json:"resident_chunks"`
+	FileBytes      int64 `json:"file_bytes"`
+	// ResidentCeilingBytes is HighWater × mean chunk size — the most of
+	// the dataset that was ever resident at once.
+	ResidentCeilingBytes int64 `json:"resident_ceiling_bytes"`
+
+	Cycles        int     `json:"cycles"`
+	TrainSeconds  float64 `json:"train_seconds"`
+	TrainRowsPerS float64 `json:"train_rows_per_sec"`
+	// MallocsPerCycle and MallocsPerChunkVisit gauge the steady-state
+	// allocation rate of the fused out-of-core cycle (chunk faults reuse
+	// slot buffers, so both should stay near zero).
+	MallocsPerCycle      float64 `json:"mallocs_per_cycle"`
+	MallocsPerChunkVisit float64 `json:"mallocs_per_chunk_visit"`
+
+	PredictSeconds  float64 `json:"predict_seconds"`
+	PredictRowsPerS float64 `json:"predict_rows_per_sec"`
+
+	Cache CacheReport `json:"cache"`
+	// BitwiseMatch records that the bounded-cache trajectory and
+	// prediction equal the in-memory load of the same chunk file exactly.
+	BitwiseMatch bool `json:"bitwise_match"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchooc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("benchooc", flag.ContinueOnError)
+	rows := fs.Int("rows", 131072, "dataset rows")
+	chunkRows := fs.Int("chunk-rows", 2048, "rows per chunk (multiple of 256)")
+	resident := fs.Int("resident", 0, "resident-chunk cap (0 = a tenth of the chunks, at least 2)")
+	cycles := fs.Int("cycles", 4, "timed EM cycles")
+	startJ := fs.Int("start-j", 4, "classes")
+	seed := fs.Uint64("seed", 11, "workload and init seed")
+	out := fs.String("o", "BENCH_ooc.json", "output path (- for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// Build the chunk file, then drop the materialized rows: from here on
+	// the data is only ever touched through the chunk plane.
+	ds, _, err := datagen.PaperMixture().Generate(*rows, *seed)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "benchooc")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "rows.chunks")
+	if err := dataset.WriteChunked(path, ds, *chunkRows); err != nil {
+		return err
+	}
+	na := ds.NumAttrs()
+	ds = nil
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+
+	nChunks := dataset.NumChunksFor(*rows, *chunkRows)
+	cap := *resident
+	if cap <= 0 {
+		cap = nChunks / 10
+	}
+	if cap < 2 {
+		cap = 2
+	}
+	cds, err := dataset.OpenChunked(path, dataset.ChunkOptions{Mode: dataset.ChunkCached, Chunks: cap})
+	if err != nil {
+		return err
+	}
+	defer cds.Close()
+	statter, ok := cds.ChunkStore().(interface{ Stats() dataset.CacheStats })
+	if !ok {
+		return fmt.Errorf("cached store does not report CacheStats")
+	}
+
+	cfg := autoclass.DefaultConfig()
+	cfg.Parallelism = 1
+	cfg.MaxCycles = *cycles + 1
+
+	train := func(d *dataset.Dataset) (hist []float64, elapsed float64, mallocs uint64, visits uint64, err error) {
+		pr := model.NewPriors(d, d.Summarize())
+		cls, err := autoclass.NewClassification(d, model.DefaultSpec(d), pr, *startJ)
+		if err != nil {
+			return nil, 0, 0, 0, err
+		}
+		eng, err := autoclass.NewEngine(d.All(), cls, cfg, nil, nil)
+		if err != nil {
+			return nil, 0, 0, 0, err
+		}
+		if err := eng.InitRandom(*seed); err != nil {
+			return nil, 0, 0, 0, err
+		}
+		// One warm cycle: kernels built, scratch sized, cache primed.
+		cs, err := eng.BaseCycle()
+		if err != nil {
+			return nil, 0, 0, 0, err
+		}
+		hist = append(hist, cs.LogPost)
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		var s0, s1 dataset.CacheStats
+		if d == cds {
+			s0 = statter.Stats()
+		}
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		for c := 0; c < *cycles; c++ {
+			cs, err := eng.BaseCycle()
+			if err != nil {
+				return nil, 0, 0, 0, err
+			}
+			hist = append(hist, cs.LogPost)
+		}
+		elapsed = time.Since(t0).Seconds()
+		runtime.ReadMemStats(&m1)
+		if d == cds {
+			s1 = statter.Stats()
+			visits = (s1.Hits + s1.Loads) - (s0.Hits + s0.Loads)
+		}
+		return hist, elapsed, m1.Mallocs - m0.Mallocs, visits, nil
+	}
+
+	hist, trainSec, mallocs, visits, err := train(cds)
+	if err != nil {
+		return err
+	}
+	cstats := statter.Stats()
+
+	// Predict over the same chunk plane: warm once, then time a pass.
+	predSec, err := predictPass(cds, cfg, *startJ, *seed, *cycles)
+	if err != nil {
+		return err
+	}
+
+	// The self-check: the same file loaded fully in memory must walk the
+	// identical trajectory and score rows identically, bit for bit.
+	mds, err := dataset.OpenChunked(path, dataset.ChunkOptions{Mode: dataset.ChunkInMemory})
+	if err != nil {
+		return err
+	}
+	defer mds.Close()
+	mhist, _, _, _, err := train(mds)
+	if err != nil {
+		return err
+	}
+	match := len(hist) == len(mhist)
+	if match {
+		for i := range hist {
+			if hist[i] != mhist[i] {
+				match = false
+				break
+			}
+		}
+	}
+
+	rep := Report{
+		Goos:                 runtime.GOOS,
+		Goarch:               runtime.GOARCH,
+		Rows:                 *rows,
+		Attrs:                na,
+		ChunkRows:            *chunkRows,
+		NumChunks:            nChunks,
+		ResidentChunks:       cap,
+		FileBytes:            fi.Size(),
+		ResidentCeilingBytes: int64(cstats.HighWater) * fi.Size() / int64(nChunks),
+		Cycles:               *cycles,
+		TrainSeconds:         trainSec,
+		TrainRowsPerS:        float64(*rows) * float64(*cycles) / trainSec,
+		MallocsPerCycle:      float64(mallocs) / float64(*cycles),
+		PredictSeconds:       predSec,
+		PredictRowsPerS:      float64(*rows) / predSec,
+		Cache: CacheReport{
+			Hits: cstats.Hits, Loads: cstats.Loads,
+			Evictions: cstats.Evictions, HighWater: cstats.HighWater,
+		},
+		BitwiseMatch: match,
+	}
+	if visits > 0 {
+		rep.MallocsPerChunkVisit = float64(mallocs) / float64(visits)
+	}
+
+	var ow io.Writer = w
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		ow = f
+	}
+	enc := json.NewEncoder(ow)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "ooc: %d rows in %d chunks, %d resident (%.1f%% of file): train %.0f rows/s, predict %.0f rows/s, %.1f mallocs/chunk, bitwise=%v\n",
+		*rows, nChunks, cap, 100*float64(rep.ResidentCeilingBytes)/float64(fi.Size()),
+		rep.TrainRowsPerS, rep.PredictRowsPerS, rep.MallocsPerChunkVisit, match)
+	if !match {
+		return fmt.Errorf("bounded-cache trajectory diverged from the in-memory load")
+	}
+	return nil
+}
+
+// predictPass trains a small model and times one full batch-scoring pass
+// over the chunk plane with a reused Predictor (the serving hot path).
+func predictPass(cds *dataset.Dataset, cfg autoclass.Config, startJ int, seed uint64, cycles int) (float64, error) {
+	pr := model.NewPriors(cds, cds.Summarize())
+	cls, err := autoclass.NewClassification(cds, model.DefaultSpec(cds), pr, startJ)
+	if err != nil {
+		return 0, err
+	}
+	eng, err := autoclass.NewEngine(cds.All(), cls, cfg, nil, nil)
+	if err != nil {
+		return 0, err
+	}
+	if err := eng.InitRandom(seed); err != nil {
+		return 0, err
+	}
+	for c := 0; c < cycles; c++ {
+		if _, err := eng.BaseCycle(); err != nil {
+			return 0, err
+		}
+	}
+	p, err := autoclass.NewPredictor(cls, autoclass.PredictConfig{})
+	if err != nil {
+		return 0, err
+	}
+	var pred autoclass.Prediction
+	if err := p.PredictInto(cds.All(), &pred); err != nil { // warm
+		return 0, err
+	}
+	t0 := time.Now()
+	if err := p.PredictInto(cds.All(), &pred); err != nil {
+		return 0, err
+	}
+	return time.Since(t0).Seconds(), nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBenchOOCSmoke runs the harness on a small workload and checks the
+// BENCH_ooc.json invariants CI asserts on: the bounded cache never exceeds
+// its cap, residency stays a small fraction of the file, throughput is
+// measured, and the trajectory matches the in-memory load bit for bit.
+func TestBenchOOCSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_ooc.json")
+	var buf bytes.Buffer
+	err := run([]string{"-rows", "10240", "-chunk-rows", "512", "-cycles", "2", "-o", out}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.BitwiseMatch {
+		t.Error("bounded-cache trajectory diverged from the in-memory load")
+	}
+	if rep.NumChunks != 20 || rep.ResidentChunks != 2 {
+		t.Errorf("chunks %d resident %d, want 20/2", rep.NumChunks, rep.ResidentChunks)
+	}
+	if rep.Cache.HighWater > rep.ResidentChunks {
+		t.Errorf("high water %d exceeds the %d-chunk cap", rep.Cache.HighWater, rep.ResidentChunks)
+	}
+	if rep.ResidentCeilingBytes*5 > rep.FileBytes {
+		t.Errorf("resident ceiling %d is not a small fraction of the %d-byte file",
+			rep.ResidentCeilingBytes, rep.FileBytes)
+	}
+	if rep.TrainRowsPerS <= 0 || rep.PredictRowsPerS <= 0 {
+		t.Errorf("throughput missing: train %v predict %v", rep.TrainRowsPerS, rep.PredictRowsPerS)
+	}
+	if rep.Cache.Loads == 0 || rep.Cache.Evictions == 0 {
+		t.Errorf("cache never faulted (loads %d evictions %d) — the budget is not binding",
+			rep.Cache.Loads, rep.Cache.Evictions)
+	}
+	// Steady state must not allocate per chunk: the slot buffers are
+	// reused. Allow a small constant for per-cycle bookkeeping.
+	if rep.MallocsPerChunkVisit > 2 {
+		t.Errorf("%.1f mallocs per chunk visit; steady state should reuse slot buffers", rep.MallocsPerChunkVisit)
+	}
+}
+
+func TestBenchOOCErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-badflag"}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-rows", "1000", "-chunk-rows", "100"}, &buf); err == nil {
+		t.Error("misaligned chunk size accepted")
+	}
+}

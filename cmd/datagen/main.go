@@ -6,6 +6,7 @@
 //
 //	datagen -workload paper -n 20000 -seed 42 -o data.txt
 //	datagen -workload protein -n 5000 -missing 0.1 -o protein.bin
+//	datagen -workload paper -n 200000 -o big.chunks -chunk-rows 8192
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/datagen"
 	"repro/internal/dataset"
@@ -31,7 +33,8 @@ func run(args []string, w io.Writer) error {
 	n := fs.Int("n", 10000, "number of tuples")
 	seed := fs.Uint64("seed", 42, "generator seed")
 	missing := fs.Float64("missing", 0, "fraction of values to blank as missing [0,1)")
-	out := fs.String("o", "", "output path (.bin for binary, anything else for text); required")
+	out := fs.String("o", "", "output path (.bin for binary, .chunks for the out-of-core chunk format, anything else for text); required")
+	chunkRows := fs.Int("chunk-rows", 0, "rows per chunk for a .chunks output (0 = default; must be a multiple of 256)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,8 +63,21 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 	}
-	if err := dataset.SaveFile(*out, ds); err != nil {
-		return err
+	if strings.HasSuffix(*out, ".chunks") {
+		cr := *chunkRows
+		if cr == 0 {
+			cr = dataset.DefaultChunkRows
+		}
+		if err := dataset.WriteChunked(*out, ds, cr); err != nil {
+			return err
+		}
+	} else {
+		if *chunkRows != 0 {
+			return fmt.Errorf("-chunk-rows applies only to a .chunks output path")
+		}
+		if err := dataset.SaveFile(*out, ds); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(w, "wrote %s: %d tuples, %d attributes (workload %s, seed %d)\n",
 		*out, ds.N(), ds.NumAttrs(), *workload, *seed)

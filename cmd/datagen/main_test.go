@@ -84,3 +84,26 @@ func TestDatagenErrors(t *testing.T) {
 		t.Error("bad flag accepted")
 	}
 }
+
+func TestDatagenChunkOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "d.chunks")
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "1300", "-o", out, "-chunk-rows", "512"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	cds, err := dataset.OpenChunked(out, dataset.ChunkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cds.Close()
+	if cds.N() != 1300 || cds.ChunkStore().ChunkRows() != 512 {
+		t.Fatalf("N=%d chunkRows=%d", cds.N(), cds.ChunkStore().ChunkRows())
+	}
+	// Misaligned chunk size and chunk-rows on a non-chunk path are errors.
+	if err := run([]string{"-n", "10", "-o", filepath.Join(t.TempDir(), "x.chunks"), "-chunk-rows", "100"}, &buf); err == nil {
+		t.Error("misaligned -chunk-rows accepted")
+	}
+	if err := run([]string{"-n", "10", "-o", filepath.Join(t.TempDir(), "x.txt"), "-chunk-rows", "512"}, &buf); err == nil {
+		t.Error("-chunk-rows on a text output accepted")
+	}
+}

@@ -37,7 +37,9 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("pautoclass", flag.ContinueOnError)
-	dataPath := fs.String("data", "", "dataset path (required)")
+	dataPath := fs.String("data", "", "dataset path (required unless -chunked is given)")
+	chunkedPath := fs.String("chunked", "", "train out of core from this chunk file instead of -data; the resident set is bounded by -memory-budget")
+	memoryBudget := fs.String("memory-budget", "", "with -chunked: cap resident dataset bytes (e.g. 64MiB, 1GiB, or a plain byte count); empty memory-maps the file")
 	procs := fs.Int("procs", 1, "number of ranks")
 	startJ := fs.String("start-j", "2,4,8,16,24,50,64", "comma-separated start_j_list")
 	tries := fs.Int("tries", 2, "random restarts per start J")
@@ -87,12 +89,36 @@ func run(args []string, w io.Writer) error {
 	default:
 		return fmt.Errorf("unknown -progress mode %q (want auto, on or off)", *progressMode)
 	}
-	if *dataPath == "" {
+	var ds *repro.Dataset
+	switch {
+	case *chunkedPath != "" && *dataPath != "":
+		return fmt.Errorf("-chunked replaces -data; give one or the other")
+	case *chunkedPath != "":
+		copts := repro.ChunkOptions{}
+		if *memoryBudget != "" {
+			budget, err := parseBytes(*memoryBudget)
+			if err != nil {
+				return fmt.Errorf("bad -memory-budget: %v", err)
+			}
+			copts.Mode = repro.ChunkCached
+			copts.MemoryBudget = budget
+		}
+		cds, err := repro.OpenChunkedDataset(*chunkedPath, copts)
+		if err != nil {
+			return err
+		}
+		defer cds.Close()
+		ds = cds
+	case *dataPath == "":
 		return fmt.Errorf("-data is required")
+	default:
+		var err error
+		if ds, err = repro.LoadDataset(*dataPath); err != nil {
+			return err
+		}
 	}
-	ds, err := repro.LoadDataset(*dataPath)
-	if err != nil {
-		return err
+	if *memoryBudget != "" && *chunkedPath == "" {
+		return fmt.Errorf("-memory-budget needs -chunked")
 	}
 	cfg := repro.DefaultSearchConfig()
 	cfg.Seed = *seed
@@ -332,6 +358,36 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "case assignments written to %s\n", *cases)
 	}
 	return nil
+}
+
+// parseBytes parses a byte count with an optional KB/MB/GB/KiB/MiB/GiB
+// suffix (decimal and binary units respectively; case-insensitive).
+func parseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	mult := int64(1)
+	upper := strings.ToUpper(t)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{
+		{"KIB", 1 << 10}, {"MIB", 1 << 20}, {"GIB", 1 << 30},
+		{"KB", 1000}, {"MB", 1000 * 1000}, {"GB", 1000 * 1000 * 1000},
+		{"B", 1},
+	} {
+		if strings.HasSuffix(upper, u.suffix) {
+			mult = u.mult
+			t = strings.TrimSpace(t[:len(t)-len(u.suffix)])
+			break
+		}
+	}
+	v, err := strconv.ParseInt(t, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%q is not a byte count", s)
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("byte count %q must be positive", s)
+	}
+	return v * mult, nil
 }
 
 // writeTo creates path and streams write's output into it.

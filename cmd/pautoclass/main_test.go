@@ -268,3 +268,101 @@ func TestCLIClassifyMode(t *testing.T) {
 		t.Fatal("bad checkpoint accepted")
 	}
 }
+
+// writeChunkedDataset writes the paper workload as a chunk file.
+func writeChunkedDataset(t *testing.T, n, chunkRows int) string {
+	t.Helper()
+	ds, err := datagen.Paper(n, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "d.chunks")
+	if err := dataset.WriteChunked(path, ds, chunkRows); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCLIChunkedRun: -chunked trains out of core from a chunk file; the
+// printed summary matches a run over the same rows loaded in memory, and
+// -memory-budget bounds residency without changing it.
+func TestCLIChunkedRun(t *testing.T) {
+	dataPath := writeDataset(t, 1024)
+	chunkPath := writeChunkedDataset(t, 1024, 256)
+	common := []string{"-start-j", "2,5", "-tries", "1", "-max-cycles", "30", "-procs", "2"}
+	var want bytes.Buffer
+	if err := run(append([]string{"-data", dataPath}, common...), &want); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-chunked", chunkPath},
+		{"-chunked", chunkPath, "-memory-budget", "64KiB"},
+	} {
+		var got bytes.Buffer
+		if err := run(append(args, common...), &got); err != nil {
+			t.Fatal(err)
+		}
+		// Strip the wall-time line; everything else must match verbatim.
+		trim := func(s string) string {
+			var keep []string
+			for _, ln := range strings.Split(s, "\n") {
+				if strings.HasPrefix(ln, "wall time:") {
+					continue
+				}
+				keep = append(keep, ln)
+			}
+			return strings.Join(keep, "\n")
+		}
+		if trim(got.String()) != trim(want.String()) {
+			t.Fatalf("chunked output differs:\n--- got ---\n%s\n--- want ---\n%s", got.String(), want.String())
+		}
+	}
+}
+
+func TestCLIChunkedErrors(t *testing.T) {
+	dataPath := writeDataset(t, 50)
+	chunkPath := writeChunkedDataset(t, 512, 256)
+	var buf bytes.Buffer
+	cases := map[string][]string{
+		"chunked-and-data":       {"-data", dataPath, "-chunked", chunkPath},
+		"budget-without-chunked": {"-data", dataPath, "-memory-budget", "1MiB"},
+		"bad-budget":             {"-chunked", chunkPath, "-memory-budget", "lots"},
+		"negative-budget":        {"-chunked", chunkPath, "-memory-budget", "-3MiB"},
+		"chunked-wtsonly": {"-chunked", chunkPath, "-procs", "2", "-strategy", "wtsonly",
+			"-start-j", "2", "-tries", "1", "-max-cycles", "5"},
+		"chunked-reference": {"-chunked", chunkPath, "-kernels", "reference",
+			"-start-j", "2", "-tries", "1", "-max-cycles", "5"},
+	}
+	for name, args := range cases {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("case %q accepted", name)
+		}
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	good := map[string]int64{
+		"123":    123,
+		"64KiB":  64 << 10,
+		"2MiB":   2 << 20,
+		"1GiB":   1 << 30,
+		"5kb":    5000,
+		"3 MB":   3_000_000,
+		"1gb":    1_000_000_000,
+		"1024B":  1024,
+		" 7MiB ": 7 << 20,
+	}
+	for in, want := range good {
+		got, err := parseBytes(in)
+		if err != nil {
+			t.Errorf("parseBytes(%q): %v", in, err)
+		} else if got != want {
+			t.Errorf("parseBytes(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, in := range []string{"", "x", "12XB", "-5", "0"} {
+		if _, err := parseBytes(in); err == nil {
+			t.Errorf("parseBytes(%q) accepted", in)
+		}
+	}
+}

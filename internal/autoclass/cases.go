@@ -46,8 +46,9 @@ func membershipOrder(probs []float64) []int {
 // AutoClass's default report threshold is in the same spirit.
 func AssignCases(cls *Classification, view *dataset.View, threshold float64) []CaseAssignment {
 	out := make([]CaseAssignment, view.N())
+	row := make([]float64, view.Dataset().NumAttrs())
 	for i := 0; i < view.N(); i++ {
-		probs := cls.Predict(view.Row(i))
+		probs := cls.Predict(view.RowTo(row, i))
 		order := membershipOrder(probs)
 		ca := CaseAssignment{Index: view.Start() + i}
 		for rank, j := range order {
@@ -86,8 +87,9 @@ func WriteCases(w io.Writer, cls *Classification, view *dataset.View, threshold 
 // quick summary AutoClass prints at the top of its case report.
 func ClassSizes(cls *Classification, view *dataset.View) []int {
 	sizes := make([]int, cls.J())
+	row := make([]float64, view.Dataset().NumAttrs())
 	for i := 0; i < view.N(); i++ {
-		sizes[cls.HardAssign(view.Row(i))]++
+		sizes[cls.HardAssign(view.RowTo(row, i))]++
 	}
 	return sizes
 }
@@ -98,9 +100,10 @@ func ClassSizes(cls *Classification, view *dataset.View) []int {
 // better.
 func HeldoutLogLik(cls *Classification, view *dataset.View) float64 {
 	logp := make([]float64, cls.J())
+	row := make([]float64, view.Dataset().NumAttrs())
 	total := 0.0
 	for i := 0; i < view.N(); i++ {
-		cls.LogMembership(view.Row(i), logp)
+		cls.LogMembership(view.RowTo(row, i), logp)
 		z := stats.LogSumExp(logp)
 		if !math.IsInf(z, -1) {
 			total += z
@@ -117,8 +120,9 @@ func MeanMaxMembership(cls *Classification, view *dataset.View) float64 {
 		return 0
 	}
 	total := 0.0
+	row := make([]float64, view.Dataset().NumAttrs())
 	for i := 0; i < view.N(); i++ {
-		probs := cls.Predict(view.Row(i))
+		probs := cls.Predict(view.RowTo(row, i))
 		best := 0.0
 		for _, p := range probs {
 			if p > best {

@@ -273,6 +273,16 @@ type Engine struct {
 	kerns     [][]model.Kernel
 	kernTerms [][]model.Term
 	blockScr  []*blockScratch
+
+	// Chunk-backed ("out-of-core") state: when the view's dataset is
+	// chunk-backed the engine walks its chunk plane through per-worker
+	// cursors instead of a monolithic mirror, and runs the fused low-
+	// memory cycle (lowmem.go) that never materializes the n×J weights
+	// matrix. fusedBuf is the merged {wtsOut | stats} buffer of that
+	// cycle, reused across cycles.
+	chunked  bool
+	src      dataset.ChunkSrc
+	fusedBuf []float64
 }
 
 // NewEngine validates inputs and builds an engine.
@@ -283,14 +293,34 @@ func NewEngine(view *dataset.View, cls *Classification, cfg Config, red Reducer,
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Engine{
+	e := &Engine{
 		view:     view,
 		cls:      cls,
 		cfg:      cfg,
 		reducer:  red,
 		charger:  ch,
 		lastPost: math.Inf(-1),
-	}, nil
+	}
+	if view.Dataset().Chunked() {
+		// The chunk-backed data plane serves only the blocked kernels (the
+		// Reference per-row path walks row slices that virtual datasets do
+		// not have), and the bounded-staleness schedule needs the
+		// materialized weights matrix the fused low-memory cycle exists to
+		// avoid.
+		if cfg.Kernels != Blocked {
+			return nil, errors.New("autoclass: Reference kernels require a materialized dataset")
+		}
+		if cfg.EffectiveSyncEvery() > 1 {
+			return nil, errors.New("autoclass: SyncEvery > 1 is not supported on a chunk-backed dataset")
+		}
+		src, err := view.ChunkSrc()
+		if err != nil {
+			return nil, err
+		}
+		e.chunked = true
+		e.src = src
+	}
+	return e, nil
 }
 
 // Classification returns the engine's (mutated in place) classification.
@@ -397,6 +427,15 @@ func (e *Engine) InitRandom(seed uint64) error {
 	if j < 1 {
 		return errors.New("autoclass: no classes to initialize")
 	}
+	if e.chunked {
+		// The fused low-memory path: the crisp assignment is a pure
+		// function of (seed, global index), so the class weights and the
+		// initial statistics are accumulated directly from the hash — no
+		// n×J weights matrix. Adding the materialized path's zeros is
+		// exact, so the weights (and everything downstream) are bitwise
+		// the values the materialized init produces.
+		return e.initRandomFused(seed, t0)
+	}
 	e.wts = make([]float64, n*j)
 	start := e.view.Start()
 	for i := 0; i < n; i++ {
@@ -473,6 +512,7 @@ func (e *Engine) updateWts() ([]float64, error) {
 	} else {
 		e.wtsRows(0, n, out, e.workerLogps(1, j)[0][:j])
 	}
+	e.closeCursors()
 	a := float64(e.cls.NumAttrColumns())
 	e.charge(float64(n) * float64(j) * (a + 1))
 	return out, nil
@@ -526,17 +566,36 @@ func (e *Engine) updateParameters() (reducedValues, reductions int, err error) {
 		return 0, 0, fmt.Errorf("autoclass: unknown granularity %d", int(e.cfg.Granularity))
 	}
 	buf, offs := e.accumulateStats()
-	// Exchange and re-estimate. The reduction pattern — one Allreduce per
-	// (class, term) pair, or one packed exchange — is untouched by the
-	// intra-rank parallelism; only the accumulation above was sharded.
-	switch e.cfg.Granularity {
+	reducedValues, reductions, err = e.exchangeStats(buf, offs)
+	if err != nil {
+		return reducedValues, reductions, err
+	}
+	a := float64(e.cls.NumAttrColumns())
+	e.charge(float64(n) * float64(j) * a)
+	return reducedValues, reductions, nil
+}
+
+// exchangeStats reduces the accumulated statistics globally and
+// re-estimates every term — the exchange half of update_parameters,
+// shared by the two-pass cycle, the fused low-memory cycle, and the fused
+// initialization. The reduction pattern — one Allreduce per (class, term)
+// pair, or one packed exchange — is untouched by how the statistics were
+// accumulated.
+func (e *Engine) exchangeStats(buf []float64, offs []int) (reducedValues, reductions int, err error) {
+	return exchangeClassStats(e.cls, e.cfg.Granularity, e.reduce, buf, offs)
+}
+
+// exchangeClassStats is the engine-independent core of exchangeStats,
+// shared with the streaming trainer.
+func exchangeClassStats(cls *Classification, g Granularity, reduce func([]float64) (int, error), buf []float64, offs []int) (reducedValues, reductions int, err error) {
+	switch g {
 	case PerTerm:
 		ti := 0
-		for cj, cl := range e.cls.Classes {
+		for cj, cl := range cls.Classes {
 			for bi, term := range cl.Terms {
 				st := buf[offs[ti]:offs[ti+1]]
 				ti++
-				v, err := e.reduce(st)
+				v, err := reduce(st)
 				if err != nil {
 					return reducedValues, reductions, fmt.Errorf("autoclass: reduce class %d block %d: %w", cj, bi, err)
 				}
@@ -548,7 +607,7 @@ func (e *Engine) updateParameters() (reducedValues, reductions int, err error) {
 			}
 		}
 	case Packed:
-		v, err := e.reduce(buf)
+		v, err := reduce(buf)
 		if err != nil {
 			return reducedValues, reductions, fmt.Errorf("autoclass: packed reduce: %w", err)
 		}
@@ -557,15 +616,13 @@ func (e *Engine) updateParameters() (reducedValues, reductions int, err error) {
 			reductions++
 		}
 		ti := 0
-		for _, cl := range e.cls.Classes {
+		for _, cl := range cls.Classes {
 			for _, term := range cl.Terms {
 				term.Update(buf[offs[ti]:offs[ti+1]])
 				ti++
 			}
 		}
 	}
-	a := float64(e.cls.NumAttrColumns())
-	e.charge(float64(n) * float64(j) * a)
 	return reducedValues, reductions, nil
 }
 
@@ -579,16 +636,7 @@ func (e *Engine) updateParameters() (reducedValues, reductions int, err error) {
 func (e *Engine) accumulateStats() ([]float64, []int) {
 	n := e.view.N()
 	j := e.cls.J()
-	offs := e.offs[:0]
-	total := 0
-	for _, cl := range e.cls.Classes {
-		for _, term := range cl.Terms {
-			offs = append(offs, total)
-			total += term.StatsSize()
-		}
-	}
-	offs = append(offs, total)
-	e.offs = offs
+	offs, total := e.statOffsets()
 	if cap(e.statsBuf) < total {
 		e.statsBuf = make([]float64, total)
 	}
@@ -621,7 +669,25 @@ func (e *Engine) accumulateStats() ([]float64, []int) {
 	} else {
 		e.statsRows(0, n, buf, offs)
 	}
+	e.closeCursors()
 	return buf, offs
+}
+
+// statOffsets rebuilds the (class, term) statistics offset table in place
+// (class pruning can shrink it), allocating only when it grows, and
+// returns it with the total statistics length.
+func (e *Engine) statOffsets() ([]int, int) {
+	offs := e.offs[:0]
+	total := 0
+	for _, cl := range e.cls.Classes {
+		for _, term := range cl.Terms {
+			offs = append(offs, total)
+			total += term.StatsSize()
+		}
+	}
+	offs = append(offs, total)
+	e.offs = offs
+	return offs, total
 }
 
 // statsRows folds rows [lo, hi) into buf, which holds every (class, term)
@@ -686,15 +752,20 @@ func (e *Engine) pruneDeadClasses() []int {
 	for ni, cj := range keep {
 		newClasses[ni] = e.cls.Classes[cj]
 	}
-	n := e.view.N()
-	newWts := make([]float64, n*len(keep))
-	for i := 0; i < n; i++ {
-		for ni, cj := range keep {
-			newWts[i*len(keep)+ni] = e.wts[i*j+cj]
+	// The fused low-memory cycle never materializes the weights matrix —
+	// weights are recomputed from the parameters every cycle, so there is
+	// nothing to compact.
+	if e.wts != nil {
+		n := e.view.N()
+		newWts := make([]float64, n*len(keep))
+		for i := 0; i < n; i++ {
+			for ni, cj := range keep {
+				newWts[i*len(keep)+ni] = e.wts[i*j+cj]
+			}
 		}
+		e.wts = newWts
 	}
 	e.cls.Classes = newClasses
-	e.wts = newWts
 	e.cls.UpdateClassWeightsFromW()
 	return keep
 }
@@ -711,6 +782,9 @@ func (e *Engine) BaseCycle() (CycleStats, error) {
 	}
 	if e.staleActive() {
 		return e.staleCycle()
+	}
+	if e.chunked {
+		return e.fusedCycle()
 	}
 	cs.Synced = true
 	t0 := time.Now()

@@ -3,6 +3,7 @@ package autoclass
 import (
 	"math"
 
+	"repro/internal/dataset"
 	"repro/internal/model"
 )
 
@@ -66,16 +67,28 @@ func itoa(v int) string {
 // fits comfortably in L1.
 const KernelBlockRows = 256
 
+// The chunked data plane's grid must stay in lockstep with the kernel
+// block grid — a kernel block may never straddle a chunk boundary, which
+// is what makes trajectories bitwise identical across chunk backings and
+// sizes. Negative array lengths fail the build if the constants diverge.
+var (
+	_ [KernelBlockRows - dataset.ChunkAlign]struct{}
+	_ [dataset.ChunkAlign - KernelBlockRows]struct{}
+)
+
 // blockScratch is one worker's blocked-kernel scratch: per-class
-// log-probability vectors for the fused E-step and a gathered weight column
-// for the M-step, each KernelBlockRows long.
+// log-probability vectors for the fused E-step, a gathered weight column
+// for the M-step (each KernelBlockRows long), and — on chunk-backed views
+// — the worker's chunk cursor, pinning exactly the chunk under its blocks.
 type blockScratch struct {
 	lp   [][]float64
 	wcol []float64
+	cur  dataset.ChunkCursor
 }
 
 // workerBlockScratch returns per-worker blocked scratch sized for j
-// classes, reused across cycles.
+// classes, reused across cycles. On a chunk-backed view each worker's
+// cursor is pointed at the view's chunk source for the coming phase.
 func (e *Engine) workerBlockScratch(workers, j int) []*blockScratch {
 	for len(e.blockScr) < workers {
 		e.blockScr = append(e.blockScr, &blockScratch{})
@@ -88,8 +101,34 @@ func (e *Engine) workerBlockScratch(workers, j int) []*blockScratch {
 		if bs.wcol == nil {
 			bs.wcol = make([]float64, KernelBlockRows)
 		}
+		if e.chunked {
+			bs.cur.Reset(e.src)
+		}
 	}
 	return e.blockScr
+}
+
+// closeCursors releases every worker cursor's pinned chunk — called at the
+// end of each phase so a bounded-residency backing can evict freely
+// between phases.
+func (e *Engine) closeCursors() {
+	if !e.chunked {
+		return
+	}
+	for _, bs := range e.blockScr {
+		bs.cur.Close()
+	}
+}
+
+// block resolves the view-local row block [blo, bhi) to the Columns the
+// kernels should walk: the monolithic mirror itself on a materialized
+// view, or the cursor-pinned chunk (with chunk-local bounds) on a
+// chunk-backed one.
+func (e *Engine) block(bs *blockScratch, blo, bhi int) (cols *dataset.Columns, lo, hi int) {
+	if e.chunked {
+		return bs.cur.Block(blo, bhi)
+	}
+	return e.cols, blo, bhi
 }
 
 // prepareKernels readies the blocked path for a phase: the column-major
@@ -100,7 +139,7 @@ func (e *Engine) workerBlockScratch(workers, j int) []*blockScratch {
 // Restore with a different classification) changes the term set and
 // triggers a rebuild, detected by term identity.
 func (e *Engine) prepareKernels() {
-	if e.cols == nil {
+	if !e.chunked && e.cols == nil {
 		e.cols = e.view.Columns()
 	}
 	classes := e.cls.Classes
@@ -150,13 +189,13 @@ func (e *Engine) prepareKernels() {
 // bitwise.
 func (e *Engine) wtsRowsBlocked(lo, hi int, out []float64, bs *blockScratch) {
 	j := e.cls.J()
-	cols := e.cols
 	for blo := lo; blo < hi; blo += KernelBlockRows {
 		bhi := blo + KernelBlockRows
 		if bhi > hi {
 			bhi = hi
 		}
 		m := bhi - blo
+		cols, clo, chi := e.block(bs, blo, bhi)
 		for cj, cl := range e.cls.Classes {
 			lp := bs.lp[cj][:m]
 			logPi := cl.LogPi
@@ -164,7 +203,7 @@ func (e *Engine) wtsRowsBlocked(lo, hi int, out []float64, bs *blockScratch) {
 				lp[r] = logPi
 			}
 			for _, k := range e.kerns[cj] {
-				k.BlockLogProb(cols, blo, bhi, lp)
+				k.BlockLogProb(cols, clo, chi, lp)
 			}
 		}
 		for r := 0; r < m; r++ {
@@ -208,13 +247,13 @@ func (e *Engine) wtsRowsBlocked(lo, hi int, out []float64, bs *blockScratch) {
 // keeps the accumulation deterministic for every Parallelism setting.
 func (e *Engine) statsRowsBlocked(lo, hi int, buf []float64, offs []int, bs *blockScratch) {
 	j := e.cls.J()
-	cols := e.cols
 	for blo := lo; blo < hi; blo += KernelBlockRows {
 		bhi := blo + KernelBlockRows
 		if bhi > hi {
 			bhi = hi
 		}
 		m := bhi - blo
+		cols, clo, chi := e.block(bs, blo, bhi)
 		ti := 0
 		for cj, cl := range e.cls.Classes {
 			wcol := bs.wcol[:m]
@@ -222,7 +261,7 @@ func (e *Engine) statsRowsBlocked(lo, hi int, buf []float64, offs []int, bs *blo
 				wcol[r] = e.wts[(blo+r)*j+cj]
 			}
 			for bi := range cl.Terms {
-				e.kerns[cj][bi].BlockAccumulateStats(cols, wcol, blo, bhi, buf[offs[ti]:offs[ti+1]])
+				e.kerns[cj][bi].BlockAccumulateStats(cols, wcol, clo, chi, buf[offs[ti]:offs[ti+1]])
 				ti++
 			}
 		}

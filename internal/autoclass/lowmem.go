@@ -1,0 +1,254 @@
+package autoclass
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// The fused low-memory cycle: out-of-core training's answer to the n×J
+// weights matrix.
+//
+// The two-pass BaseCycle materializes every row's class weights in
+// update_wts and re-reads them in update_parameters. At out-of-core row
+// counts that matrix is the RAM elephant — 100M rows × 8 classes is 6.4 GB
+// for the weights alone, dwarfing any chunk budget. On chunk-backed views
+// the engine therefore fuses the two data-parallel phases: each row block
+// computes its weights in block scratch, folds them into the class sums
+// AND the sufficient statistics immediately, and drops them. Memory per
+// worker is one chunk pin plus O(J·KernelBlockRows) scratch, independent
+// of n.
+//
+// The fusion is bitwise exact, not approximate. Both phases evaluate the
+// same parameters (terms update only after the statistics exchange), so
+// the weight values are identical; per statistics slot the block
+// accumulation order within a shard is identical; the shard merge is the
+// same ascending-order merge (merging the concatenated {wtsOut | stats}
+// shard buffers element-wise is element-identical to merging the two
+// segments separately); and the reduce sequence — wtsOut first, then the
+// per-term (or packed) statistics exchange — is preserved. A fused
+// trajectory is therefore bit-for-bit the two-pass Blocked trajectory,
+// which the chunked-equivalence property tests assert across backings and
+// chunk sizes.
+
+// fusedCycle is BaseCycle for chunk-backed views: one pass over the data,
+// weights never stored.
+func (e *Engine) fusedCycle() (CycleStats, error) {
+	var cs CycleStats
+	cs.Synced = true
+	t0 := time.Now()
+	n := e.view.N()
+	j := e.cls.J()
+	e.prepareKernels()
+	offs, total := e.statOffsets()
+	width := j + 1 + total
+	if cap(e.fusedBuf) < width {
+		e.fusedBuf = make([]float64, width)
+	}
+	combined := e.fusedBuf[:width]
+	for i := range combined {
+		combined[i] = 0
+	}
+	if shards := NumRowShards(n); e.cfg.Parallelism != 0 && shards > 0 {
+		workers := e.cfg.Workers(shards)
+		bufs := e.scratch.get(shards, width)
+		scr := e.workerBlockScratch(workers, j)
+		ParallelFor(workers, shards, func(worker, s int) {
+			lo, hi := RowShardRange(s, n)
+			e.fusedRowsBlocked(lo, hi, bufs[s][:j+1], bufs[s][j+1:], offs, scr[worker])
+		})
+		mergeShards(combined, bufs)
+	} else {
+		e.fusedRowsBlocked(0, n, combined[:j+1], combined[j+1:], offs, e.workerBlockScratch(1, j)[0])
+	}
+	e.closeCursors()
+	a := float64(e.cls.NumAttrColumns())
+	e.charge(float64(n) * float64(j) * (a + 1))
+
+	wtsOut := combined[:j+1]
+	v, err := e.reduce(wtsOut)
+	if err != nil {
+		return cs, fmt.Errorf("autoclass: reduce wts: %w", err)
+	}
+	if v > 0 {
+		cs.ReducedValues += v
+		cs.Reductions++
+	}
+	for cj, cl := range e.cls.Classes {
+		cl.W = wtsOut[cj]
+	}
+	e.cls.LogLik = wtsOut[j]
+	cs.WtsSeconds = time.Since(t0).Seconds()
+
+	t1 := time.Now()
+	rv, rn, err := e.exchangeStats(combined[j+1:], offs)
+	if err != nil {
+		return cs, err
+	}
+	cs.ReducedValues += rv
+	cs.Reductions += rn
+	e.charge(float64(n) * float64(j) * a)
+	cs.ParamsSeconds = time.Since(t1).Seconds()
+
+	t2 := time.Now()
+	e.updateApproximations()
+	cs.ApproxSeconds = time.Since(t2).Seconds()
+
+	e.pruneDeadClasses()
+	e.cls.Cycles++
+	cs.LogPost = e.cls.LogPost
+	return cs, nil
+}
+
+// fusedRowsBlocked processes rows [lo, hi) in one pass: per block, the
+// blocked kernels produce every class's log-membership vector; the
+// normalization overwrites the vectors with the weights (the exact
+// arithmetic of wtsRowsBlocked, accumulating the class sums and the
+// log-likelihood into wtsOut); then each class's weight vector feeds the
+// statistics accumulation directly (the exact slot/row order of
+// statsRowsBlocked) — the gathered weight column IS the scratch the E-step
+// just filled.
+func (e *Engine) fusedRowsBlocked(lo, hi int, wtsOut, buf []float64, offs []int, bs *blockScratch) {
+	j := e.cls.J()
+	for blo := lo; blo < hi; blo += KernelBlockRows {
+		bhi := blo + KernelBlockRows
+		if bhi > hi {
+			bhi = hi
+		}
+		m := bhi - blo
+		cols, clo, chi := e.block(bs, blo, bhi)
+		for cj, cl := range e.cls.Classes {
+			lp := bs.lp[cj][:m]
+			logPi := cl.LogPi
+			for r := range lp {
+				lp[r] = logPi
+			}
+			for _, k := range e.kerns[cj] {
+				k.BlockLogProb(cols, clo, chi, lp)
+			}
+		}
+		for r := 0; r < m; r++ {
+			maxv := math.Inf(-1)
+			for cj := 0; cj < j; cj++ {
+				if v := bs.lp[cj][r]; v > maxv {
+					maxv = v
+				}
+			}
+			if math.IsInf(maxv, -1) {
+				u := 1 / float64(j)
+				for cj := 0; cj < j; cj++ {
+					bs.lp[cj][r] = u
+					wtsOut[cj] += u
+				}
+				continue
+			}
+			sum := 0.0
+			for cj := 0; cj < j; cj++ {
+				ev := math.Exp(bs.lp[cj][r] - maxv)
+				bs.lp[cj][r] = ev
+				sum += ev
+			}
+			inv := 1 / sum
+			for cj := 0; cj < j; cj++ {
+				wv := bs.lp[cj][r] * inv
+				bs.lp[cj][r] = wv
+				wtsOut[cj] += wv
+			}
+			wtsOut[j] += maxv + math.Log(sum)
+		}
+		ti := 0
+		for cj, cl := range e.cls.Classes {
+			wcol := bs.lp[cj][:m]
+			for bi := range cl.Terms {
+				e.kerns[cj][bi].BlockAccumulateStats(cols, wcol, clo, chi, buf[offs[ti]:offs[ti+1]])
+				ti++
+			}
+		}
+	}
+}
+
+// initRandomFused is InitRandom for chunk-backed views: the crisp class
+// weights come straight from the assignment hash, and the initial
+// statistics accumulation synthesizes each class's 0/1 weight column from
+// the hash instead of gathering it from a materialized matrix. Every
+// float64 matches the materialized init.
+func (e *Engine) initRandomFused(seed uint64, t0 time.Time) error {
+	n := e.view.N()
+	j := e.cls.J()
+	start := e.view.Start()
+	wj := make([]float64, j)
+	for i := 0; i < n; i++ {
+		wj[InitialClass(seed, start+i, j)]++
+	}
+	e.charge(float64(n))
+	if _, err := e.reduce(wj); err != nil {
+		return fmt.Errorf("autoclass: init reduce: %w", err)
+	}
+	for cj, cl := range e.cls.Classes {
+		cl.W = wj[cj]
+	}
+	e.cls.UpdateClassWeightsFromW()
+
+	e.prepareKernels()
+	offs, total := e.statOffsets()
+	if cap(e.statsBuf) < total {
+		e.statsBuf = make([]float64, total)
+	}
+	buf := e.statsBuf[:total]
+	for i := range buf {
+		buf[i] = 0
+	}
+	if shards := NumRowShards(n); e.cfg.Parallelism != 0 && shards > 0 {
+		workers := e.cfg.Workers(shards)
+		bufs := e.scratch.get(shards, total)
+		scr := e.workerBlockScratch(workers, j)
+		ParallelFor(workers, shards, func(worker, s int) {
+			lo, hi := RowShardRange(s, n)
+			e.initStatsBlocked(lo, hi, bufs[s], offs, scr[worker], seed)
+		})
+		mergeShards(buf, bufs)
+	} else {
+		e.initStatsBlocked(0, n, buf, offs, e.workerBlockScratch(1, j)[0], seed)
+	}
+	e.closeCursors()
+	if _, _, err := e.exchangeStats(buf, offs); err != nil {
+		return err
+	}
+	a := float64(e.cls.NumAttrColumns())
+	e.charge(float64(n) * float64(j) * a)
+	e.updateApproximations()
+	e.started = true
+	e.initSeconds = time.Since(t0).Seconds()
+	return nil
+}
+
+// initStatsBlocked is statsRowsBlocked with the weight column synthesized
+// from the crisp assignment hash: wcol[r] is 1 when the hash assigns
+// global row (start+blo+r) to class cj, else 0 — the values the
+// materialized init writes into its weights matrix.
+func (e *Engine) initStatsBlocked(lo, hi int, buf []float64, offs []int, bs *blockScratch, seed uint64) {
+	j := e.cls.J()
+	start := e.view.Start()
+	for blo := lo; blo < hi; blo += KernelBlockRows {
+		bhi := blo + KernelBlockRows
+		if bhi > hi {
+			bhi = hi
+		}
+		m := bhi - blo
+		cols, clo, chi := e.block(bs, blo, bhi)
+		ti := 0
+		for cj, cl := range e.cls.Classes {
+			wcol := bs.wcol[:m]
+			for r := 0; r < m; r++ {
+				wcol[r] = 0
+				if InitialClass(seed, start+blo+r, j) == cj {
+					wcol[r] = 1
+				}
+			}
+			for bi := range cl.Terms {
+				e.kerns[cj][bi].BlockAccumulateStats(cols, wcol, clo, chi, buf[offs[ti]:offs[ti+1]])
+				ti++
+			}
+		}
+	}
+}

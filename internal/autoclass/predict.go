@@ -23,7 +23,10 @@ import (
 // grids depend only on the row count, per-shard log-likelihood partial sums
 // are merged in ascending shard order, and per-row outputs are written to
 // disjoint slices — so results are bitwise identical for every
-// Parallelism >= 1 within a kernel mode.
+// Parallelism >= 1 within a kernel mode. On chunk-backed datasets the
+// scorer walks the chunk plane through per-worker cursors; the block grid
+// never straddles a chunk (KernelBlockRows == ChunkAlign), so results are
+// also bitwise identical across chunk backings and sizes.
 
 // PredictConfig controls the batch scorer. The zero value is the fast path:
 // blocked kernels on a single worker.
@@ -34,7 +37,7 @@ type PredictConfig struct {
 	// for every value within a kernel mode.
 	Parallelism int
 	// Kernels selects Blocked (columnar kernels, the default) or Reference
-	// (the per-row Term oracle).
+	// (the per-row Term oracle). Chunk-backed datasets require Blocked.
 	Kernels KernelMode
 }
 
@@ -71,6 +74,24 @@ func (p *Prediction) Membership(i int) []float64 {
 	return p.Memberships[i*p.J : (i+1)*p.J]
 }
 
+// reset sizes the result buffers for n cases and j classes, reusing the
+// backing arrays when they are large enough — a repeated PredictInto over
+// same-shaped batches allocates nothing here.
+func (p *Prediction) reset(n, j int) {
+	p.J = j
+	p.LogLik = 0
+	if cap(p.Memberships) < n*j {
+		p.Memberships = make([]float64, n*j)
+	} else {
+		p.Memberships = p.Memberships[:n*j]
+	}
+	if cap(p.MAP) < n {
+		p.MAP = make([]int, n)
+	} else {
+		p.MAP = p.MAP[:n]
+	}
+}
+
 // Predict scores every row of ds under the fitted classification — the
 // batch inference entry point. See PredictView for scoring a window.
 func Predict(cls *Classification, ds *dataset.Dataset, cfg PredictConfig) (*Prediction, error) {
@@ -84,120 +105,249 @@ func Predict(cls *Classification, ds *dataset.Dataset, cfg PredictConfig) (*Pred
 // per-case posterior memberships, the MAP class, and the total held-out
 // log-likelihood. The view's dataset must be schema-compatible with the
 // classification's spec; the rows themselves are new data the search never
-// saw. Safe for concurrent calls on the same classification (the scorer
-// never mutates it).
+// saw. Safe for concurrent calls on the same classification (each call
+// builds its own Predictor; the scorer never mutates the classification).
 func PredictView(cls *Classification, view *dataset.View, cfg PredictConfig) (*Prediction, error) {
-	if cls == nil || view == nil {
-		return nil, errors.New("autoclass: nil classification or view")
+	pr, err := NewPredictor(cls, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return pr.PredictView(view)
+}
+
+// Predictor is a reusable batch scorer over one fitted classification. It
+// caches the per-(class, term) kernels, the per-worker scratch and the
+// result buffers across calls, keyed on term identity — in a serving loop
+// over same-shaped batches the steady state performs zero allocations
+// (kernels are merely Refreshed against the parameters). A Predictor is
+// NOT safe for concurrent use; for concurrent scoring build one Predictor
+// per goroutine (or use the PredictView function, which does exactly
+// that). The classification itself is only read.
+type Predictor struct {
+	cls *Classification
+	cfg PredictConfig
+
+	kerns     [][]model.Kernel
+	kernTerms [][]model.Term
+	scratch   []*predictScratch
+	lls       []float64
+	lastDS    *dataset.Dataset // last schema-validated dataset
+
+	// The shard loop body is built once and bound to these per-call fields
+	// so a warm PredictInto never allocates a fresh closure.
+	loop func(worker, shard int)
+	curP *Prediction
+	curN int
+
+	// Per-call data plane: the monolithic column mirror on a materialized
+	// view, or the chunk source walked by per-worker cursors on a
+	// chunk-backed one.
+	view    *dataset.View
+	cols    *dataset.Columns
+	chunked bool
+	src     dataset.ChunkSrc
+}
+
+// predictScratch is one worker's scratch: per-class log-probability block
+// vectors (blocked) or a single per-row log-membership vector (reference),
+// plus — on chunk-backed views — the worker's chunk cursor.
+type predictScratch struct {
+	lp   [][]float64
+	logp []float64
+	cur  dataset.ChunkCursor
+}
+
+// NewPredictor validates the configuration and builds a reusable scorer.
+func NewPredictor(cls *Classification, cfg PredictConfig) (*Predictor, error) {
+	if cls == nil {
+		return nil, errors.New("autoclass: nil classification")
 	}
 	if cfg.Kernels != Blocked && cfg.Kernels != Reference {
 		return nil, errors.New("autoclass: unknown kernel mode")
 	}
-	if err := cls.Spec.Validate(view.Dataset()); err != nil {
+	return &Predictor{cls: cls, cfg: cfg}, nil
+}
+
+// Predict scores every row of ds. See PredictInto for buffer reuse.
+func (pr *Predictor) Predict(ds *dataset.Dataset) (*Prediction, error) {
+	if ds == nil {
+		return nil, errors.New("autoclass: nil dataset")
+	}
+	return pr.PredictView(ds.All())
+}
+
+// PredictView scores every row of the view into a fresh Prediction.
+func (pr *Predictor) PredictView(view *dataset.View) (*Prediction, error) {
+	p := &Prediction{}
+	if err := pr.PredictInto(view, p); err != nil {
 		return nil, err
 	}
-	n := view.N()
-	j := cls.J()
-	p := &Prediction{
-		J:           j,
-		Memberships: make([]float64, n*j),
-		MAP:         make([]int, n),
+	return p, nil
+}
+
+// PredictInto scores every row of the view into p, reusing p's buffers
+// when they are large enough. This is the zero-allocation serving path:
+// with a warm Predictor and a same-shaped batch, neither the scorer nor
+// the result allocates.
+func (pr *Predictor) PredictInto(view *dataset.View, p *Prediction) error {
+	if view == nil || p == nil {
+		return errors.New("autoclass: nil view or prediction")
 	}
+	if ds := view.Dataset(); ds != pr.lastDS {
+		if err := pr.cls.Spec.Validate(ds); err != nil {
+			return err
+		}
+		pr.lastDS = ds
+	}
+	n := view.N()
+	j := pr.cls.J()
+	p.reset(n, j)
 	if n == 0 {
-		return p, nil
+		return nil
+	}
+	pr.view = view
+	pr.chunked = view.Dataset().Chunked()
+	if pr.chunked {
+		if pr.cfg.Kernels != Blocked {
+			return errors.New("autoclass: Reference kernels require a materialized dataset")
+		}
+		src, err := view.ChunkSrc()
+		if err != nil {
+			return err
+		}
+		pr.src = src
+		pr.cols = nil
+	} else if pr.cfg.Kernels == Blocked {
+		pr.cols = view.Columns()
+	}
+	if pr.cfg.Kernels == Blocked {
+		pr.prepareKernels()
 	}
 	// Unlike the training engine, there is no seed-sequential legacy mode to
 	// preserve: the scorer always runs on the fixed shard grid, so every
 	// Parallelism value — including 0 — accumulates the log-likelihood in
 	// the same per-shard grouping and the result is bitwise identical.
-	sc := newPredictScorer(cls, view, cfg.Kernels)
 	shards := NumRowShards(n)
-	workers := sc.prepare(Config{Parallelism: cfg.Parallelism}.Workers(shards))
-	lls := make([]float64, shards)
-	ParallelFor(len(workers), shards, func(worker, s int) {
-		lo, hi := RowShardRange(s, n)
-		lls[s] = sc.scoreRows(lo, hi, p, workers[worker])
-	})
+	workers := pr.prepare(Config{Parallelism: pr.cfg.Parallelism}.Workers(shards))
+	if cap(pr.lls) < shards {
+		pr.lls = make([]float64, shards)
+	}
+	lls := pr.lls[:shards]
+	pr.curP, pr.curN = p, n
+	if pr.loop == nil {
+		pr.loop = func(worker, s int) {
+			lo, hi := RowShardRange(s, pr.curN)
+			pr.lls[s] = pr.scoreRows(lo, hi, pr.curP, pr.scratch[worker])
+		}
+	}
+	ParallelFor(len(workers), shards, pr.loop)
+	pr.curP = nil
+	if pr.chunked {
+		for _, ps := range pr.scratch {
+			ps.cur.Close()
+		}
+	}
 	// Ascending-shard merge keeps the total bitwise identical for every
 	// worker count.
 	for _, ll := range lls {
 		p.LogLik += ll
 	}
-	return p, nil
+	return nil
 }
 
-// predictScorer holds the per-call scoring state: the view's column mirror
-// and one kernel per (class, term) for the blocked path, or nothing beyond
-// the classification for the reference path. Kernels are built fresh per
-// call (they alias the classification's terms read-only), so concurrent
-// predictions over one model never share mutable state.
-type predictScorer struct {
-	cls   *Classification
-	view  *dataset.View
-	mode  KernelMode
-	cols  *dataset.Columns
-	kerns [][]model.Kernel
-}
-
-// predictScratch is one worker's scratch: per-class log-probability block
-// vectors (blocked) or a single per-row log-membership vector (reference).
-type predictScratch struct {
-	lp   [][]float64
-	logp []float64
-}
-
-func newPredictScorer(cls *Classification, view *dataset.View, mode KernelMode) *predictScorer {
-	sc := &predictScorer{cls: cls, view: view, mode: mode}
-	if mode == Blocked {
-		sc.cols = view.Columns()
-		sc.kerns = make([][]model.Kernel, len(cls.Classes))
-		for cj, cl := range cls.Classes {
-			sc.kerns[cj] = make([]model.Kernel, len(cl.Terms))
+// prepareKernels builds (or, when the term structure is unchanged,
+// Refreshes) one kernel per (class, term) — the same identity-keyed cache
+// the training engine uses, so repeated predictions over a stable model
+// allocate nothing here.
+func (pr *Predictor) prepareKernels() {
+	classes := pr.cls.Classes
+	same := len(pr.kernTerms) == len(classes)
+	if same {
+	check:
+		for cj, cl := range classes {
+			if len(pr.kernTerms[cj]) != len(cl.Terms) {
+				same = false
+				break
+			}
 			for bi, t := range cl.Terms {
-				sc.kerns[cj][bi] = t.Kernel()
+				if pr.kernTerms[cj][bi] != t {
+					same = false
+					break check
+				}
 			}
 		}
 	}
-	return sc
+	if same {
+		for _, ks := range pr.kerns {
+			for _, k := range ks {
+				k.Refresh()
+			}
+		}
+		return
+	}
+	pr.kerns = make([][]model.Kernel, len(classes))
+	pr.kernTerms = make([][]model.Term, len(classes))
+	for cj, cl := range classes {
+		pr.kerns[cj] = make([]model.Kernel, len(cl.Terms))
+		pr.kernTerms[cj] = append([]model.Term(nil), cl.Terms...)
+		for bi, t := range cl.Terms {
+			pr.kerns[cj][bi] = t.Kernel()
+		}
+	}
 }
 
-// prepare returns `workers` scratch instances.
-func (sc *predictScorer) prepare(workers int) []*predictScratch {
-	j := sc.cls.J()
-	out := make([]*predictScratch, workers)
-	for w := range out {
-		ps := &predictScratch{}
-		if sc.mode == Blocked {
-			ps.lp = make([][]float64, j)
-			for cj := range ps.lp {
-				ps.lp[cj] = make([]float64, KernelBlockRows)
+// prepare returns `workers` scratch instances, reused across calls and
+// grown on demand. On a chunk-backed view each worker's cursor is pointed
+// at the view's chunk source.
+func (pr *Predictor) prepare(workers int) []*predictScratch {
+	j := pr.cls.J()
+	for len(pr.scratch) < workers {
+		pr.scratch = append(pr.scratch, &predictScratch{})
+	}
+	for w := 0; w < workers; w++ {
+		ps := pr.scratch[w]
+		if pr.cfg.Kernels == Blocked {
+			for len(ps.lp) < j {
+				ps.lp = append(ps.lp, make([]float64, KernelBlockRows))
 			}
-		} else {
+		} else if len(ps.logp) < j {
 			ps.logp = make([]float64, j)
 		}
-		out[w] = ps
+		if pr.chunked {
+			ps.cur.Reset(pr.src)
+		}
 	}
-	return out
+	return pr.scratch[:workers]
+}
+
+// block resolves the view-local row block [blo, bhi) to the Columns the
+// kernels should walk — the monolithic mirror, or the cursor-pinned chunk
+// with chunk-local bounds.
+func (pr *Predictor) block(ps *predictScratch, blo, bhi int) (cols *dataset.Columns, lo, hi int) {
+	if pr.chunked {
+		return ps.cur.Block(blo, bhi)
+	}
+	return pr.cols, blo, bhi
 }
 
 // scoreRows scores rows [lo, hi) into p and returns their log-likelihood
 // contribution. Disjoint row ranges may run concurrently: every write goes
 // to a per-row slice of p or the local scratch.
-func (sc *predictScorer) scoreRows(lo, hi int, p *Prediction, ps *predictScratch) float64 {
-	if sc.mode == Blocked {
-		return sc.scoreRowsBlocked(lo, hi, p, ps)
+func (pr *Predictor) scoreRows(lo, hi int, p *Prediction, ps *predictScratch) float64 {
+	if pr.cfg.Kernels == Blocked {
+		return pr.scoreRowsBlocked(lo, hi, p, ps)
 	}
-	return sc.scoreRowsReference(lo, hi, p, ps)
+	return pr.scoreRowsReference(lo, hi, p, ps)
 }
 
 // scoreRowsReference is the per-row oracle: Term.LogProb through
 // LogMembership, then NormalizeLog — the exact code path of
 // Classification.Predict, row by row.
-func (sc *predictScorer) scoreRowsReference(lo, hi int, p *Prediction, ps *predictScratch) float64 {
+func (pr *Predictor) scoreRowsReference(lo, hi int, p *Prediction, ps *predictScratch) float64 {
 	j := p.J
 	ll := 0.0
 	for i := lo; i < hi; i++ {
-		sc.cls.LogMembership(sc.view.Row(i), ps.logp)
+		pr.cls.LogMembership(pr.view.Row(i), ps.logp)
 		z := stats.NormalizeLog(ps.logp)
 		mem := p.Memberships[i*j : (i+1)*j]
 		copy(mem, ps.logp)
@@ -216,8 +366,9 @@ func (sc *predictScorer) scoreRowsReference(lo, hi int, p *Prediction, ps *predi
 // in a second pass — no interface call and no allocation per row. Blocks
 // never straddle shard boundaries (KernelBlockRows divides RowShardSize),
 // so the block grid — and therefore every float64 — is identical for every
-// Parallelism setting.
-func (sc *predictScorer) scoreRowsBlocked(lo, hi int, p *Prediction, ps *predictScratch) float64 {
+// Parallelism setting; nor do they straddle chunk boundaries, so the same
+// holds across chunk backings.
+func (pr *Predictor) scoreRowsBlocked(lo, hi int, p *Prediction, ps *predictScratch) float64 {
 	j := p.J
 	ll := 0.0
 	for blo := lo; blo < hi; blo += KernelBlockRows {
@@ -226,14 +377,15 @@ func (sc *predictScorer) scoreRowsBlocked(lo, hi int, p *Prediction, ps *predict
 			bhi = hi
 		}
 		m := bhi - blo
-		for cj, cl := range sc.cls.Classes {
+		cols, clo, chi := pr.block(ps, blo, bhi)
+		for cj, cl := range pr.cls.Classes {
 			lp := ps.lp[cj][:m]
 			logPi := cl.LogPi
 			for r := range lp {
 				lp[r] = logPi
 			}
-			for _, k := range sc.kerns[cj] {
-				k.BlockLogProb(sc.cols, blo, bhi, lp)
+			for _, k := range pr.kerns[cj] {
+				k.BlockLogProb(cols, clo, chi, lp)
 			}
 		}
 		for r := 0; r < m; r++ {

@@ -1,5 +1,7 @@
 package dataset
 
+import "fmt"
+
 // Columns is a column-major mirror of a View's rows: one contiguous
 // float64 slice per attribute plus a missing-value mask per column. It is
 // the data layout behind the engine's blocked kernels — evaluating one
@@ -36,8 +38,19 @@ func (c *Columns) Missing(k int) []bool { return c.missing[k] }
 // HasMissing reports whether attribute k has any missing value.
 func (c *Columns) HasMissing(k int) bool { return c.missing[k] != nil }
 
+// transposeTileRows is the row-tile height of buildColumns. A tile of
+// source rows small enough to stay cache-resident is transposed with
+// column-contiguous writes: the strided reads hit the same hot tile over
+// and over while every write stream is sequential. 256 rows × 8 bytes is
+// 2 KiB per touched column.
+const transposeTileRows = 256
+
 // buildColumns transposes rows [start, start+count) of ds into a fresh
-// column-major mirror.
+// column-major mirror. The transpose is tiled: for each block of
+// transposeTileRows source rows, every destination column is filled with a
+// linear inner loop over the row-major backing array — no per-cell bounds-
+// checked Value(i, k) double indirection, and sequential writes per column
+// instead of a stride-count scatter per row.
 func buildColumns(ds *Dataset, start, count int) *Columns {
 	na := len(ds.attrs)
 	c := &Columns{
@@ -50,27 +63,96 @@ func buildColumns(ds *Dataset, start, count int) *Columns {
 	for k := 0; k < na; k++ {
 		c.cols[k] = flat[k*count : (k+1)*count]
 	}
-	for i := 0; i < count; i++ {
-		row := ds.Row(start + i)
-		for k, v := range row {
-			c.cols[k][i] = v
-			if IsMissing(v) {
-				if c.missing[k] == nil {
-					c.missing[k] = make([]bool, count)
+	data := ds.data[start*na : (start+count)*na]
+	for t0 := 0; t0 < count; t0 += transposeTileRows {
+		t1 := t0 + transposeTileRows
+		if t1 > count {
+			t1 = count
+		}
+		for k := 0; k < na; k++ {
+			dst := c.cols[k][t0:t1]
+			src := data[t0*na+k:]
+			miss := c.missing[k]
+			for i := range dst {
+				v := src[i*na]
+				dst[i] = v
+				if IsMissing(v) {
+					if miss == nil {
+						miss = make([]bool, count)
+						c.missing[k] = miss
+					}
+					miss[t0+i] = true
 				}
-				c.missing[k][i] = true
 			}
 		}
 	}
 	return c
 }
 
+// window returns the chunk of the mirror covering rows [lo, hi): a Columns
+// value whose slices alias the parent's backing arrays. The missing mask of
+// a column is carried over only when the window actually contains a missing
+// value, so chunks of a sparsely-missing column keep the fast mask-free
+// kernel path.
+func (c *Columns) window(lo, hi int) Columns {
+	w := Columns{
+		n:       hi - lo,
+		cols:    make([][]float64, len(c.cols)),
+		missing: make([][]bool, len(c.cols)),
+	}
+	for k := range c.cols {
+		w.cols[k] = c.cols[k][lo:hi:hi]
+		if m := c.missing[k]; m != nil {
+			for _, b := range m[lo:hi] {
+				if b {
+					w.missing[k] = m[lo:hi:hi]
+					break
+				}
+			}
+		}
+	}
+	return w
+}
+
 // Columns returns the view's column-major mirror, building it on first use.
 // The mirror is cached on the view — repeated calls (one per engine phase)
 // return the same instance — and safe for concurrent readers once built.
+// Chunk-backed datasets have no row-major storage to mirror (and may not
+// fit one in RAM); their data plane is View.ChunkSrc.
 func (v *View) Columns() *Columns {
+	if v.ds.chunks != nil {
+		panic("dataset: Columns on a chunk-backed dataset; use ChunkSrc")
+	}
 	v.colsOnce.Do(func() {
 		v.cols = buildColumns(v.ds, v.start, v.count)
 	})
 	return v.cols
+}
+
+// ChunkSrc returns the view's chunk plane: the chunk store plus the global
+// row offset of the view's first row. For a chunk-backed dataset it is the
+// dataset's own store (the view must start on the ChunkAlign grid — block
+// partitions of chunk-backed data use AlignedBlockPartition); for a
+// materialized dataset it is an in-memory store sliced from the view's
+// column mirror, built on first use and cached like the mirror itself.
+func (v *View) ChunkSrc() (ChunkSrc, error) {
+	v.srcOnce.Do(func() {
+		if v.ds.chunks != nil {
+			// An empty view never resolves a block, so its (possibly
+			// off-grid, clamped-tail) start is irrelevant.
+			if v.count > 0 && v.start%ChunkAlign != 0 {
+				v.srcErr = fmt.Errorf("dataset: chunk-backed view starts at row %d, not on the %d-row grid", v.start, ChunkAlign)
+				return
+			}
+			v.src = ChunkSrc{Store: v.ds.chunks, Base: v.start}
+			return
+		}
+		st, err := ChunkColumns(v.Columns(), DefaultChunkRows)
+		if err != nil {
+			v.srcErr = err
+			return
+		}
+		v.src = ChunkSrc{Store: st}
+	})
+	return v.src, v.srcErr
 }

@@ -1,0 +1,101 @@
+package dataset
+
+import (
+	"fmt"
+	"testing"
+)
+
+// buildColumnsNaive is the pre-optimization transpose kept as the benchmark
+// baseline: one bounds-checked Value(i, k) double indirection per cell and a
+// stride-NumAttrs write scatter per row.
+func buildColumnsNaive(ds *Dataset, start, count int) *Columns {
+	na := len(ds.attrs)
+	c := &Columns{
+		n:       count,
+		cols:    make([][]float64, na),
+		missing: make([][]bool, na),
+	}
+	flat := make([]float64, count*na)
+	for k := 0; k < na; k++ {
+		c.cols[k] = flat[k*count : (k+1)*count]
+	}
+	for i := 0; i < count; i++ {
+		for k := 0; k < na; k++ {
+			v := ds.Value(start+i, k)
+			c.cols[k][i] = v
+			if IsMissing(v) {
+				if c.missing[k] == nil {
+					c.missing[k] = make([]bool, count)
+				}
+				c.missing[k][i] = true
+			}
+		}
+	}
+	return c
+}
+
+func benchDataset(b *testing.B, n, na int) *Dataset {
+	b.Helper()
+	attrs := make([]Attribute, na)
+	for k := range attrs {
+		attrs[k] = Attribute{Name: fmt.Sprintf("a%d", k), Type: Real}
+	}
+	ds := MustNew("bench", attrs)
+	ds.Grow(n)
+	row := make([]float64, na)
+	for i := 0; i < n; i++ {
+		for k := range row {
+			row[k] = float64(i*na + k)
+		}
+		if err := ds.AppendRow(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return ds
+}
+
+func benchmarkTranspose(b *testing.B, build func(*Dataset, int, int) *Columns) {
+	for _, sz := range []struct{ n, na int }{{10000, 8}, {100000, 16}} {
+		b.Run(fmt.Sprintf("n%d_a%d", sz.n, sz.na), func(b *testing.B) {
+			ds := benchDataset(b, sz.n, sz.na)
+			b.SetBytes(int64(sz.n * sz.na * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cols := build(ds, 0, sz.n)
+				if cols.N() != sz.n {
+					b.Fatal("bad transpose")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTransposeNaive(b *testing.B) { benchmarkTranspose(b, buildColumnsNaive) }
+func BenchmarkTransposeTiled(b *testing.B) { benchmarkTranspose(b, buildColumns) }
+
+// TestBuildColumnsMatchesNaive makes the baseline earn its keep: the tiled
+// transpose must reproduce it bitwise, masks included.
+func TestBuildColumnsMatchesNaive(t *testing.T) {
+	ds := mkMixedDataset(t, 1111)
+	a := buildColumnsNaive(ds, 100, 900)
+	bb := buildColumns(ds, 100, 900)
+	for k := 0; k < ds.NumAttrs(); k++ {
+		av, bv := a.Col(k), bb.Col(k)
+		for i := range av {
+			if !sameFloat(av[i], bv[i]) {
+				t.Fatalf("attr %d row %d: %v != %v", k, i, av[i], bv[i])
+			}
+		}
+		if a.HasMissing(k) != bb.HasMissing(k) {
+			t.Fatalf("attr %d: mask presence differs", k)
+		}
+		if a.HasMissing(k) {
+			am, bm := a.Missing(k), bb.Missing(k)
+			for i := range am {
+				if am[i] != bm[i] {
+					t.Fatalf("attr %d row %d: mask differs", k, i)
+				}
+			}
+		}
+	}
+}

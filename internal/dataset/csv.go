@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"io/fs"
 	"strconv"
 	"strings"
 )
@@ -115,6 +116,171 @@ func ReadCSV(r io.Reader, name string) (*Dataset, error) {
 		}
 	}
 	return ds, nil
+}
+
+// CSVOptions controls ReadCSVWith, the sized/streaming variant of the CSV
+// importer. The zero value reproduces ReadCSV.
+type CSVOptions struct {
+	// Attrs fixes the schema up front, skipping the type-inference pass:
+	// the reader streams row-at-a-time instead of buffering the whole file.
+	// Discrete attributes must enumerate every level that appears; unknown
+	// level tokens are an error. Required when Sink is set.
+	Attrs []Attribute
+	// RowCountHint pre-sizes the dataset's row storage. 0 means estimate:
+	// from the reader's remaining size when it exposes Len() int (a
+	// strings/bytes Reader) or Stat() (an *os.File), and the measured width
+	// of the first data row; otherwise no pre-sizing.
+	RowCountHint int
+	// Sink, when non-nil, receives every parsed row instead of a
+	// materialized dataset — the out-of-core ingestion path: CSV rows
+	// stream straight into a chunk file and never occupy more than one
+	// chunk of memory. ReadCSVWith then returns a nil dataset; the caller
+	// owns Close on the sink.
+	Sink *ChunkWriter
+}
+
+// csvSizer is the reader face of the pre-sizing estimate: bytes.Reader,
+// strings.Reader and bufio.Reader all report the unread length.
+type csvSizer interface{ Len() int }
+
+// csvStatter matches *os.File.
+type csvStatter interface{ Stat() (fs.FileInfo, error) }
+
+// csvReaderSize reports the reader's remaining byte count, or -1 when it
+// is not cheaply knowable.
+func csvReaderSize(r io.Reader) int64 {
+	switch v := r.(type) {
+	case csvSizer:
+		return int64(v.Len())
+	case csvStatter:
+		if fi, err := v.Stat(); err == nil && fi.Mode().IsRegular() {
+			return fi.Size()
+		}
+	}
+	return -1
+}
+
+// ReadCSVWith is ReadCSV with an explicit schema, pre-sizing, and an
+// optional streaming chunk sink. With a schema it makes a single pass,
+// holding one row in memory; with a sink it additionally never builds a
+// dataset at all — rows flow straight into the chunk file.
+func ReadCSVWith(r io.Reader, name string, opts CSVOptions) (*Dataset, error) {
+	ds, _, err := readCSVWith(r, name, opts)
+	return ds, err
+}
+
+// readCSVWith additionally reports how many times the row storage was
+// reallocated after the initial pre-sizing — the quantity the pre-sizing
+// regression test pins (a good estimate means zero).
+func readCSVWith(r io.Reader, name string, opts CSVOptions) (*Dataset, int, error) {
+	if opts.Sink != nil && opts.Attrs == nil {
+		return nil, 0, fmt.Errorf("dataset: csv: Sink requires an explicit schema")
+	}
+	if opts.Attrs == nil {
+		// No schema: type inference needs the whole file anyway; ReadCSV
+		// already pre-sizes from the exact buffered row count.
+		ds, err := ReadCSV(r, name)
+		return ds, 0, err
+	}
+	size := csvReaderSize(r)
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, 0, fmt.Errorf("dataset: csv: %w", err)
+	}
+	attrs := opts.Attrs
+	ncol := len(attrs)
+	if len(header) != ncol {
+		return nil, 0, fmt.Errorf("dataset: csv header has %d fields, schema has %d attributes", len(header), ncol)
+	}
+	levelIdx := make([]map[string]int, ncol)
+	for k, a := range attrs {
+		if a.Type != Discrete {
+			continue
+		}
+		levelIdx[k] = make(map[string]int, len(a.Levels))
+		for li, lv := range a.Levels {
+			levelIdx[k][lv] = li
+		}
+	}
+	var ds *Dataset
+	if opts.Sink == nil {
+		if ds, err = New(name, attrs); err != nil {
+			return nil, 0, err
+		}
+	}
+	row := make([]float64, ncol)
+	reallocs := 0
+	sized := false
+	prevCap := 0
+	ri := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, reallocs, fmt.Errorf("dataset: csv: %w", err)
+		}
+		ri++
+		if len(rec) != ncol {
+			return nil, reallocs, fmt.Errorf("dataset: csv row %d has %d fields, schema has %d", ri, len(rec), ncol)
+		}
+		recBytes := int64(1) // newline
+		for k, tok := range rec {
+			recBytes += int64(len(tok)) + 1
+			tok = strings.TrimSpace(tok)
+			if isCSVMissing(tok) {
+				row[k] = Missing
+				continue
+			}
+			if attrs[k].Type == Real {
+				v, err := strconv.ParseFloat(tok, 64)
+				if err != nil {
+					return nil, reallocs, fmt.Errorf("dataset: csv row %d column %q: %v", ri, attrs[k].Name, err)
+				}
+				row[k] = v
+			} else {
+				li, ok := levelIdx[k][tok]
+				if !ok {
+					return nil, reallocs, fmt.Errorf("dataset: csv row %d column %q: unknown level %q", ri, attrs[k].Name, tok)
+				}
+				row[k] = float64(li)
+			}
+		}
+		if opts.Sink != nil {
+			if err := opts.Sink.AppendRow(row); err != nil {
+				return nil, reallocs, fmt.Errorf("dataset: csv row %d: %w", ri, err)
+			}
+			continue
+		}
+		if !sized {
+			// Pre-size once, after the first row reveals the bytes-per-row
+			// scale: the explicit hint wins, else remaining-size/row-width.
+			sized = true
+			hint := opts.RowCountHint
+			if hint <= 0 && size > 0 {
+				// One row's width is a noisy scale; 1/8 headroom plus a
+				// small constant absorbs the noise so an undershoot never
+				// triggers the append ladder on the tail.
+				hint = int(size / recBytes)
+				hint += hint/8 + 16
+			}
+			if hint > 0 {
+				ds.Grow(hint)
+			}
+			prevCap = cap(ds.data)
+		}
+		if err := ds.AppendRow(row); err != nil {
+			return nil, reallocs, fmt.Errorf("dataset: csv row %d: %w", ri, err)
+		}
+		if c := cap(ds.data); c != prevCap {
+			reallocs++
+			prevCap = c
+		}
+	}
+	return ds, reallocs, nil
 }
 
 // isCSVMissing reports whether a CSV field encodes a missing value.

@@ -1,0 +1,185 @@
+package dataset
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// csvFixture renders n mixed rows (real with misses, discrete) as CSV text.
+func csvFixture(n int) string {
+	var sb strings.Builder
+	sb.WriteString("x,grade,y\n")
+	grades := []string{"low", "mid", "high"}
+	for i := 0; i < n; i++ {
+		if i%41 == 7 {
+			sb.WriteString("?,")
+		} else {
+			fmt.Fprintf(&sb, "%.4f,", float64(i)*0.25-100)
+		}
+		sb.WriteString(grades[i%3])
+		if i%29 == 3 {
+			sb.WriteString(",NA\n")
+		} else {
+			fmt.Fprintf(&sb, ",%.4f\n", float64(i%97)*1.5)
+		}
+	}
+	return sb.String()
+}
+
+// opaqueReader hides Len()/Stat() so the size estimate is unavailable.
+type opaqueReader struct{ r io.Reader }
+
+func (o opaqueReader) Read(p []byte) (int, error) { return o.r.Read(p) }
+
+func TestReadCSVWithSchemaMatchesReadCSV(t *testing.T) {
+	text := csvFixture(500)
+	want, err := ReadCSV(strings.NewReader(text), "fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSVWith(strings.NewReader(text), "fixture", CSVOptions{Attrs: want.Attrs()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Error("schema-driven single-pass parse differs from inferred parse")
+	}
+	// Zero options delegate to plain ReadCSV (inference).
+	got2, err := ReadCSVWith(strings.NewReader(text), "fixture", CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got2.Equal(want) {
+		t.Error("zero-option ReadCSVWith differs from ReadCSV")
+	}
+}
+
+// TestReadCSVPreSizing pins the reallocation behavior of the streaming
+// parser: a Len()-bearing reader (or an exact hint) pre-sizes the row
+// storage so the append loop never reallocates; an opaque reader with no
+// hint demonstrates the ladder the estimate avoids.
+func TestReadCSVPreSizing(t *testing.T) {
+	text := csvFixture(5000)
+	schema, err := ReadCSV(strings.NewReader(text), "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := schema.Attrs()
+
+	_, reallocs, err := readCSVWith(strings.NewReader(text), "f", CSVOptions{Attrs: attrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reallocs != 0 {
+		t.Errorf("Len()-sized reader: %d reallocations, want 0", reallocs)
+	}
+
+	_, reallocs, err = readCSVWith(opaqueReader{strings.NewReader(text)}, "f",
+		CSVOptions{Attrs: attrs, RowCountHint: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reallocs != 0 {
+		t.Errorf("exact hint: %d reallocations, want 0", reallocs)
+	}
+
+	_, reallocs, err = readCSVWith(opaqueReader{strings.NewReader(text)}, "f", CSVOptions{Attrs: attrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reallocs == 0 {
+		t.Error("opaque un-hinted reader reported 0 reallocations; the counter is broken")
+	}
+
+	// *os.File pre-sizes through Stat.
+	path := filepath.Join(t.TempDir(), "rows.csv")
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	_, reallocs, err = readCSVWith(f, "f", CSVOptions{Attrs: attrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reallocs != 0 {
+		t.Errorf("Stat()-sized reader: %d reallocations, want 0", reallocs)
+	}
+}
+
+// TestReadCSVStreamToChunkSink is the out-of-core ingestion path: CSV rows
+// stream straight into a chunk file, which re-opened presents the same
+// dataset ReadCSV materializes.
+func TestReadCSVStreamToChunkSink(t *testing.T) {
+	text := csvFixture(1300)
+	want, err := ReadCSV(strings.NewReader(text), "stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "stream.chunks")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewChunkWriter(f, "stream", want.Attrs(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := ReadCSVWith(strings.NewReader(text), "stream", CSVOptions{Attrs: want.Attrs(), Sink: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds != nil {
+		t.Fatal("sink path returned a materialized dataset")
+	}
+	if w.Rows() != want.N() {
+		t.Fatalf("sink saw %d rows, want %d", w.Rows(), want.N())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	vd, err := OpenChunked(path, ChunkOptions{Mode: ChunkCached, Chunks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vd.Close()
+	if !vd.Equal(want) {
+		t.Error("streamed chunk file differs from materialized parse")
+	}
+}
+
+func TestReadCSVWithRejects(t *testing.T) {
+	text := csvFixture(10)
+	schema, err := ReadCSV(strings.NewReader(text), "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sink without schema.
+	if _, err := ReadCSVWith(strings.NewReader(text), "f", CSVOptions{Sink: &ChunkWriter{}}); err == nil {
+		t.Error("sink without schema accepted")
+	}
+	// Unknown discrete level.
+	attrs := append([]Attribute(nil), schema.Attrs()...)
+	for k := range attrs {
+		if attrs[k].Type == Discrete {
+			attrs[k].Levels = []string{"low", "mid"} // drop "high"
+		}
+	}
+	if _, err := ReadCSVWith(strings.NewReader(text), "f", CSVOptions{Attrs: attrs}); err == nil {
+		t.Error("unknown level accepted")
+	}
+	// Schema width mismatch.
+	if _, err := ReadCSVWith(strings.NewReader(text), "f", CSVOptions{Attrs: attrs[:1]}); err == nil {
+		t.Error("width mismatch accepted")
+	}
+}

@@ -90,15 +90,28 @@ var Missing = math.NaN()
 // IsMissing reports whether v encodes a missing value.
 func IsMissing(v float64) bool { return math.IsNaN(v) }
 
-// Dataset is an immutable-by-convention table of instances. Rows are stored
-// contiguously (row-major) so that block partitions are cache-friendly
-// slices of the underlying array.
+// Dataset is an immutable-by-convention table of instances. Two storage
+// modes share the one type so every consumer keeps its signature:
+//
+//   - materialized (the default): rows stored contiguously (row-major) in
+//     data, so that block partitions are cache-friendly slices of the
+//     underlying array;
+//   - chunk-backed ("virtual", built by OpenChunked): no row-major storage
+//     at all — values live in a ChunkStore whose backing may be a memory
+//     map or a bounded-residency cache over a file, letting the dataset
+//     exceed RAM. Row (which returns an alias) is unavailable in this
+//     mode; use RowTo, Value, or the chunk plane itself.
 type Dataset struct {
 	// Name labels the dataset in reports.
 	Name  string
 	attrs []Attribute
-	data  []float64 // row-major, len == n*len(attrs)
+	data  []float64 // row-major, len == n*len(attrs); nil when chunk-backed
 	n     int
+
+	// chunks is non-nil exactly when the dataset is chunk-backed; closer
+	// releases the backing resources (file handle, memory map).
+	chunks ChunkStore
+	closer func() error
 }
 
 // New creates an empty dataset with the given schema. The attribute slice
@@ -142,6 +155,60 @@ func (d *Dataset) Attr(k int) *Attribute { return &d.attrs[k] }
 // Attrs returns the schema. Callers must not modify it.
 func (d *Dataset) Attrs() []Attribute { return d.attrs }
 
+// Chunked reports whether the dataset is chunk-backed (built by
+// OpenChunked) rather than materialized in row-major RAM.
+func (d *Dataset) Chunked() bool { return d.chunks != nil }
+
+// ChunkStore returns the chunk backing of a chunk-backed dataset, or nil
+// for a materialized one.
+func (d *Dataset) ChunkStore() ChunkStore { return d.chunks }
+
+// Close releases the resources behind a chunk-backed dataset (file handle,
+// memory map). It is a no-op for materialized datasets. The dataset must
+// not be used after Close.
+func (d *Dataset) Close() error {
+	if d.closer == nil {
+		return nil
+	}
+	c := d.closer
+	d.closer = nil
+	return c()
+}
+
+// ChunkedCopy returns a chunk-backed dataset presenting d's rows through
+// an in-memory chunk store on the given chunk grid — the cheapest way to
+// put a materialized dataset on the chunk plane (chunks alias one column
+// mirror; no file involved). chunkRows must be a positive multiple of
+// ChunkAlign.
+func ChunkedCopy(d *Dataset, chunkRows int) (*Dataset, error) {
+	if d == nil {
+		return nil, errors.New("dataset: nil dataset")
+	}
+	if d.Chunked() {
+		return nil, errors.New("dataset: ChunkedCopy of a chunk-backed dataset (re-chunk through WriteChunked)")
+	}
+	store, err := ChunkColumns(d.All().Columns(), chunkRows)
+	if err != nil {
+		return nil, err
+	}
+	return fromChunks(d.Name, d.attrs, store, nil)
+}
+
+// fromChunks builds a chunk-backed dataset over a validated schema.
+func fromChunks(name string, attrs []Attribute, store ChunkStore, closer func() error) (*Dataset, error) {
+	d, err := New(name, attrs)
+	if err != nil {
+		return nil, err
+	}
+	if store.NumAttrs() != len(attrs) {
+		return nil, fmt.Errorf("dataset: chunk store has %d columns, schema %d", store.NumAttrs(), len(attrs))
+	}
+	d.n = store.NumRows()
+	d.chunks = store
+	d.closer = closer
+	return d, nil
+}
+
 // Grow pre-allocates capacity for n additional rows.
 func (d *Dataset) Grow(n int) {
 	need := (d.n + n) * len(d.attrs)
@@ -155,6 +222,9 @@ func (d *Dataset) Grow(n int) {
 // AppendRow appends one instance. len(row) must equal NumAttrs; discrete
 // values must be valid level indices (or Missing).
 func (d *Dataset) AppendRow(row []float64) error {
+	if d.chunks != nil {
+		return errors.New("dataset: cannot append to a chunk-backed dataset")
+	}
 	if len(row) != len(d.attrs) {
 		return fmt.Errorf("dataset: row has %d values, schema has %d attributes", len(row), len(d.attrs))
 	}
@@ -177,16 +247,56 @@ func (d *Dataset) AppendRow(row []float64) error {
 	return nil
 }
 
-// Value returns the value of attribute k for instance i.
+// Value returns the value of attribute k for instance i. On a chunk-backed
+// dataset this faults the covering chunk per call; it is meant for
+// reports, spot checks and tests, not hot loops — those walk the chunk
+// plane directly.
 func (d *Dataset) Value(i, k int) float64 {
+	if d.chunks != nil {
+		cr := d.chunks.ChunkRows()
+		c := i / cr
+		cols := d.chunks.Acquire(c)
+		v := cols.Col(k)[i-c*cr]
+		d.chunks.Release(c)
+		return v
+	}
 	return d.data[i*len(d.attrs)+k]
 }
 
 // Row returns instance i as a slice aliasing the underlying storage.
-// Callers must treat it as read-only.
+// Callers must treat it as read-only. Chunk-backed datasets have no
+// row-major storage to alias — callers that must handle both modes use
+// RowTo instead; Row panics to surface the misuse.
 func (d *Dataset) Row(i int) []float64 {
+	if d.chunks != nil {
+		panic("dataset: Row on a chunk-backed dataset; use RowTo")
+	}
 	w := len(d.attrs)
 	return d.data[i*w : (i+1)*w : (i+1)*w]
+}
+
+// RowTo gathers instance i into dst (which must have NumAttrs capacity;
+// nil allocates) and returns it. It works in both storage modes — the
+// mode-agnostic counterpart of Row for code off the hot path.
+func (d *Dataset) RowTo(dst []float64, i int) []float64 {
+	w := len(d.attrs)
+	if cap(dst) < w {
+		dst = make([]float64, w)
+	}
+	dst = dst[:w]
+	if d.chunks == nil {
+		copy(dst, d.data[i*w:(i+1)*w])
+		return dst
+	}
+	cr := d.chunks.ChunkRows()
+	c := i / cr
+	cols := d.chunks.Acquire(c)
+	li := i - c*cr
+	for k := 0; k < w; k++ {
+		dst[k] = cols.Col(k)[li]
+	}
+	d.chunks.Release(c)
+	return dst
 }
 
 // View returns a zero-copy window over rows [start, start+count).
@@ -215,6 +325,10 @@ type View struct {
 
 	colsOnce sync.Once
 	cols     *Columns
+
+	srcOnce sync.Once
+	src     ChunkSrc
+	srcErr  error
 }
 
 // N returns the number of rows in the view.
@@ -231,6 +345,11 @@ func (v *View) Value(i, k int) float64 { return v.ds.Value(v.start+i, k) }
 
 // Row returns the view-local instance i (read-only alias).
 func (v *View) Row(i int) []float64 { return v.ds.Row(v.start + i) }
+
+// RowTo copies view row i into dst and returns dst[:NumAttrs]. Unlike Row
+// it works on chunk-backed datasets, so it is the row accessor for code
+// that must serve both planes.
+func (v *View) RowTo(dst []float64, i int) []float64 { return v.ds.RowTo(dst, v.start+i) }
 
 // Summary holds per-attribute global statistics of a dataset. AutoClass
 // uses these to construct data-dependent priors (the prior mean of a class
@@ -275,51 +394,71 @@ func (d *Dataset) Summarize() *Summary {
 			s.Counts[k] = make([]int, d.attrs[k].Cardinality())
 		}
 	}
+	if d.chunks != nil {
+		d.summarizeChunked(s)
+		return s
+	}
 	for i := 0; i < d.n; i++ {
 		row := d.Row(i)
 		for k, v := range row {
-			if IsMissing(v) {
-				s.MissingCount[k]++
-				continue
-			}
-			switch d.attrs[k].Type {
-			case Real:
-				s.Real[k].AddUnweighted(v)
-				if v > 0 {
-					s.LogReal[k].AddUnweighted(math.Log(v))
-				} else {
-					s.NonPositive[k]++
-				}
-				if v < s.Min[k] {
-					s.Min[k] = v
-				}
-				if v > s.Max[k] {
-					s.Max[k] = v
-				}
-			case Discrete:
-				s.Counts[k][int(v)]++
-			}
+			s.add(d, k, v)
 		}
 	}
 	return s
 }
 
-// Clone returns a deep copy of the dataset.
+// add folds one value of attribute k into the summary.
+func (s *Summary) add(d *Dataset, k int, v float64) {
+	if IsMissing(v) {
+		s.MissingCount[k]++
+		return
+	}
+	switch d.attrs[k].Type {
+	case Real:
+		s.Real[k].AddUnweighted(v)
+		if v > 0 {
+			s.LogReal[k].AddUnweighted(math.Log(v))
+		} else {
+			s.NonPositive[k]++
+		}
+		if v < s.Min[k] {
+			s.Min[k] = v
+		}
+		if v > s.Max[k] {
+			s.Max[k] = v
+		}
+	case Discrete:
+		s.Counts[k][int(v)]++
+	}
+}
+
+// summarizeChunked scans the chunk plane column by column. Per attribute
+// the values are folded in ascending row order — the same order the
+// row-major scan uses — and the per-attribute accumulators are
+// independent, so the resulting Summary (and every prior derived from it)
+// is bitwise identical to the materialized scan's.
+func (d *Dataset) summarizeChunked(s *Summary) {
+	nc := d.chunks.NumChunks()
+	for c := 0; c < nc; c++ {
+		cols := d.chunks.Acquire(c)
+		for k := range d.attrs {
+			for _, v := range cols.Col(k) {
+				s.add(d, k, v)
+			}
+		}
+		d.chunks.Release(c)
+	}
+}
+
+// Clone returns a deep copy of the dataset. Cloning a chunk-backed dataset
+// materializes it into row-major RAM — the caller is asserting it fits.
 func (d *Dataset) Clone() *Dataset {
-	c := &Dataset{
-		Name:  d.Name,
-		attrs: append([]Attribute(nil), d.attrs...),
-		data:  append([]float64(nil), d.data...),
-		n:     d.n,
-	}
-	for i := range c.attrs {
-		c.attrs[i].Levels = append([]string(nil), d.attrs[i].Levels...)
-	}
-	return c
+	return d.Head(d.n)
 }
 
 // Head returns a new dataset containing only the first n rows (or all rows
-// if n exceeds N). The schema is shared by copy.
+// if n exceeds N). The schema is shared by copy; the result is always
+// materialized, even when d is chunk-backed.
 func (d *Dataset) Head(n int) *Dataset {
 	if n > d.n {
 		n = d.n
@@ -327,14 +466,39 @@ func (d *Dataset) Head(n int) *Dataset {
 	c := &Dataset{
 		Name:  d.Name,
 		attrs: append([]Attribute(nil), d.attrs...),
-		data:  append([]float64(nil), d.data[:n*len(d.attrs)]...),
 		n:     n,
+	}
+	for i := range c.attrs {
+		c.attrs[i].Levels = append([]string(nil), d.attrs[i].Levels...)
+	}
+	if d.chunks == nil {
+		c.data = append([]float64(nil), d.data[:n*len(d.attrs)]...)
+		return c
+	}
+	na := len(d.attrs)
+	c.data = make([]float64, n*na)
+	cr := d.chunks.ChunkRows()
+	for lo := 0; lo < n; lo += cr {
+		ci := lo / cr
+		cols := d.chunks.Acquire(ci)
+		m := n - lo
+		if m > cols.N() {
+			m = cols.N()
+		}
+		for k := 0; k < na; k++ {
+			col := cols.Col(k)
+			for i := 0; i < m; i++ {
+				c.data[(lo+i)*na+k] = col[i]
+			}
+		}
+		d.chunks.Release(ci)
 	}
 	return c
 }
 
 // Equal reports whether two datasets have identical schemas and values
-// (NaNs compare equal so that missing values match).
+// (NaNs compare equal so that missing values match). It works across
+// storage modes, comparing values through the mode-agnostic accessor.
 func (d *Dataset) Equal(o *Dataset) bool {
 	if d.n != o.n || len(d.attrs) != len(o.attrs) {
 		return false
@@ -350,10 +514,21 @@ func (d *Dataset) Equal(o *Dataset) bool {
 			}
 		}
 	}
-	for i, v := range d.data {
-		w := o.data[i]
-		if v != w && !(math.IsNaN(v) && math.IsNaN(w)) {
-			return false
+	if d.chunks == nil && o.chunks == nil {
+		for i, v := range d.data {
+			w := o.data[i]
+			if v != w && !(math.IsNaN(v) && math.IsNaN(w)) {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < d.n; i++ {
+		for k := range d.attrs {
+			v, w := d.Value(i, k), o.Value(i, k)
+			if v != w && !(math.IsNaN(v) && math.IsNaN(w)) {
+				return false
+			}
 		}
 	}
 	return true

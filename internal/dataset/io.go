@@ -49,8 +49,9 @@ func WriteText(w io.Writer, d *Dataset) error {
 		}
 	}
 	fmt.Fprintln(bw, "---")
+	rowBuf := make([]float64, len(d.attrs))
 	for i := 0; i < d.n; i++ {
-		row := d.Row(i)
+		row := d.RowTo(rowBuf, i)
 		for k, v := range row {
 			if k > 0 {
 				if err := bw.WriteByte(' '); err != nil {
@@ -214,10 +215,13 @@ func WriteBinary(w io.Writer, d *Dataset) error {
 		return err
 	}
 	buf := make([]byte, 8)
-	for _, v := range d.data {
-		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
-		if _, err := bw.Write(buf); err != nil {
-			return err
+	row := make([]float64, len(d.attrs))
+	for i := 0; i < d.n; i++ {
+		for _, v := range d.RowTo(row, i) {
+			binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
 		}
 	}
 	return bw.Flush()

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package dataset
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile is unavailable on this platform; ChunkAuto falls back to the
+// bounded pread-backed cache, ChunkMmap returns this error.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	return nil, nil, errors.New("dataset: memory mapping not supported on this platform")
+}

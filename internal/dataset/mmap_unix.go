@@ -1,0 +1,26 @@
+//go:build unix
+
+package dataset
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared, returning the bytes
+// and an unmap function. The mapping outlives the file descriptor, so the
+// caller may close f independently of the unmap.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 {
+		return nil, nil, errors.New("dataset: cannot map an empty file")
+	}
+	if int64(int(size)) != size {
+		return nil, nil, errors.New("dataset: file too large to map on this platform")
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

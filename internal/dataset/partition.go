@@ -73,8 +73,9 @@ func SplitShuffled(d *Dataset, trainFrac float64, seed uint64) (train, test *Dat
 			return nil, err
 		}
 		out.Grow(len(idx))
+		row := make([]float64, len(d.attrs))
 		for _, i := range idx {
-			if err := out.AppendRow(d.Row(i)); err != nil {
+			if err := out.AppendRow(d.RowTo(row, i)); err != nil {
 				return nil, err
 			}
 		}

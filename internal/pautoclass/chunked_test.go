@@ -1,0 +1,134 @@
+package pautoclass
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/autoclass"
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/mpi"
+)
+
+// chunkFileDS writes ds to a chunk file and opens it with the given
+// options; the returned dataset is closed with the test.
+func chunkFileDS(t *testing.T, ds *dataset.Dataset, chunkRows int, opts dataset.ChunkOptions) *dataset.Dataset {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "rows.chunks")
+	if err := dataset.WriteChunked(path, ds, chunkRows); err != nil {
+		t.Fatal(err)
+	}
+	cds, err := dataset.OpenChunked(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cds.Close() })
+	return cds
+}
+
+// sameSearchBits requires two search results to agree exactly: same best
+// class structure and scores bit for bit, same per-try records.
+func sameSearchBits(t *testing.T, label string, got, want *autoclass.SearchResult) {
+	t.Helper()
+	if got.Best.J() != want.Best.J() {
+		t.Fatalf("%s: J=%d want %d", label, got.Best.J(), want.Best.J())
+	}
+	if got.Best.LogPost != want.Best.LogPost || got.Best.LogLik != want.Best.LogLik {
+		t.Fatalf("%s: logpost/loglik %v/%v want %v/%v", label,
+			got.Best.LogPost, got.Best.LogLik, want.Best.LogPost, want.Best.LogLik)
+	}
+	if got.BestTry.StartJ != want.BestTry.StartJ || got.BestTry.Seed != want.BestTry.Seed {
+		t.Fatalf("%s: best try %+v want %+v", label, got.BestTry, want.BestTry)
+	}
+	if len(got.Tries) != len(want.Tries) {
+		t.Fatalf("%s: %d tries want %d", label, len(got.Tries), len(want.Tries))
+	}
+	for i := range want.Tries {
+		if got.Tries[i].Score != want.Tries[i].Score || got.Tries[i].Cycles != want.Tries[i].Cycles {
+			t.Fatalf("%s try %d: score %v cycles %d, want %v/%d", label, i,
+				got.Tries[i].Score, got.Tries[i].Cycles, want.Tries[i].Score, want.Tries[i].Cycles)
+		}
+	}
+	for j := range want.Best.Classes {
+		gp := got.Best.Classes[j].Terms[0].Params()
+		wp := want.Best.Classes[j].Terms[0].Params()
+		for i := range wp {
+			if gp[i] != wp[i] {
+				t.Fatalf("%s class %d param %d: %v want %v", label, j, i, gp[i], wp[i])
+			}
+		}
+	}
+}
+
+// TestParallelChunkedMatchesMaterialized: with the row count a multiple of
+// ChunkAlign×P the aligned partition coincides with the materialized
+// block partition, so an SPMD search over the chunk plane must reproduce
+// the materialized parallel search bit for bit — for every backing and
+// chunk size.
+func TestParallelChunkedMatchesMaterialized(t *testing.T) {
+	ds := paperDS(t, 2048)
+	cfg := quickSearchConfig()
+	backings := map[string]*dataset.Dataset{
+		"file-cached": chunkFileDS(t, ds, 512, dataset.ChunkOptions{Mode: dataset.ChunkCached, Chunks: 2}),
+		"file-auto":   chunkFileDS(t, ds, 1024, dataset.ChunkOptions{}),
+	}
+	if mem, err := dataset.ChunkedCopy(ds, 256); err != nil {
+		t.Fatal(err)
+	} else {
+		backings["mem"] = mem
+	}
+	for _, p := range []int{2, 4} {
+		want := runParallelSearch(t, ds, p, cfg, DefaultOptions())
+		for name, cds := range backings {
+			got := runParallelSearch(t, cds, p, cfg, DefaultOptions())
+			sameSearchBits(t, name, got, want)
+		}
+	}
+}
+
+// TestParallelChunkedAlignedPartition: when the row count does not divide
+// evenly, the chunk-backed partition lands every rank's start on the
+// ChunkAlign grid (so kernel blocks stay chunk-contained) and all backings
+// still agree with each other bit for bit.
+func TestParallelChunkedAlignedPartition(t *testing.T) {
+	ds := paperDS(t, 2100)
+	cds := chunkFileDS(t, ds, 512, dataset.ChunkOptions{Mode: dataset.ChunkCached, Chunks: 2})
+	const p = 3
+	err := mpi.Run(p, func(c *mpi.Comm) error {
+		view, err := PartitionView(c, cds)
+		if err != nil {
+			return err
+		}
+		if view.Start()%dataset.ChunkAlign != 0 {
+			t.Errorf("rank %d starts at %d, off the %d grid", c.Rank(), view.Start(), dataset.ChunkAlign)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickSearchConfig()
+	mem, err := dataset.ChunkedCopy(ds, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runParallelSearch(t, mem, p, cfg, DefaultOptions())
+	got := runParallelSearch(t, cds, p, cfg, DefaultOptions())
+	sameSearchBits(t, "cached-vs-mem", got, want)
+}
+
+// TestWtsOnlyRejectsChunked: the baseline gathers the full weight matrix
+// to a root dataset replica — exactly what out-of-core storage cannot
+// provide — so it must refuse chunk-backed datasets loudly.
+func TestWtsOnlyRejectsChunked(t *testing.T) {
+	ds := paperDS(t, 1024)
+	cds := chunkFileDS(t, ds, 512, dataset.ChunkOptions{})
+	cfg := quickSearchConfig()
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		_, err := Search(c, cds, model.DefaultSpec(cds), cfg, Options{EM: cfg.EM, Strategy: WtsOnly})
+		return err
+	})
+	if err == nil {
+		t.Fatal("wts-only search over a chunk-backed dataset succeeded")
+	}
+}

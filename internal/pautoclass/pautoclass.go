@@ -122,8 +122,20 @@ func DefaultOptions() Options {
 	return Options{EM: autoclass.DefaultConfig(), Strategy: Full}
 }
 
-// PartitionView returns this rank's block of the dataset.
+// PartitionView returns this rank's block of the dataset. Chunk-backed
+// datasets partition on the ChunkAlign grid so every rank's view starts on
+// a kernel-block boundary and the blocked kernels stay chunk-contained;
+// alignment uses ChunkAlign — not the chunk size — so the partition is
+// identical for every chunk size and backing.
 func PartitionView(comm *mpi.Comm, ds *dataset.Dataset) (*dataset.View, error) {
+	if ds.Chunked() {
+		parts, err := dataset.AlignedBlockPartition(ds.N(), comm.Size(), dataset.ChunkAlign)
+		if err != nil {
+			return nil, err
+		}
+		rg := parts[comm.Rank()]
+		return ds.View(rg.Lo, rg.Len())
+	}
 	rg, err := dataset.BlockRange(ds.N(), comm.Size(), comm.Rank())
 	if err != nil {
 		return nil, err
@@ -204,8 +216,9 @@ func ParallelPriors(comm *mpi.Comm, view *dataset.View, opts *Options) (*model.P
 			counts = append(counts, make([]float64, ds.Attr(k).Cardinality())...)
 		}
 	}
+	row := make([]float64, na)
 	for i := 0; i < view.N(); i++ {
-		row := view.Row(i)
+		view.RowTo(row, i)
 		for k, v := range row {
 			if dataset.IsMissing(v) {
 				sums[perAttr*k+3]++

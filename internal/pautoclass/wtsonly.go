@@ -57,6 +57,13 @@ func newWtsOnlyEngine(comm *mpi.Comm, view *dataset.View, cls *autoclass.Classif
 	if view == nil || cls == nil {
 		return nil, errors.New("pautoclass: nil view or classification")
 	}
+	if view.Dataset().Chunked() {
+		// The baseline's whole premise — rank 0 holds a dataset replica and
+		// the gathered n×J weight matrix — is the memory cost the chunked
+		// data plane exists to avoid; it also evaluates terms through the
+		// per-row reference path, which virtual datasets do not serve.
+		return nil, errors.New("pautoclass: the wts-only baseline requires a materialized dataset; use the Full strategy for chunk-backed data")
+	}
 	parts, err := dataset.BlockPartition(view.Dataset().N(), comm.Size())
 	if err != nil {
 		return nil, err

@@ -106,6 +106,76 @@ func SaveDataset(path string, ds *Dataset) error { return dataset.SaveFile(path,
 // Missing is the encoding of an unknown attribute value.
 var Missing = dataset.Missing
 
+// Chunked (out-of-core) data plane, re-exported. A chunk file stores the
+// dataset column-major in fixed-size row chunks; opened, it serves the
+// engine's blocked kernels directly from disk with a bounded resident set,
+// so training and prediction scale past RAM. Search trajectories are
+// bitwise identical to the materialized rows for every backing and chunk
+// size. See WithChunkedData / WithMemoryBudget for the Run integration.
+type (
+	// ChunkOptions configures OpenChunkedDataset (mode, memory budget).
+	ChunkOptions = dataset.ChunkOptions
+	// ChunkMode selects the chunk-file backing.
+	ChunkMode = dataset.ChunkMode
+	// ChunkWriter streams rows into a chunk file one chunk at a time —
+	// the ingestion sink for datasets that never fit in memory (see
+	// CSVOptions.Sink).
+	ChunkWriter = dataset.ChunkWriter
+	// CSVOptions controls ReadCSVInto: explicit schema, row-count hint,
+	// and the optional streaming chunk sink.
+	CSVOptions = dataset.CSVOptions
+)
+
+// Chunk-file backings.
+const (
+	// ChunkAuto memory-maps when the platform supports it, else caches.
+	ChunkAuto = dataset.ChunkAuto
+	// ChunkInMemory eagerly loads every chunk into RAM.
+	ChunkInMemory = dataset.ChunkInMemory
+	// ChunkMmap memory-maps the file (error where unsupported).
+	ChunkMmap = dataset.ChunkMmap
+	// ChunkCached keeps a bounded number of chunks resident.
+	ChunkCached = dataset.ChunkCached
+)
+
+// DefaultChunkRows is the chunk size used when 0 is passed for one.
+const DefaultChunkRows = dataset.DefaultChunkRows
+
+// WriteChunkedDataset writes ds to path in the chunk-file format.
+// chunkRows must be a positive multiple of 256 (0 = DefaultChunkRows).
+func WriteChunkedDataset(path string, ds *Dataset, chunkRows int) error {
+	if chunkRows == 0 {
+		chunkRows = DefaultChunkRows
+	}
+	return dataset.WriteChunked(path, ds, chunkRows)
+}
+
+// OpenChunkedDataset opens a chunk file as a chunk-backed dataset: no
+// row-major storage, kernels walk the chunk plane, and opts decides how
+// many bytes stay resident. The caller owns Close. Run with WithChunkedData
+// does the open/close housekeeping itself.
+func OpenChunkedDataset(path string, opts ChunkOptions) (*Dataset, error) {
+	return dataset.OpenChunked(path, opts)
+}
+
+// NewChunkWriter starts a chunk file on ws for the streaming ingestion
+// path; see ChunkWriter.
+func NewChunkWriter(ws io.WriteSeeker, name string, attrs []Attribute, chunkRows int) (*ChunkWriter, error) {
+	if chunkRows == 0 {
+		chunkRows = DefaultChunkRows
+	}
+	return dataset.NewChunkWriter(ws, name, attrs, chunkRows)
+}
+
+// ReadCSVInto is the sized/streaming CSV importer: with an explicit schema
+// it parses in a single pass holding one row in memory, pre-sizing row
+// storage from the reader's length when knowable; with CSVOptions.Sink the
+// rows stream straight into a chunk file and the returned dataset is nil.
+// The zero CSVOptions reproduces plain schema-inferring CSV loading.
+func ReadCSVInto(r io.Reader, name string, opts CSVOptions) (*Dataset, error) {
+	return dataset.ReadCSVWith(r, name, opts)
+}
+
 // DefaultSearchConfig returns the paper-equivalent search settings
 // (start_j_list = 2,4,8,16,24,50,64, two tries each).
 func DefaultSearchConfig() SearchConfig { return autoclass.DefaultSearchConfig() }
@@ -290,8 +360,9 @@ func Evaluate(cls *Classification, ds *Dataset, labels []int) (*Contingency, err
 		return nil, fmt.Errorf("repro: %d labels for %d instances", len(labels), ds.N())
 	}
 	clusters := make([]int, ds.N())
+	row := make([]float64, ds.NumAttrs())
 	for i := 0; i < ds.N(); i++ {
-		clusters[i] = cls.HardAssign(ds.Row(i))
+		clusters[i] = cls.HardAssign(ds.RowTo(row, i))
 	}
 	return eval.NewContingency(labels, clusters)
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/autoclass"
+	"repro/internal/dataset"
 	"repro/internal/model"
 	"repro/internal/mpi"
 	"repro/internal/obs"
@@ -29,12 +30,28 @@ import (
 // rather than silently ignored. The result is bitwise identical to the
 // legacy entry point each combination replaces.
 func Run(ds *Dataset, opts ...Option) (*Result, error) {
-	if ds == nil {
-		return nil, errors.New("repro: nil dataset")
-	}
 	rc := runConfig{search: DefaultSearchConfig()}
 	for _, opt := range opts {
 		opt(&rc)
+	}
+	if rc.chunkPath != "" {
+		if ds != nil {
+			return nil, errors.New("repro: WithChunkedData replaces the dataset argument; pass nil")
+		}
+		copts := ChunkOptions{}
+		if rc.memBudget > 0 {
+			copts.Mode = ChunkCached
+			copts.MemoryBudget = rc.memBudget
+		}
+		cds, err := dataset.OpenChunked(rc.chunkPath, copts)
+		if err != nil {
+			return nil, err
+		}
+		defer cds.Close()
+		ds = cds
+	}
+	if ds == nil {
+		return nil, errors.New("repro: nil dataset")
 	}
 	if rc.searchPar != nil {
 		// Applied after the option loop so WithSearchParallelism composes
@@ -94,6 +111,8 @@ type runConfig struct {
 	searchObs  SearchObserver
 	ckptPath   string
 	ckptEvery  int
+	chunkPath  string
+	memBudget  int64
 }
 
 // hybridGroups resolves how many concurrent variant groups a parallel run
@@ -199,6 +218,30 @@ func WithProfile(p *Profile) Option {
 	return func(rc *runConfig) { rc.profile = p }
 }
 
+// WithChunkedData trains out of core: instead of a materialized dataset
+// (pass nil), Run opens the chunk file at path — written by
+// WriteChunkedDataset or streamed by a CSV ChunkWriter sink — as a
+// chunk-backed dataset, runs the search over its chunk plane, and closes it
+// on return. By default the file is memory-mapped (falling back to a
+// bounded pread cache where mapping is unavailable); combine with
+// WithMemoryBudget to cap resident bytes explicitly. The search trajectory
+// is bitwise identical to a run over the materialized rows for every
+// backing and chunk size. Requires the Blocked kernels (the default) and a
+// fully synchronous schedule (SyncEvery <= 1); the WtsOnly parallel
+// strategy, which gathers the full weight matrix to a dataset replica on
+// rank 0, is rejected.
+func WithChunkedData(path string) Option {
+	return func(rc *runConfig) { rc.chunkPath = path }
+}
+
+// WithMemoryBudget bounds the resident bytes of a WithChunkedData run: the
+// chunk file is served through a bounded cache that pins at most
+// budget/chunkSpan chunks in RAM (never below 2) and faults the rest on
+// demand. Residency policy affects timing only, never results.
+func WithMemoryBudget(budget int64) Option {
+	return func(rc *runConfig) { rc.memBudget = budget }
+}
+
 // WithCheckpoint makes the search resumable: progress persists to path and
 // a rerun with identical arguments continues where it stopped, producing
 // the bitwise-identical result to an uninterrupted run. every sets the
@@ -260,6 +303,24 @@ func (rc *runConfig) validate() error {
 	}
 	if rc.syncEvery != nil && *rc.syncEvery < 0 {
 		return fmt.Errorf("repro: WithSyncEvery(%d)", *rc.syncEvery)
+	}
+	if rc.memBudget < 0 {
+		return fmt.Errorf("repro: WithMemoryBudget(%d)", rc.memBudget)
+	}
+	if rc.memBudget > 0 && rc.chunkPath == "" {
+		return errors.New("repro: WithMemoryBudget needs WithChunkedData")
+	}
+	if rc.chunkPath != "" {
+		// The engine rejects these too (a caller may hand Run an already
+		// chunk-backed dataset), but failing here names the option.
+		switch {
+		case rc.search.EM.Kernels != Blocked:
+			return errors.New("repro: WithChunkedData requires the Blocked kernels")
+		case rc.search.EM.EffectiveSyncEvery() > 1:
+			return errors.New("repro: WithChunkedData does not support WithSyncEvery > 1")
+		case rc.par != nil && rc.par.Strategy == WtsOnly:
+			return errors.New("repro: the WtsOnly strategy requires a materialized dataset")
+		}
 	}
 	return nil
 }

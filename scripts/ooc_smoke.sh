@@ -1,0 +1,67 @@
+#!/bin/sh
+# ooc_smoke.sh — out-of-core chunked data plane smoke test.
+#
+# Two legs. First, the benchooc harness on a small workload: 10240 rows
+# in 512-row chunks with the bounded cache capped at 2 resident chunks
+# (a tenth of the file). The emitted report must show the cache actually
+# paging (loads and evictions both nonzero), residency never above the
+# cap, near-zero mallocs per chunk visit, and a training trajectory
+# bitwise identical to an in-memory load of the same file. Second, the
+# end-to-end CLI path: datagen writes a .chunks file, and a 2-rank
+# pautoclass run over it under a 64KiB budget must print exactly the
+# same report (wall-time line aside) as the same search over the
+# materialized text dataset. Needs jq.
+set -eu
+
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+# Leg 1: the measurement harness and its self-check.
+go run ./cmd/benchooc -rows 10240 -chunk-rows 512 -cycles 2 \
+	-o "$DIR/BENCH_ooc.json" | tee /dev/stderr
+jq . "$DIR/BENCH_ooc.json" >/dev/null
+jq -e '.bitwise_match' "$DIR/BENCH_ooc.json" >/dev/null || {
+	echo "ooc-smoke: bounded-cache trajectory diverged from the in-memory load" >&2
+	exit 1
+}
+jq -e '.num_chunks == 20 and .resident_chunks == 2' "$DIR/BENCH_ooc.json" >/dev/null || {
+	echo "ooc-smoke: unexpected chunk/residency geometry" >&2
+	exit 1
+}
+jq -e '.cache.high_water <= .resident_chunks' "$DIR/BENCH_ooc.json" >/dev/null || {
+	echo "ooc-smoke: cache residency exceeded its cap" >&2
+	exit 1
+}
+jq -e '.cache.loads > 0 and .cache.evictions > 0' "$DIR/BENCH_ooc.json" >/dev/null || {
+	echo "ooc-smoke: cache never faulted — the budget is not binding" >&2
+	exit 1
+}
+jq -e '.resident_ceiling_bytes * 5 <= .file_bytes' "$DIR/BENCH_ooc.json" >/dev/null || {
+	echo "ooc-smoke: resident ceiling is not a small fraction of the file" >&2
+	exit 1
+}
+jq -e '.train_rows_per_sec > 0 and .predict_rows_per_sec > 0' "$DIR/BENCH_ooc.json" >/dev/null || {
+	echo "ooc-smoke: throughput missing from the report" >&2
+	exit 1
+}
+jq -e '.mallocs_per_chunk_visit <= 2' "$DIR/BENCH_ooc.json" >/dev/null || {
+	echo "ooc-smoke: steady-state chunk loop allocates" >&2
+	exit 1
+}
+
+# Leg 2: the CLI path end to end. The same search over the chunk file
+# (tight budget, 2 ranks) and over the materialized dataset must print
+# identical reports; only the wall-time line may differ.
+go run ./cmd/datagen -workload paper -n 2048 -seed 7 -o "$DIR/data.txt"
+go run ./cmd/datagen -workload paper -n 2048 -seed 7 -o "$DIR/data.chunks" -chunk-rows 512
+go run ./cmd/pautoclass -data "$DIR/data.txt" -procs 2 -start-j 4 \
+	-tries 2 -max-cycles 30 | grep -v "wall time" >"$DIR/mat.out"
+go run ./cmd/pautoclass -chunked "$DIR/data.chunks" -memory-budget 64KiB \
+	-procs 2 -start-j 4 -tries 2 -max-cycles 30 | grep -v "wall time" >"$DIR/ooc.out"
+diff -u "$DIR/mat.out" "$DIR/ooc.out" || {
+	echo "ooc-smoke: out-of-core CLI run diverged from the materialized run" >&2
+	exit 1
+}
+cat "$DIR/ooc.out"
+
+echo "ooc-smoke: OK"
