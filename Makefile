@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench bench-kernels bench-predict bench-search bench-ooc check trace-smoke faults api apicheck serve-smoke obs-smoke async-smoke ooc-smoke
+.PHONY: build test vet race bench bench-kernels bench-predict bench-search bench-ooc bench-serve check trace-smoke faults api apicheck serve-smoke obs-smoke async-smoke ooc-smoke serve-load-smoke
 
 build:
 	$(GO) build ./...
@@ -97,6 +97,19 @@ async-smoke:
 # bitwise against an in-memory load, emitted as BENCH_ooc.json.
 bench-ooc:
 	$(GO) run ./cmd/benchooc -o BENCH_ooc.json
+
+# Predict-tier load benchmark: sustained concurrent traffic against the
+# registry-served batching predict path with rank-sharded workers, every
+# response byte-checked against solo baselines across a daemon restart,
+# emitted as BENCH_serve.json (p50/p99, QPS, bytes/req, cache hit rate).
+bench-serve:
+	$(GO) run ./cmd/benchserve -o BENCH_serve.json
+
+# Predict-tier load smoke (EXPERIMENTS.md, SERVE recipe): a small
+# benchserve run whose bitwise self-check must pass and whose percentiles
+# must be finite, ordered and backed by real throughput.
+serve-load-smoke:
+	./scripts/serve_load_smoke.sh
 
 # Out-of-core smoke (EXPERIMENTS.md, OOC recipe): a small benchooc run
 # whose cache must page and whose trajectory must match in-memory

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestBenchServeSmoke runs the harness on a small workload and checks the
+// BENCH_serve.json invariants CI asserts on: the self-check passed, the
+// percentiles are finite and ordered, throughput was measured, and the
+// cycled bodies produced cache hits.
+func TestBenchServeSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	var buf bytes.Buffer
+	err := run([]string{"-train-rows", "150", "-predict-rows", "40",
+		"-bodies", "3", "-clients", "4", "-per-client", "6", "-o", out}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.BitwiseMatch {
+		t.Error("self-check failed: responses diverged from baselines")
+	}
+	if rep.Requests <= 0 || rep.QPS <= 0 {
+		t.Errorf("no throughput measured: %+v", rep)
+	}
+	if rep.P50Ms <= 0 || rep.P99Ms < rep.P50Ms || math.IsInf(rep.P99Ms, 0) || math.IsNaN(rep.P99Ms) {
+		t.Errorf("percentiles broken: p50 %v p99 %v", rep.P50Ms, rep.P99Ms)
+	}
+	if rep.BytesPerReq <= 0 {
+		t.Errorf("bytes per request %v", rep.BytesPerReq)
+	}
+	// 4 clients × 6 requests over 3 bodies: every body repeats, so the
+	// cache must have answered some of the traffic.
+	if rep.CacheHitRate <= 0 {
+		t.Errorf("cache hit rate %v, want > 0", rep.CacheHitRate)
+	}
+}
+
+func TestBenchServeErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-badflag"}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run([]string{"-clients", "0"}, &buf); err == nil {
+		t.Error("zero clients accepted")
+	}
+}

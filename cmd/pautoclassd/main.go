@@ -1,27 +1,38 @@
 // Command pautoclassd serves P-AutoClass over HTTP: asynchronous training
-// jobs on the distributed checkpointed search, a fitted-model registry with
-// batch prediction, and the run observability endpoints.
+// jobs on the distributed checkpointed search, a versioned model registry
+// with explicit publish/activate semantics, batched and cached prediction
+// with admission control, and the run observability endpoints.
 //
 //	pautoclassd -addr :8080 -dir ./pautoclassd-data -procs 4
 //
 // Endpoints:
 //
-//	POST /v1/jobs                   submit a training job (async)
-//	GET  /v1/jobs                   list jobs
-//	GET  /v1/jobs/{id}              poll a job
-//	GET  /v1/jobs/{id}/progress     live BIG_LOOP progress (tries, best, ETA)
-//	POST /v1/models/{id}/predict    batch-score new rows against a model
-//	GET  /metrics                   Prometheus exposition (JSON under Accept: application/json)
-//	GET  /metrics.json              server + last-run metrics (JSON)
-//	GET  /debug/trace               Chrome trace of the last training run
-//	GET  /debug/pprof/              Go profiles (with -pprof)
-//	GET  /healthz                   liveness
-//	GET  /readyz                    readiness (503 while draining)
+//	POST /v1/jobs                     submit a training job (async)
+//	GET  /v1/jobs                     list jobs
+//	GET  /v1/jobs/{id}                poll a job
+//	GET  /v1/jobs/{id}/progress       live BIG_LOOP progress (tries, best, ETA)
+//	GET  /v1/models                   list registered models
+//	POST /v1/models                   publish a finished job as a model version
+//	GET  /v1/models/{id}              one model: versions, active, cache stats
+//	POST /v1/models/{id}/activate     switch the serving version
+//	POST /v1/models/{id}/predict      batch-score rows (optional version pin;
+//	                                  bare job IDs still work but are deprecated)
+//	GET  /metrics                     Prometheus exposition (JSON under Accept: application/json)
+//	GET  /metrics.json                server + last-run metrics (JSON)
+//	GET  /debug/trace                 Chrome trace of the last training run
+//	GET  /debug/pprof/                Go profiles (with -pprof)
+//	GET  /healthz                     liveness
+//	GET  /readyz                      readiness (503 while draining)
+//
+// Every non-2xx response is {"error": {"code", "message"}, "error_string"}
+// with a stable machine-readable code; 429/503 backpressure responses add
+// Retry-After.
 //
 // On SIGINT/SIGTERM a running search is stopped cooperatively: the rank
 // group agrees on a stop cycle, persists a resumable snapshot, and the job
 // returns to the queue — a restarted daemon resumes it bitwise where it
-// stopped.
+// stopped. The model registry and its artifacts survive restarts the same
+// way: identical versions, identical response bytes.
 package main
 
 import (
@@ -42,9 +53,17 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	dir := flag.String("dir", "pautoclassd-data", "state directory (jobs, checkpoints, models)")
+	dir := flag.String("dir", "pautoclassd-data", "state directory (jobs, checkpoints, model registry)")
 	procs := flag.Int("procs", 2, "default ranks per training run")
 	every := flag.Int("every", 4, "mid-try checkpoint cadence in cycles")
+	maxBody := flag.Int64("max-body-bytes", 0, "request body cap on data routes (0 = 64 MiB default)")
+	predictProcs := flag.Int("predict-procs", 1, "predict worker ranks per batch (>1 = scale-out sharding)")
+	predictTCP := flag.Bool("predict-tcp", false, "run predict worker ranks on the loopback TCP transport")
+	predictPar := flag.Int("predict-parallelism", 0, "goroutines per predict rank (0 = one)")
+	predictQueue := flag.Int("predict-queue", 0, "per-model-version predict queue depth (0 = 64 default)")
+	predictBatch := flag.Int("predict-batch-rows", 0, "max coalesced rows per scoring pass (0 = 4096 default)")
+	predictInflight := flag.Int("predict-inflight", 0, "server-wide predict admission cap (0 = 256 default)")
+	predictCache := flag.Int("predict-cache", 0, "response cache entries (0 = 256 default, -1 = off)")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -55,17 +74,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pautoclassd:", err)
 		os.Exit(1)
 	}
-	if err := run(log, *addr, *dir, *procs, *every, *enablePprof); err != nil {
+	cfg := serve.Config{
+		Dir: *dir, Procs: *procs, Every: *every,
+		Logger: log, EnablePprof: *enablePprof,
+		MaxBodyBytes:        *maxBody,
+		PredictProcs:        *predictProcs,
+		PredictTCP:          *predictTCP,
+		PredictParallelism:  *predictPar,
+		PredictQueueDepth:   *predictQueue,
+		PredictMaxBatchRows: *predictBatch,
+		PredictMaxInflight:  *predictInflight,
+		PredictCacheEntries: *predictCache,
+	}
+	if err := run(log, *addr, cfg); err != nil {
 		log.Error("pautoclassd exiting", "error", err)
 		os.Exit(1)
 	}
 }
 
-func run(log *slog.Logger, addr, dir string, procs, every int, enablePprof bool) error {
-	srv, err := serve.New(serve.Config{
-		Dir: dir, Procs: procs, Every: every,
-		Logger: log, EnablePprof: enablePprof,
-	})
+func run(log *slog.Logger, addr string, cfg serve.Config) error {
+	srv, err := serve.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -73,7 +101,8 @@ func run(log *slog.Logger, addr, dir string, procs, every int, enablePprof bool)
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Info("pautoclassd listening", "addr", addr, "dir", dir, "procs", procs, "pprof", enablePprof)
+		log.Info("pautoclassd listening", "addr", addr, "dir", cfg.Dir,
+			"procs", cfg.Procs, "predict_procs", cfg.PredictProcs, "pprof", cfg.EnablePprof)
 		errc <- hs.ListenAndServe()
 	}()
 

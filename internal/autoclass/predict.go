@@ -39,6 +39,11 @@ type PredictConfig struct {
 	// Kernels selects Blocked (columnar kernels, the default) or Reference
 	// (the per-row Term oracle). Chunk-backed datasets require Blocked.
 	Kernels KernelMode
+	// RowLogLik additionally records each row's log-evidence
+	// log Σ_j π_j·p(x_i|j) in Prediction.RowLL (−Inf for rows contributing
+	// no evidence). The serving tier uses it to recover a sub-batch's
+	// LogLik bitwise via FoldRowLogLik after scoring a coalesced batch.
+	RowLogLik bool
 }
 
 // Prediction is the batch scoring result over n cases.
@@ -58,6 +63,13 @@ type Prediction struct {
 	// LogLik is the total held-out log-likelihood Σ_i log Σ_j π_j·p(x_i|j).
 	// All-missing rows contribute nothing, matching HeldoutLogLik.
 	LogLik float64
+	// RowLL, filled only under PredictConfig.RowLogLik, holds each row's
+	// log-evidence z_i = log Σ_j π_j·p(x_i|j). A fully-missing row falls
+	// back to the prior weights (z = log Σ π_j ≈ 0); a row scoring −Inf
+	// in every class (not reachable for in-support data) records −Inf.
+	// FoldRowLogLik over any slice of RowLL reproduces that slice's
+	// standalone LogLik bitwise.
+	RowLL []float64
 }
 
 // N returns the number of scored cases.
@@ -77,7 +89,7 @@ func (p *Prediction) Membership(i int) []float64 {
 // reset sizes the result buffers for n cases and j classes, reusing the
 // backing arrays when they are large enough — a repeated PredictInto over
 // same-shaped batches allocates nothing here.
-func (p *Prediction) reset(n, j int) {
+func (p *Prediction) reset(n, j int, rowLL bool) {
 	p.J = j
 	p.LogLik = 0
 	if cap(p.Memberships) < n*j {
@@ -89,6 +101,13 @@ func (p *Prediction) reset(n, j int) {
 		p.MAP = make([]int, n)
 	} else {
 		p.MAP = p.MAP[:n]
+	}
+	if !rowLL {
+		p.RowLL = p.RowLL[:0]
+	} else if cap(p.RowLL) < n {
+		p.RowLL = make([]float64, n)
+	} else {
+		p.RowLL = p.RowLL[:n]
 	}
 }
 
@@ -201,7 +220,7 @@ func (pr *Predictor) PredictInto(view *dataset.View, p *Prediction) error {
 	}
 	n := view.N()
 	j := pr.cls.J()
-	p.reset(n, j)
+	p.reset(n, j, pr.cfg.RowLogLik)
 	if n == 0 {
 		return nil
 	}
@@ -352,6 +371,9 @@ func (pr *Predictor) scoreRowsReference(lo, hi int, p *Prediction, ps *predictSc
 		mem := p.Memberships[i*j : (i+1)*j]
 		copy(mem, ps.logp)
 		p.MAP[i] = argmax(mem)
+		if pr.cfg.RowLogLik {
+			p.RowLL[i] = z
+		}
 		if !math.IsInf(z, -1) {
 			ll += z
 		}
@@ -402,6 +424,9 @@ func (pr *Predictor) scoreRowsBlocked(lo, hi int, p *Prediction, ps *predictScra
 					mem[cj] = u
 				}
 				p.MAP[blo+r] = 0
+				if pr.cfg.RowLogLik {
+					p.RowLL[blo+r] = math.Inf(-1)
+				}
 				continue
 			}
 			sum := 0.0
@@ -415,10 +440,39 @@ func (pr *Predictor) scoreRowsBlocked(lo, hi int, p *Prediction, ps *predictScra
 				mem[cj] *= inv
 			}
 			p.MAP[blo+r] = argmax(mem)
-			ll += maxv + math.Log(sum)
+			z := maxv + math.Log(sum)
+			if pr.cfg.RowLogLik {
+				p.RowLL[blo+r] = z
+			}
+			ll += z
 		}
 	}
 	return ll
+}
+
+// FoldRowLogLik reduces per-row log-evidence values (Prediction.RowLL) to
+// the total LogLik a standalone scoring of exactly those rows would report,
+// bitwise: rows are summed left to right within each fixed RowShardSize
+// shard (skipping −Inf rows, which contribute no evidence) and the shard
+// partials are folded in ascending order — the precise association the
+// scorer uses for every Parallelism value. This is what lets the serving
+// tier coalesce requests into one batch, or shard one batch across ranks,
+// and still return each request the float64-identical LogLik it would have
+// gotten scoring alone.
+func FoldRowLogLik(rowLL []float64) float64 {
+	n := len(rowLL)
+	total := 0.0
+	for s := 0; s < NumRowShards(n); s++ {
+		lo, hi := RowShardRange(s, n)
+		ll := 0.0
+		for i := lo; i < hi; i++ {
+			if z := rowLL[i]; !math.IsInf(z, -1) {
+				ll += z
+			}
+		}
+		total += ll
+	}
+	return total
 }
 
 // argmax returns the index of the first maximum of xs.

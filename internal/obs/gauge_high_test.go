@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGaugeHighWater(t *testing.T) {
+	var g Gauge
+	if g.High() != 0 {
+		t.Fatalf("fresh gauge High = %v, want 0", g.High())
+	}
+	g.Set(3)
+	g.Set(1)
+	if g.High() != 3 {
+		t.Fatalf("High after Set(3),Set(1) = %v, want 3", g.High())
+	}
+	g.Add(9) // 1 -> 10
+	g.Add(-8)
+	if g.Value() != 2 || g.High() != 10 {
+		t.Fatalf("Value=%v High=%v, want 2 and 10", g.Value(), g.High())
+	}
+	g.Set(-50)
+	if g.High() != 10 {
+		t.Fatalf("negative Set moved High to %v", g.High())
+	}
+
+	var nilG *Gauge
+	nilG.Set(1)
+	nilG.Add(1)
+	if nilG.High() != 0 {
+		t.Fatal("nil gauge High != 0")
+	}
+}
+
+func TestGaugeHighWaterConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 0 {
+		t.Fatalf("final Value = %v, want 0", g.Value())
+	}
+	if h := g.High(); h < 1 || h > 8 {
+		t.Fatalf("High = %v, want within [1,8]", h)
+	}
+}

@@ -54,9 +54,13 @@ func (c *Counter) Value() float64 {
 	return math.Float64frombits(c.bits.Load())
 }
 
-// Gauge is a last-value-wins float64 metric. Nil-safe like Counter.
+// Gauge is a last-value-wins float64 metric. Nil-safe like Counter. A
+// gauge additionally tracks its high-water mark (the maximum value ever
+// stored, floored at 0), so level-style gauges — queue depth, in-flight
+// requests — can report their peak without a second metric.
 type Gauge struct {
 	bits atomic.Uint64
+	high atomic.Uint64
 	set  atomic.Bool
 }
 
@@ -66,6 +70,7 @@ func (g *Gauge) Set(v float64) {
 		return
 	}
 	g.bits.Store(math.Float64bits(v))
+	g.raiseHigh(v)
 	g.set.Store(true)
 }
 
@@ -77,12 +82,40 @@ func (g *Gauge) Add(delta float64) {
 	}
 	for {
 		old := g.bits.Load() // unset bits are 0, i.e. exactly 0.0
-		next := math.Float64bits(math.Float64frombits(old) + delta)
-		if g.bits.CompareAndSwap(old, next) {
+		next := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			g.raiseHigh(next)
 			g.set.Store(true)
 			return
 		}
 	}
+}
+
+// raiseHigh lifts the high-water mark to v if v exceeds it. Non-positive
+// values never move the mark: the unset mark is exactly 0.0, and a
+// level gauge's interesting peak is its positive excursion.
+func (g *Gauge) raiseHigh(v float64) {
+	if !(v > 0) {
+		return
+	}
+	for {
+		old := g.high.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.high.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// High returns the gauge's high-water mark: the largest value ever stored,
+// or 0 if the gauge never went positive (or is nil).
+func (g *Gauge) High() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.high.Load())
 }
 
 // Value returns the last stored value (0 if never set or nil).

@@ -1,0 +1,103 @@
+package pautoclass
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/autoclass"
+	"repro/internal/dataset"
+	"repro/internal/mpi"
+)
+
+// SPMD batch inference: the serving tier's scale-out mode. One fitted
+// classification, one batch of rows, P ranks on any transport the training
+// path already runs on (in-process goroutine ranks or TCP workers): each
+// rank scores a kernel-block-aligned contiguous shard of the batch with the
+// same blocked Predictor the single-process path uses, then one Allgather
+// assembles the full posterior matrix on every rank.
+//
+// Determinism: every per-row output (membership vector, MAP class, row
+// log-evidence) is a pure function of that row alone, the shard boundaries
+// sit on the KernelBlockRows grid so no kernel block straddles ranks, and
+// the total log-likelihood is reassembled from the gathered per-row values
+// with FoldRowLogLik — the exact association of a single-process scoring.
+// The result is therefore bitwise identical to autoclass.Predict at every
+// rank count, which TestPredictRanksBitwise enforces on both transports.
+
+// Predict scores every row of ds under cls across the ranks of comm and
+// returns the complete prediction on every rank. cfg.Parallelism shards
+// each rank's local block over goroutines exactly as in the single-process
+// scorer; cfg.RowLogLik controls whether the assembled RowLL is retained
+// in the result (it is always gathered internally to rebuild LogLik).
+// Chunk-backed datasets are rejected: the serving tier materializes its
+// batches.
+func Predict(comm *mpi.Comm, cls *autoclass.Classification, ds *dataset.Dataset, cfg autoclass.PredictConfig) (*autoclass.Prediction, error) {
+	if comm == nil {
+		return nil, errors.New("pautoclass: nil communicator")
+	}
+	if ds == nil {
+		return nil, errors.New("pautoclass: nil dataset")
+	}
+	if ds.Chunked() {
+		return nil, errors.New("pautoclass: chunked datasets are not supported by the distributed predictor")
+	}
+	n := ds.N()
+	j := cls.J()
+	parts, err := dataset.AlignedBlockPartition(n, comm.Size(), autoclass.KernelBlockRows)
+	if err != nil {
+		return nil, err
+	}
+	rg := parts[comm.Rank()]
+	view, err := ds.View(rg.Lo, rg.Len())
+	if err != nil {
+		return nil, err
+	}
+	localCfg := cfg
+	localCfg.RowLogLik = true
+	local, err := autoclass.PredictView(cls, view, localCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// One collective: each rank contributes [memberships..., rowLL...].
+	// MAP is not shipped — argmax over bitwise-identical memberships
+	// recomputes it identically on every rank.
+	ln := rg.Len()
+	send := make([]float64, ln*(j+1))
+	copy(send[:ln*j], local.Memberships)
+	copy(send[ln*j:], local.RowLL)
+	gathered, err := comm.Allgather(send)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &autoclass.Prediction{
+		J:           j,
+		Memberships: make([]float64, n*j),
+		MAP:         make([]int, n),
+	}
+	rowLL := make([]float64, n)
+	for r, part := range gathered {
+		pn := parts[r].Len()
+		if len(part) != pn*(j+1) {
+			return nil, fmt.Errorf("pautoclass: rank %d gathered %d values, want %d", r, len(part), pn*(j+1))
+		}
+		copy(out.Memberships[parts[r].Lo*j:], part[:pn*j])
+		copy(rowLL[parts[r].Lo:], part[pn*j:])
+	}
+	for i := 0; i < n; i++ {
+		mem := out.Memberships[i*j : (i+1)*j]
+		best := 0
+		for c := 1; c < j; c++ {
+			if mem[c] > mem[best] {
+				best = c
+			}
+		}
+		out.MAP[i] = best
+	}
+	out.LogLik = autoclass.FoldRowLogLik(rowLL)
+	if cfg.RowLogLik {
+		out.RowLL = rowLL
+	}
+	return out, nil
+}

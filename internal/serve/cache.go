@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// The predict response cache: an LRU keyed by (model, resolved version,
+// row-content hash) holding the exact marshaled response bytes, so a
+// repeated request replays byte-identically without touching a kernel.
+//
+// Versions are part of the key, so a cached entry can never answer for a
+// different version than the one it was computed against; activation
+// additionally purges the model's entries so memory never pins retired
+// versions.
+
+// cacheKey identifies one predict request's content.
+type cacheKey struct {
+	model   string
+	version int
+	rows    [32]byte
+}
+
+// hashRows fingerprints a materialized batch. Dataset values are plain
+// float64s with missing as one fixed NaN bit pattern, so hashing the raw
+// bits is content-exact: two requests collide iff their rows are
+// bitwise-identical under the same schema.
+func hashRows(ds *dataset.Dataset) [32]byte {
+	h := sha256.New()
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(ds.N()))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(ds.NumAttrs()))
+	h.Write(hdr[:])
+	var word [8]byte
+	buf := make([]float64, ds.NumAttrs())
+	for i := 0; i < ds.N(); i++ {
+		for _, v := range ds.RowTo(buf, i) {
+			binary.LittleEndian.PutUint64(word[:], math.Float64bits(v))
+			h.Write(word[:])
+		}
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// CacheStats is one model's response-cache accounting, surfaced on
+// GET /v1/models/{id}.
+type CacheStats struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	body []byte
+}
+
+// respCache is the server-wide bounded LRU. All methods are cheap; a
+// single mutex is fine at predict rates.
+type respCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recent
+	items map[cacheKey]*list.Element
+	hits  map[string]int64
+	miss  map[string]int64
+}
+
+func newRespCache(capacity int) *respCache {
+	if capacity <= 0 {
+		return nil // disabled; the nil methods below make that free
+	}
+	return &respCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[cacheKey]*list.Element),
+		hits:  make(map[string]int64),
+		miss:  make(map[string]int64),
+	}
+}
+
+// get returns the cached response bytes, or nil on miss. The returned
+// slice is shared — callers only ever write it to a ResponseWriter.
+func (c *respCache) get(k cacheKey) []byte {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		c.hits[k.model]++
+		return el.Value.(*cacheEntry).body
+	}
+	c.miss[k.model]++
+	return nil
+}
+
+// put stores a response, evicting from the cold end past capacity.
+func (c *respCache) put(k cacheKey, body []byte) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).body = body
+		return
+	}
+	c.items[k] = c.ll.PushFront(&cacheEntry{key: k, body: body})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// invalidate drops every entry of one model (all versions). Called on
+// version activation.
+func (c *respCache) invalidate(model string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		if e := el.Value.(*cacheEntry); e.key.model == model {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+		}
+	}
+}
+
+// stats reports one model's hit/miss counters and live entry count.
+func (c *respCache) stats(model string) CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CacheStats{Hits: c.hits[model], Misses: c.miss[model]}
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		if el.Value.(*cacheEntry).key.model == model {
+			st.Entries++
+		}
+	}
+	return st
+}

@@ -73,8 +73,47 @@ type JobStatus struct {
 // model's training schema; null encodes a missing value.
 type PredictRequest struct {
 	Rows [][]*float64 `json:"rows"`
-	// Parallelism shards the batch over that many goroutines (0 = one).
+	// Version pins a registered model version; 0 means the active one.
+	Version int `json:"version,omitempty"`
+	// Parallelism is accepted for backward compatibility and ignored: the
+	// server owns scoring parallelism (Config.PredictParallelism), and
+	// parallelism never changes the result bits.
 	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// PublishRequest is the POST /v1/models body: copy a finished job's fitted
+// model into the registry as the next version of ID.
+type PublishRequest struct {
+	ID    string `json:"id"`
+	JobID string `json:"job_id"`
+	// Activate controls whether the new version starts serving unpinned
+	// traffic. Nil means true; a model's first version always activates.
+	Activate *bool `json:"activate,omitempty"`
+}
+
+// PublishResponse acknowledges a publish.
+type PublishResponse struct {
+	ID      string       `json:"id"`
+	Version ModelVersion `json:"version"`
+	// Active is the version now serving unpinned traffic.
+	Active int `json:"active"`
+}
+
+// ActivateRequest is the POST /v1/models/{id}/activate body.
+type ActivateRequest struct {
+	Version int `json:"version"`
+}
+
+// ModelInfo is the GET /v1/models[/{id}] element: the registry entry plus
+// live serving stats.
+type ModelInfo struct {
+	ID       string         `json:"id"`
+	Active   int            `json:"active"`
+	Versions []ModelVersion `json:"versions"`
+	// WarmCaches counts the live per-version warm kernel caches.
+	WarmCaches int `json:"warm_caches"`
+	// Cache is the model's response-cache accounting.
+	Cache CacheStats `json:"cache"`
 }
 
 // PredictResponse mirrors autoclass.Prediction.
@@ -99,6 +138,10 @@ func (s *Server) buildMux() *http.ServeMux {
 	route("GET /v1/jobs", s.handleJobs)
 	route("GET /v1/jobs/{id}", s.handleJob)
 	route("GET /v1/jobs/{id}/progress", s.handleProgress)
+	route("GET /v1/models", s.handleModels)
+	route("POST /v1/models", s.handlePublish)
+	route("GET /v1/models/{id}", s.handleModel)
+	route("POST /v1/models/{id}/activate", s.handleActivate)
 	route("POST /v1/models/{id}/predict", s.handlePredict)
 	route("GET /metrics", s.handleMetrics)
 	route("GET /metrics.json", s.handleMetricsJSON)
@@ -117,31 +160,46 @@ func (s *Server) buildMux() *http.ServeMux {
 	return mux
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	w.Header().Set("Content-Type", obs.ContentTypeJSON)
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
 func writeBody(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", obs.ContentTypeJSON)
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(v)
 }
 
+// decodeBody reads a JSON request body under the server's size limit,
+// writing the error response itself on failure.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpError(w, http.StatusRequestEntityTooLarge, CodeRequestTooLarge,
+				"request body exceeds the %d byte limit", mbe.Limit)
+			return false
+		}
+		httpError(w, http.StatusBadRequest, CodeInvalidRequest, "decode request: %v", err)
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req JobRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "decode request: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if err := validateJob(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, http.StatusBadRequest, CodeInvalidRequest, "%v", err)
 		return
 	}
 	st, err := s.submit(req, w.Header().Get("X-Request-Id"))
 	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		code := CodeShuttingDown
+		if errors.Is(err, errJobQueueFull) {
+			code = CodeQueueFull
+		}
+		retryAfter(w, 1)
+		httpError(w, http.StatusServiceUnavailable, code, "%v", err)
 		return
 	}
 	writeBody(w, http.StatusAccepted, st)
@@ -186,51 +244,243 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	st, ok := s.status(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		httpError(w, http.StatusNotFound, CodeNotFound, "no job %q", r.PathValue("id"))
 		return
 	}
 	writeBody(w, http.StatusOK, st)
 }
 
+// handlePredict is the batched, cached, admission-controlled scoring
+// route. Request flow: resolve the servable model version → response-cache
+// lookup → admission (global in-flight cap, per-version bounded queue) →
+// coalesced scoring on the version's batcher → cache fill.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	m, err := s.model(id)
-	if err != nil {
-		httpError(w, http.StatusNotFound, "%v", err)
-		return
-	}
 	var req PredictRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "decode request: %v", err)
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Rows) == 0 {
-		httpError(w, http.StatusBadRequest, "no rows")
+		httpError(w, http.StatusBadRequest, CodeInvalidRequest, "no rows")
 		return
 	}
+	if req.Version < 0 {
+		httpError(w, http.StatusBadRequest, CodeInvalidRequest, "version %d < 0", req.Version)
+		return
+	}
+
+	var (
+		m   *loadedModel
+		key batcherKey
+		err error
+	)
+	if v, attrs, found := s.models.resolve(id, req.Version); found {
+		switch {
+		case v == 0 && req.Version != 0:
+			httpError(w, http.StatusNotFound, CodeNotFound, "model %q has no version %d", id, req.Version)
+			return
+		case v == 0:
+			httpError(w, http.StatusConflict, CodeModelNotReady, "model %q has no active version", id)
+			return
+		}
+		m, err = s.registryModel(id, v, attrs)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
+			return
+		}
+		key = batcherKey{model: id, version: v}
+	} else {
+		// Deprecated: predicting by bare job ID, bypassing the registry.
+		if req.Version != 0 {
+			httpError(w, http.StatusBadRequest, CodeInvalidRequest,
+				"version pins require a registered model; %q is not registered", id)
+			return
+		}
+		m, err = s.jobModel(id)
+		if err != nil {
+			httpError(w, http.StatusNotFound, CodeNotFound, "%v", err)
+			return
+		}
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</v1/models>; rel="successor-version"`)
+		key = batcherKey{model: id, version: 0}
+	}
+
 	ds, err := buildDataset("predict", m.attrs, req.Rows)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, http.StatusBadRequest, CodeInvalidRequest, "%v", err)
 		return
 	}
-	p, err := autoclass.Predict(m.cls, ds, autoclass.PredictConfig{Parallelism: req.Parallelism})
+
+	ck := cacheKey{model: id, version: key.version, rows: hashRows(ds)}
+	if body := s.cache.get(ck); body != nil {
+		s.cCacheHits.Add(1)
+		s.writePredict(w, body, "hit")
+		return
+	}
+	s.cCacheMisses.Add(1)
+
+	if s.stopping.Load() {
+		retryAfter(w, 1)
+		httpError(w, http.StatusServiceUnavailable, CodeShuttingDown, "server is shutting down")
+		return
+	}
+	inflight := s.predInF.Add(1)
+	defer s.predInF.Add(-1)
+	s.gPredActive.Add(1)
+	defer s.gPredActive.Add(-1)
+	if int(inflight) > s.cfg.PredictMaxInflight {
+		s.cRejected.Add(1)
+		retryAfter(w, 1)
+		httpError(w, http.StatusServiceUnavailable, CodeOverloaded,
+			"predict capacity exhausted (%d requests in flight)", inflight-1)
+		return
+	}
+
+	b, err := s.batcherFor(key, m)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "%v", err)
+		retryAfter(w, 1)
+		httpError(w, http.StatusServiceUnavailable, CodeShuttingDown, "%v", err)
+		return
+	}
+	job := &predictJob{ds: ds, resp: make(chan predictOut, 1)}
+	select {
+	case b.queue <- job:
+		s.gPredQueue.Add(1)
+	default:
+		s.cRejected.Add(1)
+		retryAfter(w, 1)
+		httpError(w, http.StatusTooManyRequests, CodeQueueFull,
+			"predict queue for model %q is full", id)
+		return
+	}
+	var out predictOut
+	select {
+	case out = <-job.resp:
+	case <-s.stop:
+		retryAfter(w, 1)
+		httpError(w, http.StatusServiceUnavailable, CodeShuttingDown, "server is shutting down")
+		return
+	}
+	if out.err != nil {
+		httpError(w, http.StatusInternalServerError, CodeInternal, "%v", out.err)
 		return
 	}
 	s.cPredicts.Add(1)
-	s.cPredictRows.Add(float64(p.N()))
-	resp := PredictResponse{
-		N:           p.N(),
-		J:           p.J,
-		MAP:         p.MAP,
-		LogLik:      p.LogLik,
-		Memberships: make([][]float64, p.N()),
+	s.cPredictRows.Add(float64(out.resp.N))
+	body, err := json.Marshal(out.resp)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
+		return
 	}
-	for i := 0; i < p.N(); i++ {
-		resp.Memberships[i] = p.Membership(i)
+	// Trailing newline matches json.Encoder output, so cached replays are
+	// byte-identical to the pre-cache wire format.
+	body = append(body, '\n')
+	s.cache.put(ck, body)
+	s.writePredict(w, body, "miss")
+}
+
+// writePredict writes a prediction body with its cache disposition.
+func (s *Server) writePredict(w http.ResponseWriter, body []byte, disposition string) {
+	w.Header().Set("X-Cache", disposition)
+	w.Header().Set("Content-Type", obs.ContentTypeJSON)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// handlePublish copies a finished job's fitted model into the registry.
+func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
+	var req PublishRequest
+	if !s.decodeBody(w, r, &req) {
+		return
 	}
-	writeBody(w, http.StatusOK, resp)
+	if err := validModelID(req.ID); err != nil {
+		httpError(w, http.StatusBadRequest, CodeInvalidRequest, "%v", err)
+		return
+	}
+	st, ok := s.status(req.JobID)
+	if !ok {
+		httpError(w, http.StatusNotFound, CodeNotFound, "no job %q", req.JobID)
+		return
+	}
+	if st.State != StateDone {
+		httpError(w, http.StatusConflict, CodeModelNotReady, "job %s is %s, not done", req.JobID, st.State)
+		return
+	}
+	s.mu.Lock()
+	attrs := append([]AttrSpec(nil), s.jobs[req.JobID].Req.Attrs...)
+	s.mu.Unlock()
+	activate := req.Activate == nil || *req.Activate
+	ver, active, err := s.models.publish(req.ID, req.JobID, attrs, st.J, st.Score,
+		s.jobPath(req.JobID, "model.ckpt"), activate)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
+		return
+	}
+	if active == ver.Version {
+		// The active version changed; cached responses for the old one
+		// must not answer unpinned requests.
+		s.cache.invalidate(req.ID)
+	}
+	s.log.Info("model published", "model", req.ID, "version", ver.Version,
+		"job_id", req.JobID, "active", active)
+	writeBody(w, http.StatusCreated, PublishResponse{ID: req.ID, Version: ver, Active: active})
+}
+
+// handleActivate switches which version serves unpinned predict traffic.
+func (s *Server) handleActivate(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req ActivateRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Version < 1 {
+		httpError(w, http.StatusBadRequest, CodeInvalidRequest, "version %d < 1", req.Version)
+		return
+	}
+	if _, ok := s.models.get(id); !ok {
+		httpError(w, http.StatusNotFound, CodeNotFound, "no model %q", id)
+		return
+	}
+	if err := s.models.activate(id, req.Version); err != nil {
+		httpError(w, http.StatusNotFound, CodeNotFound, "%v", err)
+		return
+	}
+	s.cache.invalidate(id)
+	s.log.Info("model activated", "model", id, "version", req.Version)
+	m, _ := s.models.get(id)
+	writeBody(w, http.StatusOK, s.modelInfo(m))
+}
+
+func (s *Server) modelInfo(m regModel) ModelInfo {
+	return ModelInfo{
+		ID:         m.ID,
+		Active:     m.Active,
+		Versions:   m.Versions,
+		WarmCaches: s.warmBatchers(m.ID),
+		Cache:      s.cache.stats(m.ID),
+	}
+}
+
+// handleModels lists the registry.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	entries := s.models.list()
+	infos := make([]ModelInfo, len(entries))
+	for i, m := range entries {
+		infos[i] = s.modelInfo(m)
+	}
+	writeBody(w, http.StatusOK, map[string]any{"models": infos})
+}
+
+// handleModel details one registry entry with its serving stats.
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	m, ok := s.models.get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, CodeNotFound, "no model %q", id)
+		return
+	}
+	writeBody(w, http.StatusOK, s.modelInfo(m))
 }
 
 // handleMetrics serves the Prometheus text exposition by default; clients
@@ -283,7 +533,7 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 	jp, ok := s.jobProgress(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		httpError(w, http.StatusNotFound, CodeNotFound, "no job %q", r.PathValue("id"))
 		return
 	}
 	writeBody(w, http.StatusOK, jp)
@@ -300,13 +550,13 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	busy := s.running != ""
 	s.mu.Unlock()
 	if run == nil {
-		httpError(w, http.StatusNotFound, "no training run has executed yet")
+		httpError(w, http.StatusNotFound, CodeNotFound, "no training run has executed yet")
 		return
 	}
 	if busy {
 		// The tracer's event tracks are append-only without locks; export
 		// only between runs.
-		httpError(w, http.StatusConflict, "a job is running; retry when it finishes")
+		httpError(w, http.StatusConflict, CodeConflict, "a job is running; retry when it finishes")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -146,7 +146,7 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 				// Headers not yet sent: the 500 still reaches the
 				// client. After a mid-body panic the code already
 				// written stands; the panic is recorded in the log.
-				httpError(sr, http.StatusInternalServerError, "internal error")
+				httpError(sr, http.StatusInternalServerError, CodeInternal, "internal error")
 			}
 			elapsed := time.Since(start)
 			s.gInflight.Add(-1)

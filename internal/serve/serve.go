@@ -22,6 +22,9 @@
 package serve
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -57,6 +60,34 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
 	// default: the profiles expose internals and cost CPU to collect.
 	EnablePprof bool
+
+	// MaxBodyBytes caps request bodies on the data-carrying routes
+	// (/v1/jobs, predict); oversized requests get 413 request_too_large.
+	// Default 64 MiB.
+	MaxBodyBytes int64
+	// PredictQueueDepth is each model version's batching-queue capacity;
+	// a full queue answers 429 queue_full. Default 64.
+	PredictQueueDepth int
+	// PredictMaxBatchRows stops coalescing once a batch holds this many
+	// rows. Default 4096.
+	PredictMaxBatchRows int
+	// PredictMaxInflight is the server-wide cap on predict requests being
+	// processed or queued; past it new requests get 503 overloaded.
+	// Default 256.
+	PredictMaxInflight int
+	// PredictParallelism shards each scoring pass over this many
+	// goroutines per rank (0 = one). Parallelism never changes the bits.
+	PredictParallelism int
+	// PredictProcs > 1 turns on scale-out predict: each batch is sharded
+	// across that many worker ranks (see PredictTCP for the transport).
+	// Responses are bitwise identical at every rank count. Default 1.
+	PredictProcs int
+	// PredictTCP moves the predict worker ranks onto the loopback-TCP
+	// transport instead of in-process goroutine ranks.
+	PredictTCP bool
+	// PredictCacheEntries bounds the response LRU cache; -1 disables it.
+	// Default 256.
+	PredictCacheEntries int
 }
 
 // maxProcs caps the per-request rank count: these are in-process goroutine
@@ -79,16 +110,29 @@ type Server struct {
 	cResumed     *obs.Counter
 	cPredicts    *obs.Counter
 	cPredictRows *obs.Counter
+	cCacheHits   *obs.Counter
+	cCacheMisses *obs.Counter
+	cRejected    *obs.Counter
 	gInflight    *obs.Gauge
+	gPredQueue   *obs.Gauge
+	gPredActive  *obs.Gauge
+	hBatchRows   *obs.Histogram
+	hBatchReqs   *obs.Histogram
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	models   map[string]*loadedModel
-	progress map[string]*progressTracker
-	nextID   int
-	lastRun  *obs.Run
-	running  string // id of the job currently on the runner, "" if idle
-	closed   bool
+	models  *registry
+	cache   *respCache
+	predInF atomic.Int64 // predict requests admitted and not yet answered
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	loaded    map[string]*loadedModel // key: job id or "<model>@v<N>"
+	batchers  map[batcherKey]*batcher
+	progress  map[string]*progressTracker
+	nextID    int
+	lastRun   *obs.Run
+	running   string // id of the job currently on the runner, "" if idle
+	closed    bool
+	batcherWG sync.WaitGroup
 
 	queue    chan string
 	stopping atomic.Bool
@@ -130,6 +174,27 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Every == 0 {
 		cfg.Every = 4
 	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	if cfg.PredictQueueDepth == 0 {
+		cfg.PredictQueueDepth = 64
+	}
+	if cfg.PredictMaxBatchRows == 0 {
+		cfg.PredictMaxBatchRows = 4096
+	}
+	if cfg.PredictMaxInflight == 0 {
+		cfg.PredictMaxInflight = 256
+	}
+	if cfg.PredictProcs == 0 {
+		cfg.PredictProcs = 1
+	}
+	if cfg.PredictProcs < 1 || cfg.PredictProcs > maxProcs {
+		return nil, fmt.Errorf("serve: predict procs %d out of range [1,%d]", cfg.PredictProcs, maxProcs)
+	}
+	if cfg.PredictCacheEntries == 0 {
+		cfg.PredictCacheEntries = 256
+	}
 	if err := os.MkdirAll(filepath.Join(cfg.Dir, "jobs"), 0o755); err != nil {
 		return nil, fmt.Errorf("serve: state directory: %w", err)
 	}
@@ -137,12 +202,19 @@ func New(cfg Config) (*Server, error) {
 	if log == nil {
 		log = slog.Default()
 	}
+	reg, err := openRegistry(filepath.Join(cfg.Dir, "registry"))
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		cfg:      cfg,
 		log:      log,
 		bootID:   "r" + strconv.FormatInt(time.Now().UnixNano(), 36),
 		jobs:     make(map[string]*job),
-		models:   make(map[string]*loadedModel),
+		loaded:   make(map[string]*loadedModel),
+		batchers: make(map[batcherKey]*batcher),
+		models:   reg,
+		cache:    newRespCache(cfg.PredictCacheEntries),
 		progress: make(map[string]*progressTracker),
 		reg:      obs.NewRegistry(),
 		queue:    make(chan string, 1024),
@@ -156,7 +228,14 @@ func New(cfg Config) (*Server, error) {
 	s.cResumed = s.reg.Counter("serve.jobs.resumed")
 	s.cPredicts = s.reg.Counter("serve.predict.requests")
 	s.cPredictRows = s.reg.Counter("serve.predict.rows")
+	s.cCacheHits = s.reg.Counter("serve.predict.cache.hits")
+	s.cCacheMisses = s.reg.Counter("serve.predict.cache.misses")
+	s.cRejected = s.reg.Counter("serve.predict.rejected")
 	s.gInflight = s.reg.Gauge(MetricHTTPInflight)
+	s.gPredQueue = s.reg.Gauge("serve.predict.queue_depth")
+	s.gPredActive = s.reg.Gauge("serve.predict.inflight")
+	s.hBatchRows = s.reg.Histogram("serve.predict.batch_rows")
+	s.hBatchReqs = s.reg.Histogram("serve.predict.batch_requests")
 	if err := s.scan(); err != nil {
 		return nil, err
 	}
@@ -231,6 +310,9 @@ func (s *Server) Close() error {
 	s.stopping.Store(true)
 	close(s.stop)
 	<-s.done
+	// Batch dispatchers exit at the next loop turn; requests still waiting
+	// on them unblock through s.stop in the predict handler.
+	s.batcherWG.Wait()
 	return nil
 }
 
@@ -247,6 +329,12 @@ func (s *Server) jobPath(id, name string) string {
 	return filepath.Join(s.jobDir(id), name)
 }
 
+// Sentinel submit failures, mapped to error codes at the HTTP layer.
+var (
+	errShuttingDown = errors.New("serve: server is shutting down")
+	errJobQueueFull = errors.New("serve: job queue full")
+)
+
 // submit registers a validated request as a new queued job and enqueues
 // it. reqID is the submitting HTTP request's ID, stamped into the status so
 // job logs and API responses correlate back to the originating request.
@@ -254,7 +342,7 @@ func (s *Server) submit(req JobRequest, reqID string) (JobStatus, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return JobStatus{}, errors.New("serve: server is shutting down")
+		return JobStatus{}, errShuttingDown
 	}
 	id := strconv.Itoa(s.nextID)
 	s.nextID++
@@ -274,7 +362,7 @@ func (s *Server) submit(req JobRequest, reqID string) (JobStatus, error) {
 	select {
 	case s.queue <- id:
 	default:
-		return JobStatus{}, errors.New("serve: job queue full")
+		return JobStatus{}, errJobQueueFull
 	}
 	s.log.Info("job submitted", "job_id", id, "request_id", reqID,
 		"rows", len(req.Rows), "attrs", len(req.Attrs))
@@ -432,14 +520,13 @@ func (s *Server) finishJob(id string, res *autoclass.SearchResult, err error) {
 		"j", res.Best.J(), "score", res.BestTry.Score, "cycles", res.Totals.Cycles)
 }
 
-// model returns the fitted classification for a done job, loading and
-// caching it on first use. The returned classification is shared across
-// predict calls; batch scoring builds per-call kernels, so concurrent use
-// is safe.
-func (s *Server) model(id string) (*loadedModel, error) {
+// jobModel returns the fitted classification for a done job, loading and
+// caching it on first use. The returned classification is shared and
+// read-only; every scorer builds or owns its own kernels.
+func (s *Server) jobModel(id string) (*loadedModel, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if m, ok := s.models[id]; ok {
+	if m, ok := s.loaded[id]; ok {
 		return m, nil
 	}
 	j, ok := s.jobs[id]
@@ -460,7 +547,48 @@ func (s *Server) model(id string) (*loadedModel, error) {
 		return nil, fmt.Errorf("serve: load model %s: %w", id, err)
 	}
 	m := &loadedModel{cls: ck.Classification, attrs: j.Req.Attrs}
-	s.models[id] = m
+	s.loaded[id] = m
+	return m, nil
+}
+
+// registryModel loads (and caches) version v of a registered model,
+// verifying the artifact against the checksum recorded at publish time.
+func (s *Server) registryModel(id string, v int, attrs []AttrSpec) (*loadedModel, error) {
+	key := fmt.Sprintf("%s@v%d", id, v)
+	s.mu.Lock()
+	if m, ok := s.loaded[key]; ok {
+		s.mu.Unlock()
+		return m, nil
+	}
+	s.mu.Unlock()
+
+	// Load outside s.mu: artifact reads are slow and the checksum check
+	// is CPU work. A racing duplicate load is harmless (last one wins).
+	path := s.models.versionPath(id, v)
+	art, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: model %s v%d artifact: %w", id, v, err)
+	}
+	want, ok := s.models.checksum(id, v)
+	if !ok {
+		return nil, fmt.Errorf("serve: model %s has no version %d", id, v)
+	}
+	sum := sha256.Sum256(art)
+	if got := hex.EncodeToString(sum[:]); got != want {
+		return nil, fmt.Errorf("serve: model %s v%d artifact corrupt: checksum %s, want %s", id, v, got, want)
+	}
+	schema, err := buildDataset(id, attrs, nil)
+	if err != nil {
+		return nil, err
+	}
+	var ck autoclass.Checkpoint
+	if err := ck.Load(bytes.NewReader(art), schema); err != nil {
+		return nil, fmt.Errorf("serve: restore model %s v%d: %w", id, v, err)
+	}
+	m := &loadedModel{cls: ck.Classification, attrs: attrs}
+	s.mu.Lock()
+	s.loaded[key] = m
+	s.mu.Unlock()
 	return m, nil
 }
 

@@ -558,3 +558,25 @@ func Predict(cls *Classification, ds *Dataset, cfg PredictConfig) (*Prediction, 
 	}
 	return autoclass.Predict(cls, ds, cfg)
 }
+
+// Predictor is a reusable batch scorer over one fitted classification: the
+// per-(class, term) kernels, worker scratch and result buffers are cached
+// across calls, so a serving loop over same-shaped batches allocates
+// nothing in steady state. A Predictor is NOT safe for concurrent use —
+// build one per goroutine, or call Predict, which does exactly that.
+type Predictor = autoclass.Predictor
+
+// NewPredictor validates the configuration and builds a reusable scorer.
+func NewPredictor(cls *Classification, cfg PredictConfig) (*Predictor, error) {
+	if cls == nil {
+		return nil, errors.New("repro: nil classification")
+	}
+	return autoclass.NewPredictor(cls, cfg)
+}
+
+// FoldRowLogLik reduces per-row log-evidence values (Prediction.RowLL,
+// populated under PredictConfig.RowLogLik) to the exact LogLik a standalone
+// Predict over those rows would report — the same shard grid and ascending
+// fold order, so slicing a coalesced batch back into its requests loses
+// nothing bitwise.
+func FoldRowLogLik(rowLL []float64) float64 { return autoclass.FoldRowLogLik(rowLL) }

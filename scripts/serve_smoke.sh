@@ -96,6 +96,37 @@ esac
 
 curl -sf "http://$ADDR/debug/trace" | jq -e '.traceEvents | length > 0' >/dev/null
 
+# Deprecated bare job-ID predict must carry the Deprecation header.
+curl -sf -D "$DIR/headers" -X POST --data-binary @"$DIR/predict.json" \
+    "http://$ADDR/v1/models/$ID/predict" >/dev/null
+grep -qi '^deprecation: true' "$DIR/headers" \
+    || { echo "job-ID predict missing Deprecation header" >&2; exit 1; }
+
+# Registry flow: publish the job as a named model, list it, predict
+# against it — first a cache miss, then a byte-identical cache hit.
+jq -n --arg job "$ID" '{id: "smoke-model", job_id: $job}' > "$DIR/publish.json"
+curl -sf -X POST --data-binary @"$DIR/publish.json" "http://$ADDR/v1/models" \
+    | jq -e '.id == "smoke-model" and .version.version == 1 and .active == 1
+         and (.version.checksum | length) == 64' >/dev/null
+curl -sf "http://$ADDR/v1/models" \
+    | jq -e '.models | length == 1 and .[0].id == "smoke-model"' >/dev/null
+curl -sf -D "$DIR/h1" -X POST --data-binary @"$DIR/predict.json" \
+    "http://$ADDR/v1/models/smoke-model/predict" > "$DIR/p1"
+curl -sf -D "$DIR/h2" -X POST --data-binary @"$DIR/predict.json" \
+    "http://$ADDR/v1/models/smoke-model/predict" > "$DIR/p2"
+grep -qi '^x-cache: miss' "$DIR/h1" || { echo "first model predict not a cache miss" >&2; exit 1; }
+grep -qi '^x-cache: hit' "$DIR/h2" || { echo "repeat model predict not a cache hit" >&2; exit 1; }
+cmp -s "$DIR/p1" "$DIR/p2" || { echo "cache replay not byte-identical" >&2; exit 1; }
+grep -qi '^deprecation:' "$DIR/h1" \
+    && { echo "registered-model predict carries Deprecation" >&2; exit 1; }
+curl -sf "http://$ADDR/v1/models/smoke-model" \
+    | jq -e '.active == 1 and .cache.hits >= 1 and .cache.misses >= 1' >/dev/null
+
+# Error envelope: stable code, message, and the legacy string field.
+curl -s "http://$ADDR/v1/jobs/999999" \
+    | jq -e '.error.code == "not_found" and (.error.message | length) > 0
+         and .error_string == .error.message' >/dev/null
+
 kill "$PID"
 wait "$PID" 2>/dev/null || true
 echo "serve smoke OK (job $ID)"
